@@ -1,0 +1,192 @@
+// Package blemesh is a deterministic simulation platform for multi-hop
+// IPv6 over Bluetooth Low Energy, reproducing the system and the
+// experiments of "Mind the Gap: Multi-hop IPv6 over BLE in the IoT"
+// (Petersen, Schmidt, Wählisch — CoNEXT 2021).
+//
+// The library contains, built from scratch:
+//
+//   - a discrete-event engine with per-node drifting clocks (internal/sim)
+//   - a shared-medium radio model with collisions and interference
+//     (internal/phy)
+//   - a full BLE link layer: connection events, channel selection,
+//     SN/NESN acknowledgements, supervision timeouts, window widening,
+//     advertising/scanning, and the single-radio scheduler whose
+//     arbitration produces the paper's "connection shading" (internal/ble)
+//   - L2CAP LE credit-based channels (internal/l2cap), 6LoWPAN IPHC and
+//     fragmentation (internal/sixlo), an IPv6+UDP stack with GNRC-style
+//     buffer pools (internal/ip6), and CoAP (internal/coap)
+//   - the statconn connection manager with the paper's randomized
+//     connection-interval mitigation (internal/statconn)
+//   - an IEEE 802.15.4 CSMA/CA comparison stack (internal/dot15d4)
+//   - a calibrated energy model (internal/energy) and the FIT IoT-Lab
+//     testbed description (internal/testbed)
+//
+// This package is the facade: world construction, node assembly, the
+// paper's topologies, and the experiment registry that regenerates every
+// table and figure of the evaluation.
+//
+// A minimal two-node network:
+//
+//	w := blemesh.New(42)
+//	a := w.NewNode(blemesh.NodeConfig{Name: "a", MAC: 0xA1})
+//	b := w.NewNode(blemesh.NodeConfig{Name: "b", MAC: 0xB2})
+//	a.AcceptInbound(1) // a advertises
+//	b.ConnectTo(a)     // b scans and coordinates the connection
+//	w.Run(5 * blemesh.Second)
+//	// ... use a.Coap / b.Coap, a.Stack / b.Stack
+package blemesh
+
+import (
+	"fmt"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/coap"
+	"blemesh/internal/core"
+	"blemesh/internal/energy"
+	"blemesh/internal/exp"
+	"blemesh/internal/ip6"
+	"blemesh/internal/metrics"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+	"blemesh/internal/statconn"
+	"blemesh/internal/testbed"
+)
+
+// Re-exported core types. The aliases make the internal packages' rich
+// APIs reachable through the facade without import gymnastics.
+type (
+	// Time and Duration are simulation timestamps in nanoseconds.
+	Time     = sim.Time
+	Duration = sim.Duration
+
+	// Node is a fully assembled IPv6-over-BLE node.
+	Node = core.Node
+	// NodeConfig parameterises a node.
+	NodeConfig = core.NodeConfig
+
+	// Message is a CoAP message; Addr an IPv6 address.
+	Message = coap.Message
+	Addr    = ip6.Addr
+	// ICMPEcho is an ICMPv6 echo request/reply (ping).
+	ICMPEcho = ip6.ICMPEcho
+
+	// StatconnConfig configures the connection manager.
+	StatconnConfig = statconn.Config
+	// StaticIntervals is standard BLE-mesh behaviour (one fixed
+	// connection interval — the shading-prone configuration).
+	StaticIntervals = statconn.Static
+	// RandomIntervals is the paper's §6.3 mitigation.
+	RandomIntervals = statconn.Random
+
+	// Topology is a statically configured network layout.
+	Topology = testbed.Topology
+
+	// Options and Report drive the experiment registry.
+	Options = exp.Options
+	Report  = exp.Report
+
+	// NetworkConfig/TrafficConfig/Network expose the experiment harness
+	// for custom studies.
+	NetworkConfig = exp.NetworkConfig
+	TrafficConfig = exp.TrafficConfig
+	Network       = exp.Network
+
+	// CDF is the quantile accumulator used throughout the harness.
+	CDF = metrics.CDF
+
+	// EnergyParams is the calibrated energy model.
+	EnergyParams = energy.Params
+)
+
+// Convenient duration units.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+	Minute      = sim.Minute
+	Hour        = sim.Hour
+)
+
+// CoAP message constants, re-exported for building requests.
+const (
+	CoapNON     = coap.NON
+	CoapCON     = coap.CON
+	CoapACK     = coap.ACK
+	CoapGET     = coap.CodeGET
+	CoapPOST    = coap.CodePOST
+	CoapValid   = coap.CodeValid
+	CoapContent = coap.CodeContent
+)
+
+// World is a simulation universe: one event queue and one radio medium on
+// which nodes are created.
+type World struct {
+	Sim    *sim.Sim
+	Medium *phy.Medium
+}
+
+// New creates a world seeded for reproducibility.
+func New(seed int64) *World {
+	s := sim.New(seed)
+	return &World{Sim: s, Medium: phy.NewMedium(s)}
+}
+
+// NewNode assembles a node on this world's medium.
+func (w *World) NewNode(cfg NodeConfig) *Node {
+	return core.NewNode(w.Sim, w.Medium, cfg)
+}
+
+// Run advances simulated time by d.
+func (w *World) Run(d Duration) { w.Sim.Run(w.Sim.Now() + d) }
+
+// Now returns the current simulated time.
+func (w *World) Now() Time { return w.Sim.Now() }
+
+// JamChannel places a permanent jammer on a BLE data channel (the paper's
+// testbed had channel 22 jammed).
+func (w *World) JamChannel(ch int) {
+	w.Medium.AddInterference(phy.Jammer{Ch: phy.Channel(ch)})
+}
+
+// AddNoise adds a diffuse background packet-error process.
+func (w *World) AddNoise(per float64) {
+	w.Medium.AddInterference(phy.RandomNoise{PER: per})
+}
+
+// Tree returns the paper's 15-node tree topology (Fig. 6b).
+func Tree() Topology { return testbed.Tree() }
+
+// Line returns the paper's 15-node line topology (Fig. 6c).
+func Line() Topology { return testbed.Line() }
+
+// BuildNetwork assembles a full testbed network with traffic and metrics
+// plumbing (the experiment harness's builder).
+func BuildNetwork(cfg NetworkConfig) *Network { return exp.BuildNetwork(cfg) }
+
+// Experiments lists the reproducible artifacts: one entry per table and
+// figure of the paper.
+func Experiments() []exp.Experiment { return exp.Registry }
+
+// RunExperiment runs a registered experiment by ID.
+func RunExperiment(id string, o Options) (*Report, error) {
+	e, ok := exp.Find(id)
+	if !ok {
+		return nil, fmt.Errorf("blemesh: unknown experiment %q (try: %v)", id, experimentIDs())
+	}
+	return e.Run(o), nil
+}
+
+func experimentIDs() []string {
+	ids := make([]string, 0, len(exp.Registry))
+	for _, e := range exp.Registry {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
+// ArbitrationSkip and ArbitrationAlternate select the radio scheduler
+// policy for NodeConfig/NetworkConfig (the paper's choices (i) and (ii)).
+const (
+	ArbitrationSkip      = ble.ArbitrateSkip
+	ArbitrationAlternate = ble.ArbitrateAlternate
+)

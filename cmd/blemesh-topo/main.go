@@ -1,0 +1,56 @@
+// Command blemesh-topo prints the testbed inventory and the statically
+// configured topologies of the paper's Fig. 6, including the role
+// assignment that makes the consumer subordinate for several connections —
+// the precondition for connection shading.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"blemesh/internal/testbed"
+)
+
+func main() {
+	which := flag.String("topo", "both", "tree, line, or both")
+	flag.Parse()
+
+	fmt.Println("== FIT IoT-Lab inventory (paper §4.1) ==")
+	fmt.Println("BLE nodes (Saclay):")
+	for _, n := range testbed.BLENodes() {
+		fmt.Printf("  %2d  %-14s %-22s RAM %3dKB flash %4dKB  grid (%.0f,%.0f)\n",
+			n.ID, n.Name, n.HW.SoC, n.HW.RAMKB, n.HW.FlashKB, n.X, n.Y)
+	}
+	fmt.Println("IEEE 802.15.4 nodes (Strasbourg):")
+	for _, n := range testbed.M3Nodes()[:3] {
+		fmt.Printf("  %2d  %-14s %-22s RAM %3dKB flash %4dKB\n",
+			n.ID, n.Name, n.HW.SoC, n.HW.RAMKB, n.HW.FlashKB)
+	}
+	fmt.Println("  ... (15 total)")
+
+	show := func(t testbed.Topology) {
+		fmt.Printf("\n== %s topology (Fig. 6) ==\n", t.Name)
+		fmt.Printf("consumer: node %d; %d producers; avg hop count %.2f; max depth %d\n",
+			t.Consumer, len(t.Producers()), t.AvgHopCount(), t.MaxDepth())
+		fmt.Println("links (coordinator -> subordinate):")
+		for _, l := range t.Links {
+			fmt.Printf("  %2d -> %2d\n", l.Coordinator, l.Subordinate)
+		}
+		fmt.Println("subordinate-role link counts (shading requires ≥2):")
+		sc := t.SubordinateCount()
+		for _, id := range t.Nodes() {
+			if sc[id] >= 2 {
+				fmt.Printf("  node %2d is subordinate for %d links\n", id, sc[id])
+			}
+		}
+	}
+	switch *which {
+	case "tree":
+		show(testbed.Tree())
+	case "line":
+		show(testbed.Line())
+	default:
+		show(testbed.Tree())
+		show(testbed.Line())
+	}
+}

@@ -1,0 +1,123 @@
+// Command blemesh runs the reproduction experiments: one per table and
+// figure of "Mind the Gap: Multi-hop IPv6 over BLE in the IoT".
+//
+// Usage:
+//
+//	blemesh list
+//	blemesh run <experiment-id> [-seed N] [-scale F] [-runs N] [-values]
+//	blemesh all [-scale F]
+//
+// Scale 1.0 regenerates the paper-length runs (1h per configuration, 24h
+// for fig13); smaller scales shorten every run proportionally, preserving
+// the qualitative shape.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blemesh"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		list()
+	case "run":
+		run(os.Args[2:])
+	case "all":
+		all(os.Args[2:])
+	case "trace":
+		traceRun(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  blemesh list                                   list experiments
+  blemesh run <id> [-seed N] [-scale F] [-runs N] [-values]
+  blemesh all [-scale F] [-seed N]               run everything
+  blemesh trace [-topo tree|line] [-minutes N] [-seed N] [-node NAME]
+                                                 dump the link event log of a run`)
+}
+
+func list() {
+	fmt.Printf("%-9s %-22s %s\n", "ID", "PAPER ARTIFACT", "TITLE")
+	for _, e := range blemesh.Experiments() {
+		fmt.Printf("%-9s %-22s %s\n", e.ID, e.Figure, e.Title)
+	}
+}
+
+func run(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "duration scale (1.0 = paper length)")
+	runs := fs.Int("runs", 1, "repetitions (paper: 5)")
+	values := fs.Bool("values", false, "also print the key-number table")
+	if len(args) < 1 {
+		usage()
+		os.Exit(2)
+	}
+	id := args[0]
+	_ = fs.Parse(args[1:])
+	rep, err := blemesh.RunExperiment(id, blemesh.Options{Seed: *seed, Scale: *scale, Runs: *runs})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(rep.String())
+	if *values {
+		fmt.Println("-- key numbers --")
+		fmt.Print(rep.ValuesTable())
+	}
+}
+
+func traceRun(args []string) {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	topoName := fs.String("topo", "tree", "tree or line")
+	minutes := fs.Int("minutes", 10, "simulated minutes")
+	seed := fs.Int64("seed", 1, "simulation seed")
+	node := fs.String("node", "", "restrict to one node name")
+	_ = fs.Parse(args)
+	topo := blemesh.Tree()
+	if *topoName == "line" {
+		topo = blemesh.Line()
+	}
+	nw := blemesh.BuildNetwork(blemesh.NetworkConfig{
+		Seed:         *seed,
+		Topology:     topo,
+		JamChannel22: true,
+		Trace:        true,
+	})
+	nw.WaitTopology(60 * blemesh.Second)
+	nw.StartTraffic(blemesh.TrafficConfig{})
+	nw.Run(blemesh.Duration(*minutes) * blemesh.Minute)
+	fmt.Print(nw.Trace.Render(*node))
+	pdr := nw.CoAPPDR()
+	fmt.Printf("-- %d events total; CoAP PDR %.4f; %d connection losses --\n",
+		nw.Trace.Total(), pdr.Rate(), nw.ConnLosses())
+}
+
+func all(args []string) {
+	fs := flag.NewFlagSet("all", flag.ExitOnError)
+	seed := fs.Int64("seed", 1, "simulation seed")
+	scale := fs.Float64("scale", 1.0, "duration scale")
+	_ = fs.Parse(args)
+	for _, e := range blemesh.Experiments() {
+		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(rep.String())
+		fmt.Println()
+	}
+}

@@ -1,0 +1,55 @@
+// Radiocompare: BLE vs IEEE 802.15.4 on the identical workload (Fig. 10).
+//
+// The same tree topology and the same CoAP producer/consumer benchmark run
+// over both link layers — possible because the IP stack sits on an
+// abstract netif, exactly the trick the paper's platform plays. BLE's
+// time-sliced connection events deliver reliably but pace every hop at the
+// connection interval; CSMA/CA answers in milliseconds but drops frames
+// after its bounded retries under contention.
+//
+//	go run ./examples/radiocompare
+package main
+
+import (
+	"fmt"
+
+	"blemesh"
+	"blemesh/internal/exp"
+	"blemesh/internal/testbed"
+)
+
+func main() {
+	const dur = 10 * blemesh.Minute
+
+	// BLE at two connection intervals.
+	for _, ci := range []blemesh.Duration{25 * blemesh.Millisecond, 75 * blemesh.Millisecond} {
+		nw := blemesh.BuildNetwork(blemesh.NetworkConfig{
+			Seed:         3,
+			Topology:     blemesh.Tree(),
+			Policy:       blemesh.StaticIntervals{Interval: ci},
+			JamChannel22: true,
+		})
+		nw.WaitTopology(60 * blemesh.Second)
+		nw.StartTraffic(blemesh.TrafficConfig{})
+		nw.Run(dur)
+		pdr := nw.CoAPPDR()
+		fmt.Printf("BLE, connection interval %v:\n", ci)
+		fmt.Printf("  PDR %.4f (%d/%d)  RTT p50 %.3fs p95 %.3fs p99 %.3fs\n",
+			pdr.Rate(), pdr.Delivered, pdr.Sent,
+			nw.RTTs.Median(), nw.RTTs.Quantile(0.95), nw.RTTs.Quantile(0.99))
+	}
+
+	// IEEE 802.15.4 CSMA/CA, same topology, same application.
+	dot := exp.BuildDotNetwork(3, testbed.Tree())
+	dot.Run(5 * blemesh.Second)
+	dot.StartTraffic(blemesh.TrafficConfig{})
+	dot.Run(dur)
+	pdr := dot.CoAPPDR()
+	fmt.Printf("IEEE 802.15.4 CSMA/CA:\n")
+	fmt.Printf("  PDR %.4f (%d/%d)  RTT p50 %.3fs p95 %.3fs p99 %.3fs\n",
+		pdr.Rate(), pdr.Delivered, pdr.Sent,
+		dot.RTTs.Median(), dot.RTTs.Quantile(0.95), dot.RTTs.Quantile(0.99))
+
+	fmt.Println("\npaper's Fig. 10: BLE ≥99% PDR but interval-paced delays;")
+	fmt.Println("802.15.4 faster per delivery, lower PDR under load.")
+}

@@ -1,0 +1,3 @@
+module blemesh
+
+go 1.22

@@ -1,0 +1,907 @@
+package ble
+
+import (
+	"fmt"
+
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+// Role is a node's role on one connection. A node can be coordinator for
+// some connections and subordinate for others at the same time (multi-role,
+// Bluetooth ≥4.2), which is what makes mesh topologies — and connection
+// shading — possible.
+type Role int
+
+// Connection roles.
+const (
+	Coordinator Role = iota
+	Subordinate
+)
+
+func (r Role) String() string {
+	if r == Coordinator {
+		return "coordinator"
+	}
+	return "subordinate"
+}
+
+// LossReason explains why a connection ended.
+type LossReason int
+
+// Loss reasons.
+const (
+	// LossSupervision: no valid packet within the supervision timeout —
+	// the signature of connection shading.
+	LossSupervision LossReason = iota
+	// LossPeerTerminated: the peer sent LL_TERMINATE_IND.
+	LossPeerTerminated
+	// LossHostTerminated: the local host closed the connection.
+	LossHostTerminated
+)
+
+func (r LossReason) String() string {
+	switch r {
+	case LossSupervision:
+		return "supervision-timeout"
+	case LossPeerTerminated:
+		return "peer-terminated"
+	default:
+		return "host-terminated"
+	}
+}
+
+// ConnStats aggregates per-connection link-layer counters. The experiment
+// harness derives link-layer PDRs (Fig. 12, 13(b), 15) from these.
+type ConnStats struct {
+	EventsPlanned uint64 // anchors that came due
+	EventsSkipped uint64 // radio busy at anchor (shading footprint)
+	EventsEmpty   uint64 // serviced, but no packet received
+	EventsOK      uint64 // serviced with at least one valid packet received
+	TXPDUs        uint64 // data/control PDUs transmitted (incl. retransmissions)
+	TXUnique      uint64 // distinct PDUs acknowledged
+	TXEmpty       uint64 // empty PDUs transmitted
+	RXPDUs        uint64 // valid PDUs received
+	RXCorrupt     uint64 // CRC-failed receptions
+	Retrans       uint64 // retransmissions triggered
+	SupResets     uint64 // supervision timer resets
+
+	// Per-channel accounting for Fig. 12's per-channel PDR panel.
+	ChannelTX [NumDataChannels]uint64
+	ChannelOK [NumDataChannels]uint64
+}
+
+// LLPDR returns the link-layer packet delivery rate: the fraction of
+// transmitted data PDUs that were acknowledged on first transmission.
+func (s *ConnStats) LLPDR() float64 {
+	if s.TXPDUs == 0 {
+		return 1
+	}
+	return float64(s.TXPDUs-s.Retrans) / float64(s.TXPDUs)
+}
+
+// txItem is one queued LL payload with its bookkeeping.
+type txItem struct {
+	llid    LLID
+	payload []byte
+	ctrl    *DataPDU // non-nil for control PDUs
+	sent    bool     // SN assigned (queued for its first transmission)
+	txCount int      // actual transmissions so far
+	onAck   func()   // release pool bytes / credits upcall
+}
+
+func (it *txItem) size() int {
+	if it.ctrl != nil {
+		return it.ctrl.Len()
+	}
+	return len(it.payload)
+}
+
+// Conn is one BLE connection endpoint (either role).
+type Conn struct {
+	ctrl   *Controller
+	role   Role
+	peer   DevAddr
+	handle int
+	params ConnParams
+	csa    ChannelSelector
+	access uint32
+
+	// Event timing. evIdx counts connection events since event 0; the
+	// 16-bit on-air event counter is its low half.
+	evIdx       uint64
+	anchor0     sim.Time // local time of connection event 0 anchor
+	lastSyncLoc sim.Time // subordinate: local time of last anchor resync
+	lastSyncIdx uint64   // subordinate: event index at last resync
+	relSCA      float64  // combined declared sleep-clock accuracy (ppm)
+
+	// Acknowledgement state (1-bit SN/NESN scheme).
+	sn, nesn byte
+	peerMD   bool
+	txq      []*txItem
+	// emptyInFlight: the last transmitted, still unacknowledged PDU was
+	// an empty one. A retransmission must resend the SAME PDU — reusing
+	// the sequence number for fresh data would be treated as a duplicate
+	// by the peer while its acknowledgement discards the data.
+	emptyInFlight bool
+
+	// Pending parameter update (applied at instant).
+	pendUpdate  *ConnUpdate
+	pendChanMap *ChannelMap
+	pendInstant uint64
+
+	act          *Activity
+	wake         *sim.Event
+	nextStart    sim.Time // sim-time estimate of next event start
+	lastAttended uint64   // subordinate: last event index actually serviced
+	supEvent     *sim.Event
+	closed       bool
+	closing      bool // TERMINATE_IND queued
+
+	// In-event state.
+	inEvent   bool
+	evCh      phy.Channel
+	evLimit   sim.Time
+	evGotPkt  bool
+	evTXBase  uint64 // stats.TXPDUs at event start (first-exchange detection)
+	exData    bool   // current exchange moved a data/control payload
+	rxTimeout *sim.Event
+
+	stats ConnStats
+
+	// OnData delivers received LL data payloads (LLID start/cont) upward
+	// to L2CAP.
+	OnData func(llid LLID, payload []byte)
+	// OnParamRequest lets the coordinator's host decide on a
+	// subordinate's Connection Parameters Request. Returning true applies
+	// the proposed interval via the update procedure; false rejects it.
+	OnParamRequest func(interval sim.Duration) bool
+
+	// trace is a test-only hook observing protocol steps.
+	trace func(op string, pdu *DataPDU)
+}
+
+// Role returns the local role on this connection.
+func (c *Conn) Role() Role { return c.role }
+
+// Peer returns the remote device address.
+func (c *Conn) Peer() DevAddr { return c.peer }
+
+// Handle returns the controller-local connection handle.
+func (c *Conn) Handle() int { return c.handle }
+
+// Params returns the current connection parameters.
+func (c *Conn) Params() ConnParams { return c.params }
+
+// Interval returns the current connection interval.
+func (c *Conn) Interval() sim.Duration { return c.params.Interval }
+
+// Stats returns a copy of the link-layer counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// Closed reports whether the connection has been torn down.
+func (c *Conn) Closed() bool { return c.closed }
+
+// QueueLen returns the number of LL payloads waiting for transmission.
+func (c *Conn) QueueLen() int { return len(c.txq) }
+
+func (c *Conn) String() string {
+	return fmt.Sprintf("conn#%d(%s→%s %s itvl=%v)", c.handle, c.ctrl.addr, c.peer, c.role, c.params.Interval)
+}
+
+// newConn wires a connection endpoint and schedules its first event.
+// anchor0 is the sim-time of connection event 0 (the transmit window start).
+func newConn(ctrl *Controller, role Role, peer DevAddr, params ConnParams, access uint32, hop int, anchor0 sim.Time) *Conn {
+	c := &Conn{
+		ctrl:   ctrl,
+		role:   role,
+		peer:   peer,
+		handle: ctrl.nextHandle(),
+		params: params,
+		access: access,
+	}
+	if params.CSA == 1 {
+		c.csa = NewCSA1(hop)
+	} else {
+		c.csa = NewCSA2(access)
+	}
+	localNow := ctrl.clk.Now()
+	c.anchor0 = localNow + ctrl.clk.ToLocal(anchor0-ctrl.sim().Now())
+	if role == Subordinate {
+		// No sync yet: event 0 must be found inside the transmit
+		// window, so the initial uncertainty is a full window.
+		c.lastSyncLoc = c.anchor0
+		c.lastSyncIdx = 0
+		c.relSCA = params.CoordSCA + ctrl.cfg.SCA
+	}
+	c.act = &Activity{
+		Name:       fmt.Sprintf("conn#%d", c.handle),
+		NextAnchor: func() sim.Time { return c.nextStart },
+		OnPreempt:  c.preempted,
+	}
+	ctrl.sched.Register(c.act)
+	// Connection establishment: until the first valid packet is received
+	// the specification bounds the timeout to six connection intervals,
+	// so a CONNECT_IND the peer never heard fails fast.
+	est := 6 * params.Interval
+	if est > params.Supervision {
+		est = params.Supervision
+	}
+	c.supEvent = ctrl.clk.AfterLocal(est, func() {
+		c.terminate(LossSupervision)
+	})
+	c.scheduleEvent()
+	return c
+}
+
+func (c *Conn) sim() *sim.Sim     { return c.ctrl.sim() }
+func (c *Conn) clk() *sim.Clock   { return c.ctrl.clk }
+func (c *Conn) radio() *phy.Radio { return c.ctrl.radio }
+
+// ---- Supervision -----------------------------------------------------
+
+func (c *Conn) armSupervision() {
+	if c.supEvent != nil {
+		c.sim().Cancel(c.supEvent)
+	}
+	c.supEvent = c.clk().AfterLocal(c.params.Supervision, func() {
+		c.terminate(LossSupervision)
+	})
+}
+
+func (c *Conn) resetSupervision() {
+	c.stats.SupResets++
+	c.armSupervision()
+}
+
+// ---- Event scheduling -------------------------------------------------
+
+// anchorLocal returns the local-clock time of the anchor of event idx.
+func (c *Conn) anchorLocal(idx uint64) sim.Time {
+	if c.role == Coordinator {
+		return c.anchor0 + sim.Time(idx)*c.params.Interval
+	}
+	return c.lastSyncLoc + sim.Time(idx-c.lastSyncIdx)*c.params.Interval
+}
+
+// windowWidening returns the subordinate's listen-window half-width for
+// event idx: combined declared SCA times the local time since last sync,
+// plus a base jitter allowance. Event 0 additionally carries the full
+// transmit-window uncertainty.
+func (c *Conn) windowWidening(idx uint64) sim.Duration {
+	if c.ctrl.cfg.DisableWindowWidening {
+		return WindowWideningBase
+	}
+	elapsed := c.anchorLocal(idx) - c.lastSyncLoc
+	ww := sim.Duration(float64(elapsed)*c.relSCA*1e-6) + WindowWideningBase
+	if c.lastSyncIdx == 0 && c.evGotPktNever() {
+		ww += TransmitWindowDelay
+	}
+	return ww
+}
+
+func (c *Conn) evGotPktNever() bool { return c.stats.EventsOK == 0 }
+
+// scheduleEvent arms the wake-up for the next connection event.
+func (c *Conn) scheduleEvent() {
+	if c.closed {
+		return
+	}
+	c.applyPendingAt(c.evIdx)
+	anchorLoc := c.anchorLocal(c.evIdx)
+	wakeLoc := anchorLoc
+	if c.role == Subordinate {
+		wakeLoc -= c.windowWidening(c.evIdx)
+	}
+	// Convert to sim time for the anchor estimate other activities see.
+	nowLoc := c.clk().Now()
+	d := wakeLoc - nowLoc
+	if d < 0 {
+		d = 0
+	}
+	simDelay := c.clk().ToSim(d)
+	c.nextStart = c.sim().Now() + simDelay
+	c.wake = c.sim().After(simDelay, c.eventStart)
+}
+
+// applyPendingAt applies a pending connection update / channel map change
+// when its instant is reached.
+func (c *Conn) applyPendingAt(idx uint64) {
+	if c.pendUpdate != nil && idx >= c.pendInstant {
+		// The event at the update instant keeps its old-schedule anchor;
+		// the new interval applies from there on. The base must be
+		// computed at the INSTANT and under the OLD interval, so both
+		// endpoints rebase identically even if one skipped events
+		// around the instant.
+		base := c.anchorLocal(c.pendInstant)
+		c.params.Interval = c.pendUpdate.Interval
+		c.params.Latency = c.pendUpdate.Latency
+		c.params.Supervision = c.pendUpdate.Supervision
+		c.anchor0 = base - sim.Time(c.pendInstant)*c.params.Interval
+		if c.role == Subordinate {
+			c.lastSyncLoc = base - sim.Time(c.pendInstant-c.lastSyncIdx)*c.params.Interval
+		}
+		c.pendUpdate = nil
+		c.armSupervision()
+	}
+	if c.pendChanMap != nil && idx >= c.pendInstant {
+		c.params.ChanMap = *c.pendChanMap
+		c.pendChanMap = nil
+	}
+}
+
+// eventStart fires at the event anchor (coordinator) or at the start of the
+// widened listen window (subordinate).
+func (c *Conn) eventStart() {
+	if c.closed {
+		return
+	}
+	idx := c.evIdx
+	c.evIdx++
+	c.stats.EventsPlanned++
+
+	// Schedule the next event first so concurrent acquirers see our next
+	// anchor when computing their limits.
+	c.scheduleEvent()
+
+	// Subordinate latency: with nothing to exchange, the subordinate may
+	// sleep through up to Latency consecutive events (§2.2 of the paper).
+	if c.role == Subordinate && c.params.Latency > 0 && len(c.txq) == 0 && !c.peerMD &&
+		idx-c.lastAttended <= uint64(c.params.Latency) {
+		return
+	}
+
+	maxEnd := c.nextStart - IFS
+	limit, ok := c.ctrl.sched.Acquire(c.act, maxEnd)
+	if !ok {
+		// Radio busy: the whole event is skipped. Under connection
+		// shading this happens for hundreds of consecutive events.
+		c.stats.EventsSkipped++
+		return
+	}
+	c.inEvent = true
+	c.evGotPkt = false
+	c.evCh = c.csa.Channel(uint16(idx), c.params.ChanMap)
+	c.evLimit = limit
+	c.evTXBase = c.stats.TXPDUs
+	c.lastAttended = idx
+
+	if c.role == Coordinator {
+		c.ctrl.events.ConnEvents++
+		c.coordTX()
+	} else {
+		c.ctrl.events.ConnEventsSub++
+		ww := c.windowWidening(idx)
+		deadline := c.sim().Now() + c.clk().ToSim(2*ww) + CarrierMargin
+		c.listen(deadline)
+	}
+}
+
+// preempted is invoked by the scheduler (alternate arbitration) when another
+// activity takes the radio mid-event. A packet in flight is cut off on the
+// air (the peer sees a CRC failure).
+func (c *Conn) preempted() {
+	if !c.inEvent {
+		return
+	}
+	c.cancelRxTimeout()
+	switch c.radio().State() {
+	case phy.RadioRX:
+		c.radio().StopListen()
+	case phy.RadioTX:
+		c.radio().AbortTX()
+	}
+	c.ctrl.clearRx()
+	c.inEvent = false
+	if !c.evGotPkt {
+		c.stats.EventsEmpty++
+	} else {
+		c.stats.EventsOK++
+	}
+}
+
+// closeEvent ends the in-progress connection event and releases the radio.
+func (c *Conn) closeEvent() {
+	if !c.inEvent {
+		return
+	}
+	c.cancelRxTimeout()
+	if c.radio().State() == phy.RadioRX {
+		c.radio().StopListen()
+	}
+	c.ctrl.clearRx()
+	c.inEvent = false
+	if c.evGotPkt {
+		c.stats.EventsOK++
+	} else {
+		c.stats.EventsEmpty++
+	}
+	c.ctrl.sched.Release(c.act)
+}
+
+func (c *Conn) cancelRxTimeout() {
+	if c.rxTimeout != nil {
+		c.sim().Cancel(c.rxTimeout)
+		c.rxTimeout = nil
+	}
+}
+
+// ---- Packet exchange --------------------------------------------------
+
+// buildPDU assembles the next PDU to transmit: the head of the TX queue or
+// an empty PDU, stamped with the current SN/NESN/MD bits.
+func (c *Conn) buildPDU() *DataPDU {
+	var pdu *DataPDU
+	if len(c.txq) > 0 && !c.emptyInFlight {
+		it := c.txq[0]
+		if it.ctrl != nil {
+			pdu = it.ctrl
+			pdu.LLID = LLIDControl
+		} else {
+			pdu = &DataPDU{LLID: it.llid, Payload: it.payload}
+		}
+		if !it.sent {
+			it.sent = true
+		}
+	} else {
+		pdu = &DataPDU{LLID: LLIDDataCont} // empty PDU
+	}
+	pdu.Access = c.access
+	pdu.SN = c.sn
+	pdu.NESN = c.nesn
+	pdu.MD = len(c.txq) > 1
+	return pdu
+}
+
+// transmitPDU sends pdu on the event channel and invokes done afterwards.
+// Retransmission accounting: if the queue head has already been on the air
+// once, this transmission is a retransmission of it.
+func (c *Conn) transmitPDU(pdu *DataPDU, done func()) {
+	air := Airtime(pdu.Len())
+	c.stats.TXPDUs++
+	if pdu.Len() == 0 {
+		c.stats.TXEmpty++
+	}
+	if len(c.txq) > 0 && pdu.Len() > 0 && c.txq[0].sent {
+		if c.txq[0].txCount > 0 {
+			c.stats.Retrans++
+		}
+		c.txq[0].txCount++
+	}
+	if pdu.Len() > 0 {
+		c.exData = true
+	} else if pdu.LLID != LLIDControl {
+		c.emptyInFlight = true
+	}
+	if c.trace != nil {
+		c.trace("tx", pdu)
+	}
+	c.stats.ChannelTX[c.evCh]++
+	c.radio().Transmit(c.evCh, phy.Packet{Bits: int(air / ByteTime * 8), Payload: pdu}, air, done)
+}
+
+// processRx applies the SN/NESN acknowledgement rules to a received PDU and
+// delivers new data upward. It returns whether the peer indicated more data.
+func (c *Conn) processRx(pdu *DataPDU) {
+	c.evGotPkt = true
+	if pdu.Len() > 0 {
+		c.exData = true
+	}
+	c.stats.RXPDUs++
+	c.stats.ChannelOK[c.evCh]++
+	c.resetSupervision()
+	c.peerMD = pdu.MD
+
+	// Acknowledgement of our last transmission: the peer's NESN differs
+	// from our SN when it accepted our packet.
+	if pdu.NESN != c.sn {
+		c.sn ^= 1
+		c.emptyInFlight = false
+		if len(c.txq) > 0 && c.txq[0].sent {
+			it := c.txq[0]
+			if c.trace != nil {
+				c.trace("pop", pdu)
+			}
+			c.txq = c.txq[1:]
+			if it.size() > 0 || it.ctrl != nil {
+				c.stats.TXUnique++
+			}
+			if it.onAck != nil {
+				it.onAck()
+			}
+			if it.ctrl != nil && it.ctrl.Opcode == OpTerminateInd {
+				c.terminate(LossHostTerminated)
+				return
+			}
+		}
+	}
+
+	// New data from the peer: its SN matches our NESN expectation.
+	if pdu.SN == c.nesn {
+		c.nesn ^= 1
+		if c.trace != nil {
+			c.trace("deliver", pdu)
+		}
+		c.deliver(pdu)
+	} else if c.trace != nil {
+		c.trace("dup", pdu)
+	}
+}
+
+// deliver hands a freshly received PDU to the host or executes the control
+// procedure it carries.
+func (c *Conn) deliver(pdu *DataPDU) {
+	switch {
+	case pdu.LLID == LLIDControl:
+		switch pdu.Opcode {
+		case OpTerminateInd:
+			c.terminate(LossPeerTerminated)
+		case OpConnParamReq:
+			if c.role != Coordinator {
+				return
+			}
+			iv := pdu.Update.Interval
+			if c.OnParamRequest != nil && c.OnParamRequest(iv) {
+				_ = c.UpdateParams(iv, c.params.Latency, c.params.Supervision)
+			} else {
+				c.sendControl(&DataPDU{Opcode: OpRejectInd})
+			}
+		case OpRejectInd:
+			// Our parameter request was rejected; nothing to roll back.
+		case OpConnUpdateInd:
+			u := pdu.Update
+			c.pendUpdate = &u
+			c.pendInstant = c.instantToIdx(pdu.Instant)
+		case OpChannelMapInd:
+			m := pdu.ChanMap
+			c.pendChanMap = &m
+			c.pendInstant = c.instantToIdx(pdu.Instant)
+		}
+	case len(pdu.Payload) > 0:
+		if c.OnData != nil {
+			c.OnData(pdu.LLID, pdu.Payload)
+		}
+	}
+}
+
+// instantToIdx widens a 16-bit on-air instant to our 64-bit event index.
+func (c *Conn) instantToIdx(instant uint16) uint64 {
+	base := c.evIdx &^ 0xFFFF
+	idx := base | uint64(instant)
+	if idx < c.evIdx {
+		idx += 1 << 16
+	}
+	return idx
+}
+
+// listen tunes the radio to the event channel and arms the no-carrier
+// timeout.
+func (c *Conn) listen(deadline sim.Time) {
+	c.radio().StartListen(c.evCh)
+	c.ctrl.setRx(c.onRx, c.onCarrier)
+	c.rxTimeout = c.sim().At(deadline, func() {
+		c.rxTimeout = nil
+		c.closeEvent()
+	})
+}
+
+// onCarrier extends the receive deadline to the detected end of packet.
+func (c *Conn) onCarrier(_ phy.Channel, end sim.Time) {
+	if !c.inEvent {
+		return
+	}
+	c.cancelRxTimeout()
+	// Guard in case the end-of-packet indication is suppressed.
+	c.rxTimeout = c.sim().At(end+sim.Microsecond, func() {
+		c.rxTimeout = nil
+		c.closeEvent()
+	})
+}
+
+// onRx is the end-of-packet indication for this connection's event.
+func (c *Conn) onRx(pkt phy.Packet, _ phy.Channel, ok bool) {
+	if !c.inEvent {
+		return
+	}
+	c.cancelRxTimeout()
+	pdu, isData := pkt.Payload.(*DataPDU)
+	if isData && ok && pdu.Access != c.access {
+		// A packet of a co-channel connection: the radio never
+		// synchronises to a foreign access address. Keep listening for
+		// our own packet until the window closes.
+		c.rxTimeout = c.sim().After(CarrierMargin, func() {
+			c.rxTimeout = nil
+			c.closeEvent()
+		})
+		return
+	}
+	if !ok || !isData {
+		// CRC failure (collision, jammer, noise): close the event; the
+		// retransmission happens one connection interval later, which
+		// is exactly the +1-interval latency step of Fig. 8.
+		c.stats.RXCorrupt++
+		c.closeEvent()
+		return
+	}
+	if c.role == Subordinate {
+		c.exData = false
+	}
+	if c.role == Subordinate && !c.evGotPkt {
+		// First packet of the event: resync the anchor to the
+		// coordinator's clock (this is what window widening protects).
+		air := Airtime(pdu.Len())
+		startLoc := c.clk().Now() - c.clk().ToLocal(air)
+		c.lastSyncLoc = startLoc
+		c.lastSyncIdx = c.evIdx - 1
+	}
+	wasClosed := c.closed
+	c.processRx(pdu)
+	if c.closed && !wasClosed {
+		return
+	}
+	c.radio().StopListen()
+	if c.role == Coordinator {
+		c.coordAfterRx()
+	} else {
+		c.subReply()
+	}
+}
+
+// ---- Coordinator side --------------------------------------------------
+
+// coordTX transmits the coordinator's next packet of the event.
+func (c *Conn) coordTX() {
+	first := !c.evGotPkt && c.stats.TXPDUs == c.evTXBase
+	c.exData = false
+	pdu := c.buildPDU()
+	need := Airtime(pdu.Len()) + IFS + Airtime(0)
+	if !first && (c.sim().Now()+need > c.evLimit || !c.ctrl.sched.Owns(c.act)) {
+		// No room for another full exchange before the next activity
+		// needs the radio: the event yields (Fig. 4 truncation). The
+		// FIRST exchange of an event is mandatory per the spec's packet
+		// flow and is never suppressed; a resulting overrun shows up as
+		// a skipped event on the competing connection.
+		c.closeEvent()
+		return
+	}
+	c.transmitPDU(pdu, func() {
+		if !c.inEvent {
+			return
+		}
+		// Wait for the subordinate's reply, due exactly one IFS after
+		// our last bit.
+		c.radio().StartListen(c.evCh)
+		c.ctrl.setRx(c.onRx, c.onCarrier)
+		c.rxTimeout = c.sim().After(IFS+CarrierMargin, func() {
+			c.rxTimeout = nil
+			c.closeEvent()
+		})
+	})
+}
+
+// coordAfterRx decides whether to start another exchange in this event.
+// When the previous exchange moved data, the configured ExchangeGap models
+// the host/controller processing time before the next buffer is ready.
+func (c *Conn) coordAfterRx() {
+	more := c.peerMD || len(c.txq) > 0
+	if more && c.ctrl.sched.Owns(c.act) {
+		wait := IFS
+		if c.exData {
+			wait += c.ctrl.cfg.ExchangeGap
+		}
+		next := c.buildPDUPreview()
+		need := wait + Airtime(next) + IFS + Airtime(0)
+		if c.sim().Now()+need <= c.evLimit {
+			c.sim().After(wait, func() {
+				if c.inEvent && c.ctrl.sched.Owns(c.act) {
+					c.coordTX()
+				}
+			})
+			return
+		}
+	}
+	c.closeEvent()
+}
+
+// buildPDUPreview returns the length of the next PDU without building it.
+func (c *Conn) buildPDUPreview() int {
+	if len(c.txq) > 0 {
+		return c.txq[0].size()
+	}
+	return 0
+}
+
+// ---- Subordinate side ---------------------------------------------------
+
+// subReply answers the coordinator one IFS after its packet ended. The
+// reply to a received packet is mandatory (the spec's packet flow includes
+// at least one full exchange per event); only FURTHER exchanges yield to the
+// node's other radio activities.
+func (c *Conn) subReply() {
+	if !c.ctrl.sched.Owns(c.act) {
+		c.closeEvent()
+		return
+	}
+	pdu := c.buildPDU()
+	c.sim().After(IFS, func() {
+		if !c.inEvent || !c.ctrl.sched.Owns(c.act) {
+			c.closeEvent()
+			return
+		}
+		c.transmitPDU(pdu, func() {
+			if !c.inEvent {
+				return
+			}
+			// Continue listening if the coordinator may send more. A
+			// data exchange delays the coordinator's next packet by
+			// its processing gap (homogeneous firmware assumed).
+			wait := IFS + CarrierMargin
+			if c.exData {
+				wait += c.ctrl.cfg.ExchangeGap
+			}
+			if (c.peerMD || len(c.txq) > 0) && c.sim().Now()+wait < c.evLimit {
+				c.radio().StartListen(c.evCh)
+				c.ctrl.setRx(c.onRx, c.onCarrier)
+				c.rxTimeout = c.sim().After(wait, func() {
+					c.rxTimeout = nil
+					c.closeEvent()
+				})
+			} else {
+				c.closeEvent()
+			}
+		})
+	})
+}
+
+// ---- Host interface -----------------------------------------------------
+
+// Send enqueues one LL data payload (≤ MaxDataLen bytes). onAck fires when
+// the peer acknowledges it. It returns false when the controller's shared
+// buffer pool is exhausted — the backpressure signal L2CAP translates into
+// credit stalling.
+func (c *Conn) Send(llid LLID, payload []byte, onAck func()) bool {
+	if c.closed || c.closing {
+		return false
+	}
+	if len(payload) > MaxDataLen {
+		panic(fmt.Sprintf("ble: payload %d exceeds LL maximum %d", len(payload), MaxDataLen))
+	}
+	if !c.ctrl.pool.alloc(len(payload)) {
+		c.ctrl.events.PoolExhausted++
+		return false
+	}
+	n := len(payload)
+	c.txq = append(c.txq, &txItem{llid: llid, payload: payload, onAck: func() {
+		c.ctrl.pool.free(n)
+		if onAck != nil {
+			onAck()
+		}
+	}})
+	return true
+}
+
+// sendControl enqueues an LL control PDU (not charged to the data pool).
+func (c *Conn) sendControl(pdu *DataPDU) {
+	pdu.LLID = LLIDControl
+	c.txq = append(c.txq, &txItem{ctrl: pdu})
+}
+
+// UpdateParams starts the connection parameter update procedure
+// (coordinator only): the new interval takes effect at an instant 6 events
+// ahead, per the usual controller margin.
+func (c *Conn) UpdateParams(interval sim.Duration, latency int, supervision sim.Duration) error {
+	if c.role != Coordinator {
+		return fmt.Errorf("ble: only the coordinator can update connection parameters")
+	}
+	p := ConnParams{Interval: interval, Latency: latency, Supervision: supervision,
+		ChanMap: c.params.ChanMap, CSA: c.params.CSA, CoordSCA: c.params.CoordSCA}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	instant := c.evIdx + 6
+	c.sendControl(&DataPDU{
+		Opcode:  OpConnUpdateInd,
+		Update:  ConnUpdate{Interval: p.Interval, Latency: p.Latency, Supervision: p.Supervision},
+		Instant: uint16(instant),
+	})
+	// The coordinator applies the same update at the same instant.
+	u := ConnUpdate{Interval: p.Interval, Latency: p.Latency, Supervision: p.Supervision}
+	c.pendUpdate = &u
+	c.pendInstant = instant
+	return nil
+}
+
+// UpdateChannelMap distributes a new channel map (coordinator only),
+// applied 6 events ahead.
+func (c *Conn) UpdateChannelMap(m ChannelMap) error {
+	if c.role != Coordinator {
+		return fmt.Errorf("ble: only the coordinator can update the channel map")
+	}
+	if m.Count() < 2 {
+		return fmt.Errorf("ble: channel map must keep at least 2 data channels")
+	}
+	instant := c.evIdx + 6
+	c.sendControl(&DataPDU{Opcode: OpChannelMapInd, ChanMap: m, Instant: uint16(instant)})
+	mm := m
+	c.pendChanMap = &mm
+	c.pendInstant = instant
+	return nil
+}
+
+// Close terminates the connection gracefully: an LL_TERMINATE_IND is sent
+// and the link is dropped once it is acknowledged (or after a fallback
+// timeout if the peer is unreachable).
+func (c *Conn) Close() {
+	if c.closed || c.closing {
+		return
+	}
+	c.closing = true
+	c.sendControl(&DataPDU{Opcode: OpTerminateInd})
+	c.sim().After(sim.Second, func() {
+		if !c.closed {
+			c.terminate(LossHostTerminated)
+		}
+	})
+}
+
+// terminate tears the connection down and notifies the host.
+func (c *Conn) terminate(reason LossReason) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.inEvent {
+		c.cancelRxTimeout()
+		switch c.radio().State() {
+		case phy.RadioRX:
+			c.radio().StopListen()
+		case phy.RadioTX:
+			// The supervision timer can fire while our own packet is
+			// in flight; the radio must be silenced before the radio
+			// is handed back.
+			c.radio().AbortTX()
+		}
+		c.ctrl.clearRx()
+		c.inEvent = false
+		c.ctrl.sched.Release(c.act)
+	}
+	if c.wake != nil {
+		c.sim().Cancel(c.wake)
+	}
+	if c.supEvent != nil {
+		c.sim().Cancel(c.supEvent)
+	}
+	c.nextStart = 0
+	// Return pooled bytes of undelivered payloads.
+	for _, it := range c.txq {
+		if it.ctrl == nil {
+			c.ctrl.pool.free(len(it.payload))
+		}
+	}
+	c.txq = nil
+	c.ctrl.removeConn(c, reason)
+}
+
+// PoolFree exposes the controller's free LL buffer bytes to upper layers.
+func (c *Conn) PoolFree() int { return c.ctrl.PoolFree() }
+
+// Controller returns the controller this connection belongs to.
+func (c *Conn) Controller() *Controller { return c.ctrl }
+
+// RequestParams starts the Connection Parameters Request procedure from the
+// subordinate side: propose a new connection interval to the coordinator,
+// which applies it via the update procedure or rejects it.
+func (c *Conn) RequestParams(interval sim.Duration) error {
+	if c.role != Subordinate {
+		return fmt.Errorf("ble: only the subordinate requests parameters (the coordinator updates directly)")
+	}
+	p := ConnParams{Interval: interval}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	c.sendControl(&DataPDU{
+		Opcode: OpConnParamReq,
+		Update: ConnUpdate{Interval: interval},
+	})
+	return nil
+}

@@ -1,0 +1,468 @@
+package ble
+
+import (
+	"testing"
+
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+// testNode bundles one simulated node's radio stack for link-layer tests.
+type testNode struct {
+	ctrl  *Controller
+	radio *phy.Radio
+	clk   *sim.Clock
+}
+
+// newTestNet builds n nodes on a fresh medium. ppm[i] sets node i's actual
+// clock drift.
+func newTestNet(seed int64, ppm ...float64) (*sim.Sim, *phy.Medium, []*testNode) {
+	s := sim.New(seed)
+	m := phy.NewMedium(s)
+	nodes := make([]*testNode, len(ppm))
+	for i, p := range ppm {
+		clk := sim.NewClock(s, p)
+		radio := m.NewRadio()
+		ctrl := NewController(s, clk, radio, ControllerConfig{Addr: DevAddr(0xA0000 + i)})
+		nodes[i] = &testNode{ctrl: ctrl, radio: radio, clk: clk}
+	}
+	return s, m, nodes
+}
+
+// connectPair establishes a connection: a advertises (subordinate), b scans
+// and initiates (coordinator). It runs the sim until the link is up.
+func connectPair(t *testing.T, s *sim.Sim, a, b *testNode, params ConnParams) (sub, coord *Conn) {
+	t.Helper()
+	a.ctrl.OnConnect = func(c *Conn) { sub = c }
+	b.ctrl.OnConnect = func(c *Conn) { coord = c }
+	a.ctrl.StartAdvertising(AdvParams{Interval: 90 * sim.Millisecond, DataLen: 11})
+	if err := b.ctrl.Connect(a.ctrl.Addr(), params); err != nil {
+		t.Fatalf("Connect: %v", err)
+	}
+	deadline := s.Now() + 5*sim.Second
+	for s.Now() < deadline && (sub == nil || coord == nil) {
+		s.Run(s.Now() + 50*sim.Millisecond)
+	}
+	if sub == nil || coord == nil {
+		t.Fatalf("connection not established within 5s (sub=%v coord=%v)", sub, coord)
+	}
+	if sub.Role() != Subordinate || coord.Role() != Coordinator {
+		t.Fatalf("roles wrong: %v / %v", sub.Role(), coord.Role())
+	}
+	return sub, coord
+}
+
+func params75() ConnParams {
+	p := ConnParams{Interval: 75 * sim.Millisecond}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func TestConnectionEstablishment(t *testing.T) {
+	s, _, nodes := newTestNet(1, 0, 0)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	if sub.Peer() != nodes[1].ctrl.Addr() || coord.Peer() != nodes[0].ctrl.Addr() {
+		t.Fatal("peer addresses wrong")
+	}
+	if coord.Interval() != 75*sim.Millisecond {
+		t.Fatalf("interval = %v", coord.Interval())
+	}
+	// The link must stay alive: run 10s and check no disconnect.
+	lost := false
+	nodes[0].ctrl.OnDisconnect = func(*Conn, LossReason) { lost = true }
+	nodes[1].ctrl.OnDisconnect = func(*Conn, LossReason) { lost = true }
+	s.Run(s.Now() + 10*sim.Second)
+	if lost {
+		t.Fatal("idle connection dropped within 10s")
+	}
+	if sub.Stats().EventsOK < 100 {
+		t.Fatalf("subordinate serviced only %d events in 10s at 75ms interval", sub.Stats().EventsOK)
+	}
+}
+
+func TestDataTransferCoordinatorToSubordinate(t *testing.T) {
+	s, _, nodes := newTestNet(2, 1.5, -1.5)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	var got [][]byte
+	sub.OnData = func(_ LLID, p []byte) { got = append(got, p) }
+	payloads := make([][]byte, 10)
+	for i := range payloads {
+		payloads[i] = []byte{byte(i), 1, 2, 3}
+		if !coord.Send(LLIDDataStart, payloads[i], nil) {
+			t.Fatalf("Send %d rejected", i)
+		}
+	}
+	s.Run(s.Now() + 3*sim.Second)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d/10 payloads", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("payload %d out of order: first byte %d", i, p[0])
+		}
+	}
+}
+
+func TestDataTransferSubordinateToCoordinator(t *testing.T) {
+	s, _, nodes := newTestNet(3, 1.5, -1.5)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	var got [][]byte
+	coord.OnData = func(_ LLID, p []byte) { got = append(got, p) }
+	for i := 0; i < 10; i++ {
+		if !sub.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+			t.Fatalf("Send %d rejected", i)
+		}
+	}
+	s.Run(s.Now() + 3*sim.Second)
+	if len(got) != 10 {
+		t.Fatalf("delivered %d/10 payloads", len(got))
+	}
+	for i, p := range got {
+		if p[0] != byte(i) {
+			t.Fatalf("payload %d out of order", i)
+		}
+	}
+}
+
+func TestMoreDataBatchesInOneEvent(t *testing.T) {
+	// 20 queued payloads must move in a handful of connection events, not
+	// 20 (the MD flag drives multiple exchanges per event).
+	s, _, nodes := newTestNet(4, 0.5, -0.5)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	delivered := 0
+	var doneAt sim.Time
+	sub.OnData = func(_ LLID, _ []byte) {
+		delivered++
+		if delivered == 20 {
+			doneAt = s.Now()
+		}
+	}
+	start := s.Now()
+	for i := 0; i < 20; i++ {
+		if !coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+			t.Fatalf("Send %d rejected (pool)", i)
+		}
+	}
+	s.Run(s.Now() + 5*sim.Second)
+	if delivered != 20 {
+		t.Fatalf("delivered %d/20", delivered)
+	}
+	elapsed := doneAt - start
+	if elapsed > 5*75*sim.Millisecond {
+		t.Fatalf("20 payloads took %v — MD batching not effective", elapsed)
+	}
+}
+
+func TestOnAckFiresOncePerPayload(t *testing.T) {
+	s, _, nodes := newTestNet(5, 0, 0)
+	_, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	acks := 0
+	for i := 0; i < 5; i++ {
+		coord.Send(LLIDDataStart, []byte{byte(i)}, func() { acks++ })
+	}
+	s.Run(s.Now() + 2*sim.Second)
+	if acks != 5 {
+		t.Fatalf("acks = %d, want 5", acks)
+	}
+}
+
+func TestReliabilityUnderNoise(t *testing.T) {
+	// With 20% random packet corruption the SN/NESN scheme must still
+	// deliver everything exactly once, in order.
+	s, m, nodes := newTestNet(6, 2, -2)
+	m.AddInterference(phy.RandomNoise{PER: 0.2})
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	var got []byte
+	sub.OnData = func(_ LLID, p []byte) { got = append(got, p[0]) }
+	for i := 0; i < 30; i++ {
+		if !coord.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+			t.Fatalf("Send %d rejected", i)
+		}
+	}
+	s.Run(s.Now() + 30*sim.Second)
+	if len(got) != 30 {
+		t.Fatalf("delivered %d/30 under noise", len(got))
+	}
+	for i, b := range got {
+		if b != byte(i) {
+			t.Fatalf("out of order or duplicated at %d: %d", i, b)
+		}
+	}
+	if coord.Stats().Retrans == 0 {
+		t.Fatal("expected retransmissions under 20% PER")
+	}
+}
+
+func TestSupervisionTimeoutOnDeadPeer(t *testing.T) {
+	s, _, nodes := newTestNet(7, 0, 0)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	var reason LossReason
+	lostAt := sim.Time(0)
+	nodes[1].ctrl.OnDisconnect = func(_ *Conn, r LossReason) { reason = r; lostAt = s.Now() }
+	// Subordinate dies silently (battery out): force-terminate without
+	// the TERMINATE_IND handshake.
+	s.After(sim.Second, func() { sub.forceDrop() })
+	killAt := s.Now() + sim.Second
+	s.Run(s.Now() + 10*sim.Second)
+	if lostAt == 0 {
+		t.Fatal("coordinator never noticed the dead peer")
+	}
+	if reason != LossSupervision {
+		t.Fatalf("loss reason = %v, want supervision-timeout", reason)
+	}
+	sup := coord.Params().Supervision
+	if lostAt < killAt+sup/2 || lostAt > killAt+sup+sim.Second {
+		t.Fatalf("supervision fired at %v after kill, timeout is %v", lostAt-killAt, sup)
+	}
+}
+
+func TestGracefulClose(t *testing.T) {
+	s, _, nodes := newTestNet(8, 0, 0)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	var subReason, coordReason LossReason
+	subLost, coordLost := false, false
+	nodes[0].ctrl.OnDisconnect = func(_ *Conn, r LossReason) { subReason = r; subLost = true }
+	nodes[1].ctrl.OnDisconnect = func(_ *Conn, r LossReason) { coordReason = r; coordLost = true }
+	s.After(sim.Second, coord.Close)
+	s.Run(s.Now() + 3*sim.Second)
+	if !subLost || !coordLost {
+		t.Fatalf("close not propagated: sub=%v coord=%v", subLost, coordLost)
+	}
+	if subReason != LossPeerTerminated {
+		t.Fatalf("subordinate reason = %v, want peer-terminated", subReason)
+	}
+	if coordReason != LossHostTerminated {
+		t.Fatalf("coordinator reason = %v, want host-terminated", coordReason)
+	}
+	if !sub.Closed() || !coord.Closed() {
+		t.Fatal("conns not marked closed")
+	}
+}
+
+func TestPoolExhaustionRejectsSend(t *testing.T) {
+	s, _, nodes := newTestNet(9, 0, 0)
+	_, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	// Pool is 6600 bytes; stuff it with 100-byte payloads while the
+	// radio can't drain them that fast.
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+			accepted++
+		}
+	}
+	if accepted >= 100 {
+		t.Fatal("pool never exhausted")
+	}
+	if accepted < 60 || accepted > 66 {
+		t.Fatalf("accepted %d 100-byte payloads into a 6600-byte pool", accepted)
+	}
+	if nodes[1].ctrl.Events().PoolExhausted == 0 {
+		t.Fatal("PoolExhausted counter not bumped")
+	}
+	// Draining the queue must free the pool again.
+	s.Run(s.Now() + 10*sim.Second)
+	if !coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+		t.Fatal("pool not freed after drain")
+	}
+}
+
+func TestConnectionParameterUpdate(t *testing.T) {
+	s, _, nodes := newTestNet(10, 2, -2)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	if err := sub.UpdateParams(100*sim.Millisecond, 0, 0); err == nil {
+		t.Fatal("subordinate-side update must be rejected")
+	}
+	if err := coord.UpdateParams(100*sim.Millisecond, 0, 2*sim.Second); err != nil {
+		t.Fatalf("UpdateParams: %v", err)
+	}
+	lost := false
+	nodes[0].ctrl.OnDisconnect = func(*Conn, LossReason) { lost = true }
+	nodes[1].ctrl.OnDisconnect = func(*Conn, LossReason) { lost = true }
+	s.Run(s.Now() + 10*sim.Second)
+	if lost {
+		t.Fatal("connection died across parameter update")
+	}
+	if coord.Interval() != 100*sim.Millisecond || sub.Interval() != 100*sim.Millisecond {
+		t.Fatalf("interval after update: coord=%v sub=%v", coord.Interval(), sub.Interval())
+	}
+	// Both sides must keep exchanging at the new cadence.
+	before := sub.Stats().EventsOK
+	s.Run(s.Now() + 5*sim.Second)
+	gained := sub.Stats().EventsOK - before
+	if gained < 40 || gained > 55 {
+		t.Fatalf("serviced %d events in 5s at 100ms interval, want ~50", gained)
+	}
+}
+
+func TestChannelMapUpdateExcludesChannel(t *testing.T) {
+	s, _, nodes := newTestNet(11, 1, -1)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	s.Run(s.Now() + 5*sim.Second)
+	if err := coord.UpdateChannelMap(AllDataChannels.WithoutChannel(22)); err != nil {
+		t.Fatalf("UpdateChannelMap: %v", err)
+	}
+	// Let the instant pass, then snapshot and verify channel 22 is dark.
+	s.Run(s.Now() + 2*sim.Second)
+	base := coord.Stats().ChannelTX[22]
+	s.Run(s.Now() + 20*sim.Second)
+	if coord.Stats().ChannelTX[22] != base {
+		t.Fatalf("coordinator still transmits on excluded channel 22")
+	}
+	if sub.Params().ChanMap.Used(22) {
+		t.Fatal("subordinate did not apply the channel map update")
+	}
+	lost := coord.Closed() || sub.Closed()
+	if lost {
+		t.Fatal("connection died across channel map update")
+	}
+}
+
+func TestSubordinateLatencySkipsEvents(t *testing.T) {
+	p := ConnParams{Interval: 75 * sim.Millisecond, Latency: 3, Supervision: 3 * sim.Second}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, _, nodes := newTestNet(12, 1, -1)
+	sub, _ := connectPair(t, s, nodes[0], nodes[1], p)
+	s.Run(s.Now() + 20*sim.Second)
+	st := sub.Stats()
+	attended := st.EventsOK + st.EventsEmpty + st.EventsSkipped
+	if st.EventsPlanned == 0 {
+		t.Fatal("no events planned")
+	}
+	ratio := float64(attended) / float64(st.EventsPlanned)
+	if ratio > 0.35 {
+		t.Fatalf("subordinate attended %.0f%% of events with latency 3, want ~25%%", ratio*100)
+	}
+	if sub.Closed() {
+		t.Fatal("connection with subordinate latency died")
+	}
+}
+
+func TestJammedChannelDegradesButDoesNotKill(t *testing.T) {
+	s, m, nodes := newTestNet(13, 2, -2)
+	m.AddInterference(phy.Jammer{Ch: 22})
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	delivered := 0
+	sub.OnData = func(_ LLID, _ []byte) { delivered++ }
+	for i := 0; i < 50; i++ {
+		i := i
+		s.After(sim.Duration(i)*200*sim.Millisecond, func() {
+			coord.Send(LLIDDataStart, []byte{byte(i)}, nil)
+		})
+	}
+	s.Run(s.Now() + 30*sim.Second)
+	if delivered != 50 {
+		t.Fatalf("delivered %d/50 with one jammed channel", delivered)
+	}
+	// 1/37 of events land on channel 22 and must fail there.
+	if coord.Stats().ChannelOK[22] != 0 {
+		t.Fatal("packets 'succeeded' on the jammed channel")
+	}
+}
+
+func TestStatsLLPDR(t *testing.T) {
+	st := ConnStats{TXPDUs: 100, Retrans: 5}
+	if pdr := st.LLPDR(); pdr != 0.95 {
+		t.Fatalf("LLPDR = %v, want 0.95", pdr)
+	}
+	empty := ConnStats{}
+	if empty.LLPDR() != 1 {
+		t.Fatal("empty stats should report PDR 1")
+	}
+}
+
+// forceDrop kills a connection endpoint silently — the test double for a
+// node losing power. (No TERMINATE_IND is sent; the peer must discover the
+// loss through its supervision timeout.)
+func (c *Conn) forceDrop() {
+	c.terminate(LossHostTerminated)
+}
+
+func TestConnectionWithCSA1(t *testing.T) {
+	// The CSA#1 path end-to-end: both endpoints must stay channel-
+	// synchronized across skipped events.
+	p := ConnParams{Interval: 50 * sim.Millisecond, CSA: 1}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s, _, nodes := newTestNet(30, 1, -1)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], p)
+	delivered := 0
+	sub.OnData = func(_ LLID, _ []byte) { delivered++ }
+	for i := 0; i < 10; i++ {
+		if !coord.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+			t.Fatal("send rejected")
+		}
+	}
+	s.Run(s.Now() + 10*sim.Second)
+	if delivered != 10 {
+		t.Fatalf("delivered %d/10 over a CSA#1 connection", delivered)
+	}
+	// The hop sequence must touch many channels.
+	st := coord.Stats()
+	used := 0
+	for ch := 0; ch < NumDataChannels; ch++ {
+		if st.ChannelTX[ch] > 0 {
+			used++
+		}
+	}
+	if used < 30 {
+		t.Fatalf("CSA#1 used only %d channels", used)
+	}
+}
+
+func TestAdvertisingStopsAfterHostRequest(t *testing.T) {
+	s, _, nodes := newTestNet(31, 0, 0)
+	a := nodes[0].ctrl
+	a.StartAdvertising(AdvParams{Interval: 50 * sim.Millisecond})
+	s.Run(s.Now() + sim.Second)
+	before := a.Events().AdvEvents
+	if before == 0 {
+		t.Fatal("no advertising events")
+	}
+	a.StopAdvertising()
+	s.Run(s.Now() + sim.Second)
+	after := a.Events().AdvEvents
+	// At most one in-flight event may finish after the stop request.
+	if after > before+1 {
+		t.Fatalf("advertising continued after stop: %d -> %d", before, after)
+	}
+	// Restarting works.
+	a.StartAdvertising(AdvParams{Interval: 50 * sim.Millisecond})
+	s.Run(s.Now() + sim.Second)
+	if a.Events().AdvEvents <= after {
+		t.Fatal("advertising did not restart")
+	}
+}
+
+func TestRequestParamsFromSubordinate(t *testing.T) {
+	s, _, nodes := newTestNet(32, 1, -1)
+	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
+	if err := coord.RequestParams(100 * sim.Millisecond); err == nil {
+		t.Fatal("coordinator-side RequestParams must be rejected")
+	}
+	// Accepting handler: the interval changes on both sides.
+	coord.OnParamRequest = func(iv sim.Duration) bool { return iv == 100*sim.Millisecond }
+	if err := sub.RequestParams(100 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(s.Now() + 5*sim.Second)
+	if coord.Interval() != 100*sim.Millisecond || sub.Interval() != 100*sim.Millisecond {
+		t.Fatalf("intervals after accepted request: %v / %v", coord.Interval(), sub.Interval())
+	}
+	// Rejecting handler: nothing changes, connection survives.
+	coord.OnParamRequest = func(sim.Duration) bool { return false }
+	if err := sub.RequestParams(200 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(s.Now() + 5*sim.Second)
+	if coord.Interval() != 100*sim.Millisecond {
+		t.Fatalf("rejected request changed the interval to %v", coord.Interval())
+	}
+	if coord.Closed() || sub.Closed() {
+		t.Fatal("connection died across a rejected parameter request")
+	}
+}

@@ -1,0 +1,595 @@
+package ble
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+// ControllerConfig parameterises one node's BLE controller.
+type ControllerConfig struct {
+	// Addr is the node's device address.
+	Addr DevAddr
+	// SCA is the node's declared sleep-clock accuracy in ppm (the value
+	// advertised to peers for window widening, not the actual drift).
+	SCA float64
+	// PoolBytes is the shared LL transmit buffer pool, NimBLE's msys
+	// pool; the paper's configuration uses 6600 bytes.
+	PoolBytes int
+	// Arbitration selects the radio scheduler policy.
+	Arbitration Arbitration
+	// DisableWindowWidening turns subordinate window widening off
+	// (ablation only — real controllers must implement it).
+	DisableWindowWidening bool
+	// ExchangeGap models host/controller processing time per data PDU
+	// exchanged: the extra delay before the coordinator starts the next
+	// exchange of the same connection event after data moved. Calibrated
+	// so a saturated single link sustains ≈500 kbps of LL payload, the
+	// figure the paper measures for RIOT+NimBLE on nRF52 (§5.2). Set to
+	// a negative value for an ideal controller (no gap).
+	ExchangeGap sim.Duration
+}
+
+// DefaultExchangeGap reproduces the paper's single-link throughput.
+const DefaultExchangeGap = 1500 * sim.Microsecond
+
+func (cfg *ControllerConfig) defaults() {
+	if cfg.SCA == 0 {
+		cfg.SCA = 50
+	}
+	if cfg.PoolBytes == 0 {
+		cfg.PoolBytes = 6600
+	}
+	if cfg.ExchangeGap == 0 {
+		cfg.ExchangeGap = DefaultExchangeGap
+	} else if cfg.ExchangeGap < 0 {
+		cfg.ExchangeGap = 0
+	}
+}
+
+// AdvParams configures advertising.
+type AdvParams struct {
+	// Interval is the advertising interval; the controller adds the
+	// specification's 0..10ms pseudo-random advDelay to each event.
+	Interval sim.Duration
+	// DataLen is the advertising payload size (flags + IPSS UUID etc.).
+	DataLen int
+}
+
+// ScanParams configures scanning/initiating.
+type ScanParams struct {
+	// Interval and Window control the scan duty cycle. The paper uses
+	// 100ms/100ms, i.e. continuous scanning whenever the radio is free.
+	Interval sim.Duration
+	Window   sim.Duration
+}
+
+// ControllerEvents counts controller-level occurrences for the experiment
+// harness and the energy model.
+type ControllerEvents struct {
+	ConnEvents    uint64 // connection events serviced as coordinator
+	ConnEventsSub uint64 // connection events serviced as subordinate
+	AdvEvents     uint64 // advertising events (3-channel sweeps)
+	ConnectsTX    uint64 // CONNECT_INDs transmitted
+	ConnsOpened   uint64
+	ConnsLost     uint64 // lost to supervision timeout
+	ConnsClosed   uint64 // terminated deliberately
+	PoolExhausted uint64 // Send rejected: LL buffer pool full
+	AdvReceived   uint64 // ADV_INDs seen while scanning
+}
+
+// pool is a byte-budget allocator modelling a fixed buffer pool.
+type pool struct {
+	capacity int
+	used     int
+	peak     int
+}
+
+func (p *pool) alloc(n int) bool {
+	if p.used+n > p.capacity {
+		return false
+	}
+	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return true
+}
+
+func (p *pool) free(n int) {
+	p.used -= n
+	if p.used < 0 {
+		panic("ble: pool underflow")
+	}
+}
+
+// ConnLossFunc notifies the host of a terminated connection.
+type ConnLossFunc func(c *Conn, reason LossReason)
+
+// ConnUpFunc notifies the host of a new connection.
+type ConnUpFunc func(c *Conn)
+
+// Controller is one node's BLE controller: the single radio, its scheduler,
+// the set of active connections, and the advertising/scanning machinery.
+type Controller struct {
+	s     *sim.Sim
+	clk   *sim.Clock
+	radio *phy.Radio
+	cfg   ControllerConfig
+	addr  DevAddr
+	sched *Scheduler
+	pool  pool
+	rng   *rand.Rand
+
+	conns   map[int]*Conn
+	handles int
+
+	// Advertising state.
+	advOn     bool
+	advParams AdvParams
+	advAct    *Activity
+	advWake   *sim.Event
+	advNext   sim.Time
+	advStop   bool // mid-event stop request
+
+	// Scanning / initiating state.
+	scanOn      bool
+	scanParams  ScanParams
+	scanTargets map[DevAddr]ConnParams
+	scanCh      phy.Channel
+	scanRotate  *sim.Event
+	connecting  bool
+
+	// Receive dispatch: whoever currently listens installs its handler.
+	rxHandler      phy.Receiver
+	carrierHandler phy.CarrierFunc
+
+	events ControllerEvents
+
+	// OnConnect fires when a connection is established (either role).
+	OnConnect ConnUpFunc
+	// OnDisconnect fires when a connection ends for any reason.
+	OnDisconnect ConnLossFunc
+}
+
+// NewController creates a controller bound to a radio and a local clock.
+func NewController(s *sim.Sim, clk *sim.Clock, radio *phy.Radio, cfg ControllerConfig) *Controller {
+	cfg.defaults()
+	ctrl := &Controller{
+		s:     s,
+		clk:   clk,
+		radio: radio,
+		cfg:   cfg,
+		addr:  cfg.Addr,
+		sched: NewScheduler(s, cfg.Arbitration),
+		pool:  pool{capacity: cfg.PoolBytes},
+		rng:   s.Rand(),
+		conns: make(map[int]*Conn),
+	}
+	radio.SetReceiver(ctrl.dispatchRx)
+	radio.SetCarrier(ctrl.dispatchCarrier)
+	return ctrl
+}
+
+// Addr returns the controller's device address.
+func (ctrl *Controller) Addr() DevAddr { return ctrl.addr }
+
+// Events returns a copy of the controller counters.
+func (ctrl *Controller) Events() ControllerEvents { return ctrl.events }
+
+// Scheduler exposes the radio scheduler (read-mostly: stats, arbitration).
+func (ctrl *Controller) Scheduler() *Scheduler { return ctrl.sched }
+
+// PoolUsed returns current and peak LL pool occupancy in bytes.
+func (ctrl *Controller) PoolUsed() (used, peak int) { return ctrl.pool.used, ctrl.pool.peak }
+
+// Conns returns the active connections.
+func (ctrl *Controller) Conns() []*Conn {
+	out := make([]*Conn, 0, len(ctrl.conns))
+	for _, c := range ctrl.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// FindConn returns the connection to peer, or nil.
+func (ctrl *Controller) FindConn(peer DevAddr) *Conn {
+	for _, c := range ctrl.conns {
+		if c.peer == peer {
+			return c
+		}
+	}
+	return nil
+}
+
+func (ctrl *Controller) sim() *sim.Sim { return ctrl.s }
+
+// Clock returns the node's local clock.
+func (ctrl *Controller) Clock() *sim.Clock { return ctrl.clk }
+
+func (ctrl *Controller) nextHandle() int {
+	ctrl.handles++
+	return ctrl.handles
+}
+
+func (ctrl *Controller) setRx(rx phy.Receiver, carrier phy.CarrierFunc) {
+	ctrl.rxHandler = rx
+	ctrl.carrierHandler = carrier
+}
+
+func (ctrl *Controller) clearRx() {
+	ctrl.rxHandler = nil
+	ctrl.carrierHandler = nil
+}
+
+func (ctrl *Controller) dispatchRx(pkt phy.Packet, ch phy.Channel, ok bool) {
+	if ctrl.rxHandler != nil {
+		ctrl.rxHandler(pkt, ch, ok)
+	}
+}
+
+func (ctrl *Controller) dispatchCarrier(ch phy.Channel, end sim.Time) {
+	if ctrl.carrierHandler != nil {
+		ctrl.carrierHandler(ch, end)
+	}
+}
+
+func (ctrl *Controller) removeConn(c *Conn, reason LossReason) {
+	if _, live := ctrl.conns[c.handle]; !live {
+		return
+	}
+	delete(ctrl.conns, c.handle)
+	ctrl.sched.Unregister(c.act)
+	if reason == LossSupervision {
+		ctrl.events.ConnsLost++
+	} else {
+		ctrl.events.ConnsClosed++
+	}
+	if ctrl.OnDisconnect != nil {
+		ctrl.OnDisconnect(c, reason)
+	}
+}
+
+// ---- Advertising ---------------------------------------------------------
+
+// StartAdvertising begins periodic connectable advertising (ADV_IND sweeps
+// over channels 37/38/39) until a CONNECT_IND arrives or the host stops it.
+func (ctrl *Controller) StartAdvertising(p AdvParams) {
+	if p.Interval <= 0 {
+		p.Interval = 100 * sim.Millisecond
+	}
+	if ctrl.advOn {
+		ctrl.advParams = p
+		return
+	}
+	ctrl.advOn = true
+	ctrl.advStop = false
+	ctrl.advParams = p
+	ctrl.advAct = &Activity{
+		Name:       "adv",
+		NextAnchor: func() sim.Time { return ctrl.advNext },
+		OnPreempt:  ctrl.advPreempted,
+	}
+	ctrl.sched.Register(ctrl.advAct)
+	ctrl.scheduleAdvEvent(ctrl.clk.ToSim(sim.Duration(ctrl.rng.Int63n(int64(p.Interval)))))
+}
+
+// StopAdvertising stops advertising after the current event, if any.
+func (ctrl *Controller) StopAdvertising() {
+	if !ctrl.advOn {
+		return
+	}
+	ctrl.advOn = false
+	ctrl.advStop = true
+	if ctrl.advWake != nil {
+		ctrl.s.Cancel(ctrl.advWake)
+		ctrl.advWake = nil
+	}
+	if ctrl.advAct != nil && !ctrl.sched.Owns(ctrl.advAct) {
+		ctrl.sched.Unregister(ctrl.advAct)
+		ctrl.advAct = nil
+	}
+}
+
+func (ctrl *Controller) scheduleAdvEvent(delay sim.Duration) {
+	// advDelay: 0..10ms pseudo-random per the specification.
+	jitter := sim.Duration(ctrl.rng.Int63n(int64(10 * sim.Millisecond)))
+	d := delay + ctrl.clk.ToSim(jitter)
+	ctrl.advNext = ctrl.s.Now() + d
+	ctrl.advWake = ctrl.s.After(d, ctrl.advEvent)
+}
+
+// advEvent performs one advertising event: ADV_IND on 37, 38, 39, listening
+// after each PDU for a CONNECT_IND.
+func (ctrl *Controller) advEvent() {
+	ctrl.advWake = nil
+	if !ctrl.advOn {
+		return
+	}
+	// An advertising event occupies the radio for three PDUs plus listen
+	// gaps — bounded well under 10ms.
+	maxEnd := ctrl.s.Now() + 10*sim.Millisecond
+	if _, ok := ctrl.sched.Acquire(ctrl.advAct, maxEnd); !ok {
+		// Radio busy (e.g. a connection event): skip this round.
+		ctrl.scheduleAdvEvent(ctrl.clk.ToSim(ctrl.advParams.Interval))
+		return
+	}
+	ctrl.events.AdvEvents++
+	ctrl.advChannelStep(phy.AdvChannel37)
+}
+
+// advChannelStep transmits ADV_IND on ch and listens briefly for CONNECT_IND.
+func (ctrl *Controller) advChannelStep(ch phy.Channel) {
+	if ctrl.advStop {
+		ctrl.finishAdvEvent(false)
+		return
+	}
+	pdu := &AdvPDU{Type: PDUAdvInd, Adv: ctrl.addr, DataLen: ctrl.advParams.DataLen}
+	air := pdu.AdvAirtime()
+	ctrl.radio.Transmit(ch, phy.Packet{Bits: int(air / ByteTime * 8), Payload: pdu}, air, func() {
+		if !ctrl.sched.Owns(ctrl.advAct) {
+			return // preempted mid-event
+		}
+		// Listen one IFS + CONNECT_IND airtime for an initiator.
+		ctrl.radio.StartListen(ch)
+		deadline := ctrl.s.Now() + IFS + CarrierMargin
+		var timeout *sim.Event
+		ctrl.setRx(func(pkt phy.Packet, _ phy.Channel, ok bool) {
+			ci, is := pkt.Payload.(*AdvPDU)
+			if !ok || !is || ci.Type != PDUConnectInd || ci.Adv != ctrl.addr {
+				return
+			}
+			ctrl.s.Cancel(timeout)
+			ctrl.radio.StopListen()
+			ctrl.clearRx()
+			// The advertising event ends here: hand the radio back
+			// before the connection starts scheduling its events.
+			ctrl.sched.Release(ctrl.advAct)
+			ctrl.acceptConnection(ci)
+		}, func(_ phy.Channel, end sim.Time) {
+			ctrl.s.Cancel(timeout)
+			timeout = ctrl.s.At(end+sim.Microsecond, func() { ctrl.advStepDone(ch) })
+		})
+		timeout = ctrl.s.At(deadline, func() { ctrl.advStepDone(ch) })
+	})
+}
+
+// advPreempted stops the in-progress advertising event when another
+// activity takes the radio (alternate arbitration only).
+func (ctrl *Controller) advPreempted() {
+	switch ctrl.radio.State() {
+	case phy.RadioRX:
+		ctrl.radio.StopListen()
+	case phy.RadioTX:
+		ctrl.radio.AbortTX()
+	}
+	ctrl.clearRx()
+	if ctrl.advOn {
+		ctrl.scheduleAdvEvent(ctrl.clk.ToSim(ctrl.advParams.Interval))
+	}
+}
+
+func (ctrl *Controller) advStepDone(ch phy.Channel) {
+	if !ctrl.sched.Owns(ctrl.advAct) {
+		return // preempted mid-event
+	}
+	ctrl.radio.StopListen()
+	ctrl.clearRx()
+	switch ch {
+	case phy.AdvChannel37:
+		ctrl.advChannelStep(phy.AdvChannel38)
+	case phy.AdvChannel38:
+		ctrl.advChannelStep(phy.AdvChannel39)
+	default:
+		ctrl.finishAdvEvent(true)
+	}
+}
+
+func (ctrl *Controller) finishAdvEvent(reschedule bool) {
+	ctrl.sched.Release(ctrl.advAct)
+	if ctrl.advStop || !ctrl.advOn {
+		if ctrl.advAct != nil {
+			ctrl.sched.Unregister(ctrl.advAct)
+			ctrl.advAct = nil
+		}
+		return
+	}
+	if reschedule {
+		ctrl.scheduleAdvEvent(ctrl.clk.ToSim(ctrl.advParams.Interval))
+	}
+}
+
+// acceptConnection creates the subordinate endpoint from a CONNECT_IND.
+func (ctrl *Controller) acceptConnection(ci *AdvPDU) {
+	ctrl.StopAdvertising()
+	anchor0 := ctrl.s.Now() + TransmitWindowDelay + ci.WinOffset
+	c := newConn(ctrl, Subordinate, ci.Init, ci.Params, accessFromAddrs(ci.Init, ci.Adv), ci.Hop, anchor0)
+	ctrl.conns[c.handle] = c
+	ctrl.events.ConnsOpened++
+	if ctrl.OnConnect != nil {
+		ctrl.OnConnect(c)
+	}
+}
+
+// ---- Scanning / initiating -------------------------------------------------
+
+// Connect registers peer as a connection target: the controller scans for
+// its advertisements and initiates with the given parameters. Multiple
+// targets may be pending; each is connected as its ADV_IND is heard.
+func (ctrl *Controller) Connect(peer DevAddr, params ConnParams) error {
+	if err := params.Validate(); err != nil {
+		return err
+	}
+	params.CoordSCA = ctrl.cfg.SCA
+	if ctrl.scanTargets == nil {
+		ctrl.scanTargets = make(map[DevAddr]ConnParams)
+	}
+	ctrl.scanTargets[peer] = params
+	ctrl.ensureScanning()
+	return nil
+}
+
+// CancelConnect removes a pending connection target.
+func (ctrl *Controller) CancelConnect(peer DevAddr) {
+	delete(ctrl.scanTargets, peer)
+	if len(ctrl.scanTargets) == 0 {
+		ctrl.stopScanning()
+	}
+}
+
+// SetScanParams configures the scan duty cycle (before or while scanning).
+func (ctrl *Controller) SetScanParams(p ScanParams) {
+	if p.Interval <= 0 {
+		p.Interval = 100 * sim.Millisecond
+	}
+	if p.Window <= 0 || p.Window > p.Interval {
+		p.Window = p.Interval
+	}
+	ctrl.scanParams = p
+}
+
+func (ctrl *Controller) ensureScanning() {
+	if ctrl.scanOn || len(ctrl.scanTargets) == 0 {
+		return
+	}
+	if ctrl.scanParams.Interval == 0 {
+		ctrl.SetScanParams(ScanParams{})
+	}
+	ctrl.scanOn = true
+	ctrl.scanCh = phy.AdvChannel37
+	ctrl.sched.SetFiller(ctrl.scanResume, ctrl.scanPause)
+	ctrl.scanRotate = ctrl.s.After(ctrl.clk.ToSim(ctrl.scanParams.Interval), ctrl.rotateScanChannel)
+}
+
+func (ctrl *Controller) stopScanning() {
+	if !ctrl.scanOn {
+		return
+	}
+	ctrl.scanOn = false
+	ctrl.sched.ClearFiller()
+	if ctrl.scanRotate != nil {
+		ctrl.s.Cancel(ctrl.scanRotate)
+		ctrl.scanRotate = nil
+	}
+}
+
+func (ctrl *Controller) rotateScanChannel() {
+	if !ctrl.scanOn {
+		return
+	}
+	switch ctrl.scanCh {
+	case phy.AdvChannel37:
+		ctrl.scanCh = phy.AdvChannel38
+	case phy.AdvChannel38:
+		ctrl.scanCh = phy.AdvChannel39
+	default:
+		ctrl.scanCh = phy.AdvChannel37
+	}
+	if ctrl.radio.State() == phy.RadioRX && !ctrl.connecting {
+		ctrl.radio.StartListen(ctrl.scanCh)
+	}
+	ctrl.scanRotate = ctrl.s.After(ctrl.clk.ToSim(ctrl.scanParams.Interval), ctrl.rotateScanChannel)
+}
+
+// scanResume is the scheduler filler start hook: listen on the current
+// advertising channel whenever the radio is otherwise idle.
+func (ctrl *Controller) scanResume() {
+	if !ctrl.scanOn || ctrl.connecting {
+		return
+	}
+	if ctrl.radio.State() == phy.RadioTX {
+		// A packet of a dying activity is still in flight; scanning
+		// resumes at the next radio hand-back.
+		return
+	}
+	ctrl.radio.StartListen(ctrl.scanCh)
+	ctrl.setRx(ctrl.scanRx, nil)
+}
+
+// scanPause is the scheduler filler stop hook.
+func (ctrl *Controller) scanPause() {
+	if ctrl.connecting {
+		return
+	}
+	if ctrl.radio.State() == phy.RadioRX {
+		ctrl.radio.StopListen()
+	}
+	ctrl.clearRx()
+}
+
+// scanRx reacts to advertisements from pending targets by initiating.
+func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
+	adv, is := pkt.Payload.(*AdvPDU)
+	if !ok || !is || adv.Type != PDUAdvInd {
+		return
+	}
+	ctrl.events.AdvReceived++
+	params, want := ctrl.scanTargets[adv.Adv]
+	if !want || ctrl.connecting {
+		return
+	}
+	// Acquire the radio as a real activity for the CONNECT_IND exchange.
+	initAct := &Activity{Name: "initiate"}
+	if _, granted := ctrl.sched.Acquire(initAct, ctrl.s.Now()+5*sim.Millisecond); !granted {
+		return
+	}
+	ctrl.connecting = true
+	// Window offset randomises where the first connection event lands —
+	// from the subordinate's perspective the relative timing against its
+	// other connections is arbitrary (§2.3 of the paper).
+	units := int64(params.Interval / ConnIntervalUnit)
+	winOffset := sim.Duration(ctrl.rng.Int63n(units)) * ConnIntervalUnit
+	ci := &AdvPDU{
+		Type:      PDUConnectInd,
+		Adv:       adv.Adv,
+		Init:      ctrl.addr,
+		Params:    params,
+		WinOffset: winOffset,
+		Hop:       RandomHopIncrement(ctrl.rng),
+	}
+	air := ci.AdvAirtime()
+	ctrl.s.After(IFS, func() {
+		ctrl.radio.Transmit(ch, phy.Packet{Bits: int(air / ByteTime * 8), Payload: ci}, air, func() {
+			ctrl.events.ConnectsTX++
+			ctrl.connecting = false
+			ctrl.sched.Release(initAct)
+			delete(ctrl.scanTargets, adv.Adv)
+			if len(ctrl.scanTargets) == 0 {
+				ctrl.stopScanning()
+			}
+			anchor0 := ctrl.s.Now() + TransmitWindowDelay + winOffset
+			c := newConn(ctrl, Coordinator, adv.Adv, params,
+				accessFromAddrs(ctrl.addr, adv.Adv), ci.Hop, anchor0)
+			ctrl.conns[c.handle] = c
+			ctrl.events.ConnsOpened++
+			if ctrl.OnConnect != nil {
+				ctrl.OnConnect(c)
+			}
+		})
+	})
+}
+
+// accessFromAddrs derives a deterministic 32-bit access address for a
+// connection between two devices. Real controllers draw it randomly; a
+// deterministic hash keeps runs reproducible while seeding CSA#2 uniquely
+// per pair.
+func accessFromAddrs(a, b DevAddr) uint32 {
+	h := uint64(0x9E3779B97F4A7C15)
+	h ^= uint64(a)
+	h *= 0xBF58476D1CE4E5B9
+	h ^= uint64(b)
+	h *= 0x94D049BB133111EB
+	return uint32(h ^ h>>32)
+}
+
+// String identifies the controller in diagnostics.
+func (ctrl *Controller) String() string {
+	return fmt.Sprintf("ctrl(%s conns=%d)", ctrl.addr, len(ctrl.conns))
+}
+
+// PoolFree returns the bytes currently available in the LL buffer pool.
+// Upper layers use it to avoid enqueueing a multi-fragment PDU that could
+// only partially fit.
+func (ctrl *Controller) PoolFree() int { return ctrl.pool.capacity - ctrl.pool.used }

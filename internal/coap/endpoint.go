@@ -1,0 +1,251 @@
+package coap
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blemesh/internal/ip6"
+	"blemesh/internal/sim"
+)
+
+// Transmission parameters (RFC 7252 §4.8).
+const (
+	// AckTimeout is the initial confirmable retransmission timeout.
+	AckTimeout = 2 * sim.Second
+	// AckRandomFactorNum/Den express the 1.5 randomisation factor.
+	AckRandomFactorNum = 3
+	AckRandomFactorDen = 2
+	// MaxRetransmit bounds confirmable retransmissions.
+	MaxRetransmit = 4
+	// ResponseTimeout is how long a pending exchange (CON or NON) waits
+	// for its response before the endpoint reports it lost. The paper's
+	// RTT CDFs extend to tens of seconds under load, so this is generous.
+	ResponseTimeout = 120 * sim.Second
+)
+
+// Stats counts endpoint-level events; the experiment harness derives the
+// CoAP PDR from RequestsSent and ResponsesMatched.
+type Stats struct {
+	RequestsSent     uint64
+	Retransmissions  uint64
+	ResponsesMatched uint64
+	Timeouts         uint64
+	RequestsServed   uint64
+	Duplicates       uint64
+	SendErrors       uint64
+	Unmatched        uint64
+}
+
+// Handler produces a response for an incoming request. Returning nil means
+// no response (the request is silently absorbed).
+type Handler func(from ip6.Addr, req *Message) *Message
+
+// ResponseFunc receives the matched response for a request, or nil when the
+// exchange timed out (CON retransmissions exhausted or response lost).
+type ResponseFunc func(resp *Message, rtt sim.Duration)
+
+// pendingReq is one outstanding request exchange.
+type pendingReq struct {
+	dst      ip6.Addr
+	msg      *Message
+	cb       ResponseFunc
+	sentAt   sim.Time
+	retries  int
+	retryEvt *sim.Event
+	expire   *sim.Event
+}
+
+// Endpoint is a CoAP client+server bound to one UDP port of a node's stack.
+type Endpoint struct {
+	s    *sim.Sim
+	st   *ip6.Stack
+	port uint16
+
+	mid     uint16
+	tokSeq  uint64
+	pending map[string]*pendingReq // by token
+
+	// dedup of recently seen (peer, MID) pairs for CON handling.
+	seen    map[string]sim.Time
+	stats   Stats
+	Handler Handler
+}
+
+// NewEndpoint binds a CoAP endpoint to the stack's CoAP port.
+func NewEndpoint(s *sim.Sim, st *ip6.Stack, port uint16) *Endpoint {
+	if port == 0 {
+		port = DefaultPort
+	}
+	ep := &Endpoint{
+		s:       s,
+		st:      st,
+		port:    port,
+		pending: make(map[string]*pendingReq),
+		seen:    make(map[string]sim.Time),
+	}
+	ep.mid = uint16(s.Rand().Intn(1 << 16))
+	st.ListenUDP(port, ep.onUDP)
+	return ep
+}
+
+// Stats returns a copy of the endpoint counters.
+func (ep *Endpoint) Stats() Stats { return ep.stats }
+
+// NewMessageID returns the next message ID.
+func (ep *Endpoint) NewMessageID() uint16 {
+	ep.mid++
+	return ep.mid
+}
+
+// newToken mints a unique 2-byte token (the paper's 100-byte IP packets
+// imply short tokens).
+func (ep *Endpoint) newToken() []byte {
+	ep.tokSeq++
+	tok := make([]byte, 2)
+	binary.BigEndian.PutUint16(tok, uint16(ep.tokSeq))
+	return tok
+}
+
+// Request sends a request to dst and invokes cb with the matched response.
+// Confirmable requests are retransmitted per RFC 7252; non-confirmable
+// requests are sent once. The message is assigned a fresh MID and token.
+func (ep *Endpoint) Request(dst ip6.Addr, m *Message, cb ResponseFunc) error {
+	m.MessageID = ep.NewMessageID()
+	m.Token = ep.newToken()
+	pr := &pendingReq{dst: dst, msg: m, cb: cb, sentAt: ep.s.Now()}
+	key := string(m.Token)
+	ep.pending[key] = pr
+	if err := ep.send(dst, m); err != nil {
+		delete(ep.pending, key)
+		ep.stats.SendErrors++
+		return err
+	}
+	ep.stats.RequestsSent++
+	if m.Type == CON {
+		ep.armRetry(pr, ep.initialTimeout())
+	}
+	pr.expire = ep.s.After(ResponseTimeout, func() {
+		ep.abort(pr, key)
+	})
+	return nil
+}
+
+func (ep *Endpoint) initialTimeout() sim.Duration {
+	span := AckTimeout*AckRandomFactorNum/AckRandomFactorDen - AckTimeout
+	return AckTimeout + sim.Duration(ep.s.Rand().Int63n(int64(span)+1))
+}
+
+func (ep *Endpoint) armRetry(pr *pendingReq, timeout sim.Duration) {
+	pr.retryEvt = ep.s.After(timeout, func() {
+		if pr.retries >= MaxRetransmit {
+			ep.abort(pr, string(pr.msg.Token))
+			return
+		}
+		pr.retries++
+		ep.stats.Retransmissions++
+		if err := ep.send(pr.dst, pr.msg); err != nil {
+			ep.stats.SendErrors++
+		}
+		ep.armRetry(pr, timeout*2)
+	})
+}
+
+func (ep *Endpoint) abort(pr *pendingReq, key string) {
+	if _, live := ep.pending[key]; !live {
+		return
+	}
+	delete(ep.pending, key)
+	if pr.retryEvt != nil {
+		ep.s.Cancel(pr.retryEvt)
+	}
+	if pr.expire != nil {
+		ep.s.Cancel(pr.expire)
+	}
+	ep.stats.Timeouts++
+	if pr.cb != nil {
+		pr.cb(nil, 0)
+	}
+}
+
+// send encodes and emits a message over UDP.
+func (ep *Endpoint) send(dst ip6.Addr, m *Message) error {
+	b, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return ep.st.SendUDP(dst, ep.port, ep.port, b)
+}
+
+// onUDP dispatches incoming CoAP traffic.
+func (ep *Endpoint) onUDP(src ip6.Addr, srcPort uint16, data []byte) {
+	m, err := Decode(data)
+	if err != nil {
+		return
+	}
+	if m.Code.IsRequest() {
+		ep.handleRequest(src, srcPort, m)
+		return
+	}
+	// Response (or empty ACK): match by token.
+	pr, ok := ep.pending[string(m.Token)]
+	if !ok {
+		ep.stats.Unmatched++
+		return
+	}
+	delete(ep.pending, string(m.Token))
+	if pr.retryEvt != nil {
+		ep.s.Cancel(pr.retryEvt)
+	}
+	if pr.expire != nil {
+		ep.s.Cancel(pr.expire)
+	}
+	ep.stats.ResponsesMatched++
+	if pr.cb != nil {
+		pr.cb(m, ep.s.Now()-pr.sentAt)
+	}
+}
+
+// handleRequest runs the handler and sends its response. Confirmable
+// requests are deduplicated by (peer, MID) and acknowledged; the response
+// piggybacks on the ACK as RFC 7252 §5.2.1 describes. Non-confirmable
+// requests get a response of the handler's chosen type (the paper's
+// consumer answers NON GETs with ACK-coded responses).
+func (ep *Endpoint) handleRequest(src ip6.Addr, srcPort uint16, req *Message) {
+	key := fmt.Sprintf("%v|%d", src, req.MessageID)
+	if at, dup := ep.seen[key]; dup && ep.s.Now()-at < 60*sim.Second {
+		ep.stats.Duplicates++
+		return
+	}
+	ep.seen[key] = ep.s.Now()
+	ep.gcSeen()
+	ep.stats.RequestsServed++
+	if ep.Handler == nil {
+		return
+	}
+	resp := ep.Handler(src, req)
+	if resp == nil {
+		return
+	}
+	resp.Token = req.Token
+	if req.Type == CON || resp.Type == ACK {
+		// Piggybacked response: same MID, type ACK.
+		resp.Type = ACK
+		resp.MessageID = req.MessageID
+	} else {
+		resp.MessageID = ep.NewMessageID()
+	}
+	_ = ep.send(src, resp)
+}
+
+// gcSeen bounds the dedup cache.
+func (ep *Endpoint) gcSeen() {
+	if len(ep.seen) < 4096 {
+		return
+	}
+	cutoff := ep.s.Now() - 60*sim.Second
+	for k, at := range ep.seen {
+		if at < cutoff {
+			delete(ep.seen, k)
+		}
+	}
+}

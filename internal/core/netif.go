@@ -1,0 +1,219 @@
+// Package core is the platform glue — the equivalent of the paper's
+// nimble_netif module (§3): it exposes BLE L2CAP connection-oriented
+// channels as a 6LoWPAN link layer to the IP stack, forwarding IP packets
+// between the stack and the per-neighbor IPSP channels, with IPHC
+// compression on the wire and GNRC-pktbuf-accounted interface queues.
+//
+// The package also assembles complete nodes (radio, clock, controller,
+// statconn manager, netif, IP stack, CoAP endpoint) and provides the
+// analytic connection-shading model of §6.2.
+package core
+
+import (
+	"fmt"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/gatt"
+	"blemesh/internal/ip6"
+	"blemesh/internal/l2cap"
+	"blemesh/internal/sim"
+	"blemesh/internal/sixlo"
+)
+
+// NetIfStats counts adapter-level events.
+type NetIfStats struct {
+	TXPackets     uint64 // IPv6 packets handed to L2CAP
+	RXPackets     uint64 // IPv6 packets delivered to the stack
+	QueueDrops    uint64 // pktbuf full: packet rejected
+	LinkDrops     uint64 // queue flushed because the link died
+	IPSSRefused   uint64 // peers whose GATT database lacked the IPSS
+	CompressErr   uint64
+	DecompressErr uint64
+}
+
+// link is the per-neighbor state: one BLE connection, its L2CAP endpoint,
+// the ATT mux with the IPSS database, and the IPSP channel once open.
+type link struct {
+	conn    *ble.Conn
+	ep      *l2cap.Endpoint
+	att     *gatt.ATT
+	ch      *l2cap.Channel
+	queue   [][]byte // compressed frames awaiting the channel, pktbuf-charged
+	peerMAC uint64
+}
+
+// NetIf adapts BLE+L2CAP to the ip6.NetIf interface.
+type NetIf struct {
+	s      *sim.Sim
+	stack  *ip6.Stack
+	mac    uint64
+	ctxs   []sixlo.Context
+	links  map[uint64]*link
+	gattDB *gatt.Server
+	stats  NetIfStats
+}
+
+// NewNetIf creates the adapter and attaches it to the stack.
+func NewNetIf(s *sim.Sim, stack *ip6.Stack) *NetIf {
+	n := &NetIf{
+		s:      s,
+		stack:  stack,
+		mac:    stack.MAC(),
+		ctxs:   sixlo.DefaultContexts,
+		links:  make(map[uint64]*link),
+		gattDB: gatt.NewServer(gatt.UUIDIPSS),
+	}
+	stack.AddInterface(n)
+	return n
+}
+
+// Stats returns a copy of the adapter counters.
+func (n *NetIf) Stats() NetIfStats { return n.stats }
+
+// MTU implements ip6.NetIf (RFC 7668 requires 1280).
+func (n *NetIf) MTU() int { return 1280 }
+
+// HasNeighbor implements ip6.NetIf.
+func (n *NetIf) HasNeighbor(mac uint64) bool {
+	_, ok := n.links[mac]
+	return ok
+}
+
+// Links returns the neighbor MACs with active BLE connections.
+func (n *NetIf) Links() []uint64 {
+	out := make([]uint64, 0, len(n.links))
+	for mac := range n.links {
+		out = append(out, mac)
+	}
+	return out
+}
+
+// AddLink wires a fresh BLE connection into the adapter: an L2CAP endpoint
+// and the ATT/IPSS database are created; the coordinator side first checks
+// the peer's IP capability via GATT service discovery (as the Internet
+// Protocol Support Profile prescribes) and then dials the IPSP channel.
+func (n *NetIf) AddLink(conn *ble.Conn) {
+	peerMAC := uint64(conn.Peer())
+	l := &link{conn: conn, peerMAC: peerMAC}
+	l.ep = l2cap.NewEndpoint(n.s, conn)
+	l.ep.RegisterServer(l2cap.PSMIPSP, l2cap.Config{})
+	l.ep.OnChannelOpen = func(ch *l2cap.Channel) { n.channelUp(l, ch) }
+	l.att = gatt.NewATT(n.s, l.ep, n.gattDB)
+	if conn.Role() == ble.Coordinator {
+		_ = l.att.SupportsIPSS(func(ok bool, err error) {
+			if err != nil || !ok {
+				n.stats.IPSSRefused++
+				return
+			}
+			l.ep.Dial(l2cap.PSMIPSP, l2cap.Config{}, func(ch *l2cap.Channel, err error) {
+				if err == nil {
+					n.channelUp(l, ch)
+				}
+			})
+		})
+	}
+	n.links[peerMAC] = l
+}
+
+// RemoveLink tears the adapter state for a dead BLE connection down,
+// flushing its queue.
+func (n *NetIf) RemoveLink(conn *ble.Conn) {
+	peerMAC := uint64(conn.Peer())
+	l, ok := n.links[peerMAC]
+	if !ok || l.conn != conn {
+		return
+	}
+	delete(n.links, peerMAC)
+	l.ep.Teardown()
+	for _, f := range l.queue {
+		n.stack.Pktbuf.Free(len(f))
+		n.stats.LinkDrops++
+	}
+	l.queue = nil
+}
+
+// channelUp installs the IPSP channel on a link and starts draining.
+func (n *NetIf) channelUp(l *link, ch *l2cap.Channel) {
+	l.ch = ch
+	ch.OnSDU = func(sdu []byte) { n.input(l, sdu) }
+	ch.OnWritable = func() { n.drain(l) }
+	n.drain(l)
+}
+
+// Output implements ip6.NetIf: compress, charge the pktbuf, queue, drain.
+func (n *NetIf) Output(mac uint64, pkt []byte) bool {
+	l, ok := n.links[mac]
+	if !ok {
+		return false
+	}
+	frame, err := sixlo.Compress(pkt, n.mac, mac, n.ctxs)
+	if err != nil {
+		n.stats.CompressErr++
+		return false
+	}
+	if !n.stack.Pktbuf.Alloc(len(frame)) {
+		// GNRC pktbuf exhausted: this is the §5.2 loss process.
+		n.stats.QueueDrops++
+		return false
+	}
+	l.queue = append(l.queue, frame)
+	n.drain(l)
+	return true
+}
+
+// drain pushes queued frames into the IPSP channel while it accepts them.
+func (n *NetIf) drain(l *link) {
+	for len(l.queue) > 0 && l.ch != nil && l.ch.Writable() {
+		frame := l.queue[0]
+		l.queue = l.queue[1:]
+		size := len(frame)
+		err := l.ch.SendSDU(frame, func() {
+			n.stack.Pktbuf.Free(size)
+		})
+		if err != nil {
+			n.stack.Pktbuf.Free(size)
+			n.stats.LinkDrops++
+			continue
+		}
+		n.stats.TXPackets++
+	}
+}
+
+// input decompresses a received frame and hands it to the IP stack.
+func (n *NetIf) input(l *link, sdu []byte) {
+	pkt, err := sixlo.Decompress(sdu, l.peerMAC, n.mac, n.ctxs)
+	if err != nil {
+		n.stats.DecompressErr++
+		return
+	}
+	n.stats.RXPackets++
+	n.stack.Input(pkt)
+}
+
+// QueueDepth returns the number of frames queued toward a neighbor.
+func (n *NetIf) QueueDepth(mac uint64) int {
+	if l, ok := n.links[mac]; ok {
+		return len(l.queue)
+	}
+	return 0
+}
+
+func (n *NetIf) String() string {
+	return fmt.Sprintf("ble-netif(%012x links=%d)", n.mac, len(n.links))
+}
+
+// Channel returns the IPSP channel toward a neighbor, or nil (diagnostics).
+func (n *NetIf) Channel(mac uint64) *l2cap.Channel {
+	if l, ok := n.links[mac]; ok {
+		return l.ch
+	}
+	return nil
+}
+
+// Endpoint returns the L2CAP endpoint toward a neighbor, or nil.
+func (n *NetIf) Endpoint(mac uint64) *l2cap.Endpoint {
+	if l, ok := n.links[mac]; ok {
+		return l.ep
+	}
+	return nil
+}

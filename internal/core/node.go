@@ -1,0 +1,119 @@
+package core
+
+import (
+	"blemesh/internal/ble"
+	"blemesh/internal/coap"
+	"blemesh/internal/ip6"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+	"blemesh/internal/statconn"
+	"blemesh/internal/trace"
+)
+
+// NodeConfig assembles one complete IPv6-over-BLE node.
+type NodeConfig struct {
+	// Name labels the node in reports ("nrf52dk-1").
+	Name string
+	// MAC is the 48-bit device address; it seeds the BLE DevAddr and the
+	// IPv6 IIDs.
+	MAC uint64
+	// ClockPPM is the node's actual sleep-clock frequency error.
+	ClockPPM float64
+	// SCA is the declared sleep-clock accuracy (must bound ClockPPM).
+	SCA float64
+	// Statconn configures the connection manager (intervals, policy).
+	Statconn statconn.Config
+	// Arbitration selects the radio scheduler policy.
+	Arbitration ble.Arbitration
+	// LLPoolBytes overrides the NimBLE buffer pool (default 6600).
+	LLPoolBytes int
+	// PktbufBytes overrides the GNRC packet buffer (default 6144).
+	PktbufBytes int
+	// ExchangeGap overrides the host processing gap (see ble package).
+	ExchangeGap sim.Duration
+	// DisableWindowWidening is an ablation switch.
+	DisableWindowWidening bool
+	// Trace, when non-nil and enabled, receives the node's link events
+	// (the paper's §4.2 STDIO event stream).
+	Trace *trace.Log
+}
+
+// Node is one fully assembled node: radio, drifting clock, BLE controller,
+// statconn manager, L2CAP/6LoWPAN adapter, IPv6 stack, and CoAP endpoint —
+// the same stack Figure 5 of the paper shows for RIOT+NimBLE.
+type Node struct {
+	Name     string
+	Sim      *sim.Sim
+	Clock    *sim.Clock
+	Radio    *phy.Radio
+	Ctrl     *ble.Controller
+	Statconn *statconn.Manager
+	NetIf    *NetIf
+	Stack    *ip6.Stack
+	Coap     *coap.Endpoint
+}
+
+// NewNode builds a node on the given medium.
+func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
+	clk := sim.NewClock(s, cfg.ClockPPM)
+	radio := medium.NewRadio()
+	sca := cfg.SCA
+	if sca == 0 {
+		sca = 50
+	}
+	ctrl := ble.NewController(s, clk, radio, ble.ControllerConfig{
+		Addr:                  ble.DevAddr(cfg.MAC),
+		SCA:                   sca,
+		PoolBytes:             cfg.LLPoolBytes,
+		Arbitration:           cfg.Arbitration,
+		ExchangeGap:           cfg.ExchangeGap,
+		DisableWindowWidening: cfg.DisableWindowWidening,
+	})
+	stack := ip6.NewStack(s, cfg.MAC)
+	if cfg.PktbufBytes > 0 {
+		stack.Pktbuf.Capacity = cfg.PktbufBytes
+	}
+	netif := NewNetIf(s, stack)
+	mgr := statconn.New(s, ctrl, cfg.Statconn)
+	tr := cfg.Trace
+	name := cfg.Name
+	mgr.OnLinkUp = func(c *ble.Conn) {
+		tr.Emit(name, trace.KindConnOpen, "peer=%v role=%v itvl=%v", c.Peer(), c.Role(), c.Interval())
+		netif.AddLink(c)
+	}
+	mgr.OnLinkDown = func(c *ble.Conn, reason ble.LossReason) {
+		tr.Emit(name, trace.KindConnLoss, "peer=%v reason=%v", c.Peer(), reason)
+		netif.RemoveLink(c)
+	}
+	ep := coap.NewEndpoint(s, stack, 0)
+	return &Node{
+		Name:     cfg.Name,
+		Sim:      s,
+		Clock:    clk,
+		Radio:    radio,
+		Ctrl:     ctrl,
+		Statconn: mgr,
+		NetIf:    netif,
+		Stack:    stack,
+		Coap:     ep,
+	}
+}
+
+// Addr returns the node's mesh (fd00::) address.
+func (n *Node) Addr() ip6.Addr { return n.Stack.GlobalAddr() }
+
+// DevAddr returns the node's BLE device address.
+func (n *Node) DevAddr() ble.DevAddr { return n.Ctrl.Addr() }
+
+// ConnectTo declares a coordinator-role BLE connection toward peer, managed
+// (and re-established on loss) by statconn.
+func (n *Node) ConnectTo(peer *Node) { n.Statconn.Connect(peer.DevAddr()) }
+
+// AcceptInbound declares how many subordinate-role connections this node
+// accepts; it advertises until that many are up and re-advertises on loss.
+func (n *Node) AcceptInbound(k int) { n.Statconn.ExpectInbound(k) }
+
+// AddHostRoute installs a host route to dst via the neighbor nextHop.
+func (n *Node) AddHostRoute(dst, nextHop *Node) {
+	_ = n.Stack.AddRoute(ip6.Route{Dst: dst.Addr(), PrefixLen: 128, NextHop: nextHop.Addr()})
+}

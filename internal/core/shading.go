@@ -1,0 +1,56 @@
+package core
+
+import (
+	"blemesh/internal/sim"
+)
+
+// ShadingModel is the paper's §6.2 analytic model of connection shading:
+// two connections with the same interval on one node, whose event series
+// slide through each other at the relative drift rate of the two clocks
+// controlling them.
+type ShadingModel struct {
+	// ConnInterval is the shared connection interval.
+	ConnInterval sim.Duration
+	// RelClockDrift is the relative drift of the two controlling clocks,
+	// in seconds per second (e.g. 5e-6 for 5µs/s).
+	RelClockDrift float64
+}
+
+// TimeToOverlap returns the maximum time until the connection events of the
+// two connections overlap: ConnItvl / ClkDrift (§6.2).
+func (m ShadingModel) TimeToOverlap() sim.Duration {
+	if m.RelClockDrift <= 0 {
+		return 0
+	}
+	return sim.Duration(float64(m.ConnInterval) / m.RelClockDrift)
+}
+
+// EventsPerHour returns the expected number of shading events per hour for
+// one pair of connections.
+func (m ShadingModel) EventsPerHour() float64 {
+	t := m.TimeToOverlap()
+	if t <= 0 {
+		return 0
+	}
+	return float64(sim.Hour) / float64(t)
+}
+
+// ExpectedEventsPerHourNetwork scales the pairwise rate to a network with
+// the given number of links (the paper's tree has 14 links and predicts
+// 3.4 shading events per hour, ~80.6 per 24h).
+func (m ShadingModel) ExpectedEventsPerHourNetwork(links int) float64 {
+	return m.EventsPerHour() * float64(links)
+}
+
+// WorstCase is the specification's worst case: the minimum legal connection
+// interval of 7.5ms under 2×250ppm relative drift — a shading event every
+// 15 seconds (240 per hour).
+func WorstCase() ShadingModel {
+	return ShadingModel{ConnInterval: 7500 * sim.Microsecond, RelClockDrift: 500e-6}
+}
+
+// PaperTypical is the paper's measured typical case: 75ms interval under
+// 5µs/s relative drift — a shading event every 4.17 hours (0.24 per hour).
+func PaperTypical() ShadingModel {
+	return ShadingModel{ConnInterval: 75 * sim.Millisecond, RelClockDrift: 5e-6}
+}

@@ -1,0 +1,247 @@
+package dot15d4
+
+import (
+	"bytes"
+	"testing"
+
+	"blemesh/internal/coap"
+	"blemesh/internal/ip6"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+func TestAirtime(t *testing.T) {
+	// A 127-byte frame: (6+127)*32µs = 4256µs.
+	if Airtime(127) != 4256*sim.Microsecond {
+		t.Fatalf("airtime(127) = %v", Airtime(127))
+	}
+	if Airtime(AckFrameLen) != 352*sim.Microsecond {
+		t.Fatalf("ack airtime = %v", Airtime(AckFrameLen))
+	}
+}
+
+func TestUnicastWithAck(t *testing.T) {
+	s := sim.New(1)
+	m := phy.NewMedium(s)
+	a := NewMAC(s, m, 0x0A)
+	b := NewMAC(s, m, 0x0B)
+	var got []byte
+	b.SetReceiver(func(src uint64, p []byte) {
+		if src == 0x0A {
+			got = p
+		}
+	})
+	okResult := false
+	if !a.Send(0x0B, []byte("frame"), func(ok bool) { okResult = ok }) {
+		t.Fatal("send rejected")
+	}
+	s.Run(sim.Second)
+	if !bytes.Equal(got, []byte("frame")) {
+		t.Fatalf("payload = %q", got)
+	}
+	if !okResult {
+		t.Fatal("onDone reported failure")
+	}
+	if a.Stats().RXAcks != 1 || b.Stats().AcksSent != 1 {
+		t.Fatalf("ack counters: %+v / %+v", a.Stats(), b.Stats())
+	}
+}
+
+func TestBroadcastNoAck(t *testing.T) {
+	s := sim.New(2)
+	m := phy.NewMedium(s)
+	a := NewMAC(s, m, 0x0A)
+	b := NewMAC(s, m, 0x0B)
+	c := NewMAC(s, m, 0x0C)
+	rx := 0
+	b.SetReceiver(func(uint64, []byte) { rx++ })
+	c.SetReceiver(func(uint64, []byte) { rx++ })
+	a.Send(BroadcastAddr, []byte("hello"), nil)
+	s.Run(sim.Second)
+	if rx != 2 {
+		t.Fatalf("broadcast reached %d receivers", rx)
+	}
+	if b.Stats().AcksSent+c.Stats().AcksSent != 0 {
+		t.Fatal("broadcast was acknowledged")
+	}
+}
+
+func TestRetryAfterCollisionThenDrop(t *testing.T) {
+	// A jammed channel blocks CCA forever: the sender must exhaust its
+	// backoffs and report channel-access failure.
+	s := sim.New(3)
+	m := phy.NewMedium(s)
+	m.AddInterference(phy.Jammer{Ch: Channel})
+	a := NewMAC(s, m, 0x0A)
+	failed := false
+	a.Send(0x0B, []byte("x"), func(ok bool) { failed = !ok })
+	s.Run(10 * sim.Second)
+	if !failed {
+		t.Fatal("send into jammed channel succeeded")
+	}
+	if a.Stats().CCAFail != 1 {
+		t.Fatalf("CCAFail=%d", a.Stats().CCAFail)
+	}
+}
+
+func TestNoAckDropsAfterMaxRetries(t *testing.T) {
+	// Receiver that never acks (no radio at destination address).
+	s := sim.New(4)
+	m := phy.NewMedium(s)
+	a := NewMAC(s, m, 0x0A)
+	NewMAC(s, m, 0x0C) // bystander, not the destination
+	failed := false
+	a.Send(0x0B, []byte("x"), func(ok bool) { failed = !ok })
+	s.Run(10 * sim.Second)
+	if !failed {
+		t.Fatal("unacked frame reported success")
+	}
+	st := a.Stats()
+	if st.NoAck != 1 || st.Retries != MaxFrameRetries {
+		t.Fatalf("NoAck=%d Retries=%d (want 1/%d)", st.NoAck, st.Retries, MaxFrameRetries)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	s := sim.New(5)
+	m := phy.NewMedium(s)
+	m.AddInterference(phy.Jammer{Ch: Channel}) // block service
+	a := NewMAC(s, m, 0x0A)
+	accepted := 0
+	for i := 0; i < 50; i++ {
+		if a.Send(0x0B, []byte{byte(i)}, nil) {
+			accepted++
+		}
+	}
+	if accepted > a.QueueCap+1 {
+		t.Fatalf("queue accepted %d frames, cap %d", accepted, a.QueueCap)
+	}
+	if a.Stats().QueueDrops == 0 {
+		t.Fatal("queue overflow not counted")
+	}
+	_ = s
+}
+
+func TestContentionManySenders(t *testing.T) {
+	// 8 senders each deliver 20 unicast frames to one sink. At moderate
+	// load CSMA/CA delivers the vast majority but not everything — data
+	// frames collide with acknowledgements in the turnaround gap, the
+	// loss process behind the paper's 83%% PDR under load (Fig. 10a).
+	s := sim.New(6)
+	m := phy.NewMedium(s)
+	sink := NewMAC(s, m, 0xFF0)
+	rx := 0
+	sink.SetReceiver(func(uint64, []byte) { rx++ })
+	okCount, failCount := 0, 0
+	for i := 0; i < 8; i++ {
+		mac := NewMAC(s, m, uint64(0x100+i))
+		for j := 0; j < 20; j++ {
+			j := j
+			s.At(sim.Time(j)*100*sim.Millisecond+sim.Time(i)*7*sim.Millisecond, func() {
+				mac.Send(0xFF0, make([]byte, 50), func(ok bool) {
+					if ok {
+						okCount++
+					} else {
+						failCount++
+					}
+				})
+			})
+		}
+	}
+	s.Run(60 * sim.Second)
+	if okCount+failCount != 160 {
+		t.Fatalf("onDone fired %d times, want 160", okCount+failCount)
+	}
+	if okCount < 140 {
+		t.Fatalf("only %d/160 frames acknowledged at moderate load", okCount)
+	}
+	if rx < okCount {
+		t.Fatalf("sink received %d < acked %d", rx, okCount)
+	}
+}
+
+func TestIPOverDot15d4SingleHop(t *testing.T) {
+	s := sim.New(7)
+	m := phy.NewMedium(s)
+	a := NewNode(s, m, "m3-1", 0x31)
+	b := NewNode(s, m, "m3-2", 0x32)
+	b.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
+		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	}
+	ok := false
+	var rtt sim.Duration
+	req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
+	req.SetPath("sensor")
+	if err := a.Coap.Request(b.Addr(), req, func(mm *coap.Message, d sim.Duration) {
+		ok = mm != nil
+		rtt = d
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * sim.Second)
+	if !ok {
+		t.Fatal("CoAP over 802.15.4 failed")
+	}
+	// CSMA/CA backoffs are sub-ms: the RTT must be far below a BLE
+	// connection interval (the Fig. 10b contrast).
+	if rtt > 20*sim.Millisecond {
+		t.Fatalf("single-hop RTT = %v, expected a few ms", rtt)
+	}
+}
+
+func TestIPOverDot15d4MultiHopForwarding(t *testing.T) {
+	s := sim.New(8)
+	m := phy.NewMedium(s)
+	n1 := NewNode(s, m, "m3-1", 0x41)
+	n2 := NewNode(s, m, "m3-2", 0x42)
+	n3 := NewNode(s, m, "m3-3", 0x43)
+	// Static routes n1 -> n2 -> n3 and back.
+	n1.AddHostRoute(n3, n2)
+	n3.AddHostRoute(n1, n2)
+	n3.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
+		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	}
+	delivered := 0
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(sim.Duration(i)*200*sim.Millisecond, func() {
+			req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
+			req.SetPath("x")
+			n1.Coap.Request(n3.Addr(), req, func(mm *coap.Message, _ sim.Duration) {
+				if mm != nil {
+					delivered++
+				}
+			})
+		})
+	}
+	s.Run(30 * sim.Second)
+	if delivered != 10 {
+		t.Fatalf("delivered %d/10 over 2 hops", delivered)
+	}
+	if n2.Stack.Stats().Forwarded < 20 {
+		t.Fatalf("middle node forwarded %d", n2.Stack.Stats().Forwarded)
+	}
+}
+
+func TestLargePacketFragmentsOverDot15d4(t *testing.T) {
+	s := sim.New(9)
+	m := phy.NewMedium(s)
+	a := NewNode(s, m, "m3-1", 0x51)
+	b := NewNode(s, m, "m3-2", 0x52)
+	var got []byte
+	b.Stack.ListenUDP(7777, func(_ ip6.Addr, _ uint16, data []byte) { got = data })
+	payload := make([]byte, 600)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	if err := a.Stack.SendUDP(b.Addr(), 7777, 7777, payload); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * sim.Second)
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("600-byte UDP payload not delivered over fragmentation (got %d bytes)", len(got))
+	}
+	if a.NetIf.Stats().Fragmented != 1 {
+		t.Fatalf("Fragmented=%d", a.NetIf.Stats().Fragmented)
+	}
+}

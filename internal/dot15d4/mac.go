@@ -1,0 +1,317 @@
+// Package dot15d4 implements the IEEE 802.15.4 stack the paper compares
+// against (§5.3): the 250 kbps O-QPSK PHY timing, the unslotted CSMA/CA
+// medium access with exponential backoff, acknowledged unicast with a
+// bounded retry count, and a 6LoWPAN netif adapter so the identical IP/CoAP
+// benchmark application runs over either link layer — the same trick the
+// paper plays with its abstraction layers.
+package dot15d4
+
+import (
+	"fmt"
+
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+// PHY and MAC constants (2.4 GHz O-QPSK, unslotted CSMA/CA).
+const (
+	// SymbolTime is 16µs (62.5 ksymbol/s, 4 bits per symbol).
+	SymbolTime = 16 * sim.Microsecond
+	// ByteTime is the airtime of one byte (2 symbols).
+	ByteTime = 2 * SymbolTime
+	// PHYOverhead is preamble(4) + SFD(1) + length(1).
+	PHYOverhead = 6
+	// MaxFrameLen is aMaxPHYPacketSize.
+	MaxFrameLen = 127
+	// HeaderLen is our MAC header: FCF(2) + seq(1) + PAN(2) + dst(2) +
+	// src(2); FooterLen is the FCS.
+	HeaderLen = 9
+	FooterLen = 2
+	// MaxPayload is the MAC payload budget per frame. Keeping IP packets
+	// under 128 bytes avoids fragmentation, as the paper notes (§4.3).
+	MaxPayload = MaxFrameLen - HeaderLen - FooterLen
+
+	// UnitBackoff is aUnitBackoffPeriod (20 symbols).
+	UnitBackoff = 20 * SymbolTime
+	// TurnaroundTime is aTurnaroundTime (12 symbols), the RX→TX gap
+	// before an acknowledgement.
+	TurnaroundTime = 12 * SymbolTime
+	// AckFrameLen is an acknowledgement frame (FCF+seq+FCS).
+	AckFrameLen = 5
+	// AckWait is macAckWaitDuration (54 symbols).
+	AckWait = 54 * SymbolTime
+
+	// MinBE/MaxBE/MaxCSMABackoffs/MaxFrameRetries are the 802.15.4-2006
+	// defaults the paper's platform (and RIOT) uses.
+	MinBE           = 3
+	MaxBE           = 5
+	MaxCSMABackoffs = 4
+	MaxFrameRetries = 3
+
+	// BroadcastAddr is the 16-bit broadcast address.
+	BroadcastAddr uint64 = 0xFFFF
+
+	// Channel is the 802.15.4 channel the whole PAN uses. It only has to
+	// be a valid index on the shared medium.
+	Channel phy.Channel = 17
+)
+
+// Airtime returns the on-air time of a frame with the given MAC length.
+func Airtime(macLen int) sim.Duration {
+	return sim.Duration(PHYOverhead+macLen) * ByteTime
+}
+
+// Frame is an 802.15.4 data or acknowledgement frame.
+type Frame struct {
+	Ack     bool // acknowledgement frame
+	AR      bool // acknowledgement requested
+	Seq     byte
+	Src     uint64
+	Dst     uint64
+	Payload []byte
+}
+
+// MACLen returns the frame's MAC-layer length in bytes.
+func (f *Frame) MACLen() int {
+	if f.Ack {
+		return AckFrameLen
+	}
+	return HeaderLen + len(f.Payload) + FooterLen
+}
+
+// MACStats counts MAC events.
+type MACStats struct {
+	TXFrames   uint64 // data frames put on the air (incl. retries)
+	TXUnique   uint64 // distinct data frames attempted
+	Delivered  uint64 // unicast frames acknowledged (or broadcasts sent)
+	Retries    uint64
+	CCAFail    uint64 // channel access failures (backoff exhausted)
+	NoAck      uint64 // frames dropped after MaxFrameRetries
+	RXFrames   uint64
+	RXAcks     uint64
+	AcksSent   uint64
+	RXCorrupt  uint64
+	QueueDrops uint64
+}
+
+// RxFunc delivers a received data frame's payload.
+type RxFunc func(src uint64, payload []byte)
+
+// MAC is one node's 802.15.4 medium-access controller. The receiver idles
+// in RX permanently (the m3 nodes do idle listening; the paper's energy
+// argument against 802.15.4 rests on exactly this).
+type MAC struct {
+	s      *sim.Sim
+	radio  *phy.Radio
+	medium *phy.Medium
+	addr   uint64
+	seq    byte
+
+	// txq is the single transmit queue; one frame is in service at a
+	// time, as in RIOT's netdev model.
+	txq     []*txEntry
+	busy    bool
+	pending *txEntry
+	ackWait *sim.Event
+
+	stats MACStats
+	onRx  RxFunc
+
+	// QueueCap bounds the transmit queue (frames).
+	QueueCap int
+}
+
+type txEntry struct {
+	frame   *Frame
+	retries int
+	nb      int // CSMA backoff attempts for the current try
+	be      int
+	onDone  func(ok bool)
+}
+
+// NewMAC creates a MAC bound to a radio on the shared medium.
+func NewMAC(s *sim.Sim, medium *phy.Medium, addr uint64) *MAC {
+	m := &MAC{
+		s:        s,
+		radio:    medium.NewRadio(),
+		medium:   medium,
+		addr:     addr,
+		QueueCap: 16,
+	}
+	m.radio.SetReceiver(m.receive)
+	m.radio.StartListen(Channel)
+	return m
+}
+
+// Addr returns the MAC's link-layer address.
+func (m *MAC) Addr() uint64 { return m.addr }
+
+// Stats returns a copy of the MAC counters.
+func (m *MAC) Stats() MACStats { return m.stats }
+
+// SetReceiver installs the payload upcall.
+func (m *MAC) SetReceiver(fn RxFunc) { m.onRx = fn }
+
+// Send queues a payload toward dst (BroadcastAddr for broadcast). onDone
+// reports delivery (ack received / broadcast sent) or failure. It returns
+// false when the queue is full.
+func (m *MAC) Send(dst uint64, payload []byte, onDone func(ok bool)) bool {
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("dot15d4: payload %d exceeds frame budget %d", len(payload), MaxPayload))
+	}
+	if len(m.txq) >= m.QueueCap {
+		m.stats.QueueDrops++
+		return false
+	}
+	m.seq++
+	f := &Frame{AR: dst != BroadcastAddr, Seq: m.seq, Src: m.addr, Dst: dst, Payload: payload}
+	m.txq = append(m.txq, &txEntry{frame: f, be: MinBE, onDone: onDone})
+	m.stats.TXUnique++
+	m.kick()
+	return true
+}
+
+// QueueLen returns the number of frames waiting (including in service).
+func (m *MAC) QueueLen() int {
+	n := len(m.txq)
+	if m.busy {
+		n++
+	}
+	return n
+}
+
+// kick starts servicing the queue head if idle.
+func (m *MAC) kick() {
+	if m.busy || len(m.txq) == 0 {
+		return
+	}
+	m.busy = true
+	m.pending = m.txq[0]
+	m.txq = m.txq[1:]
+	m.pending.nb = 0
+	m.pending.be = MinBE
+	m.backoff()
+}
+
+// backoff waits a random number of unit backoff periods, then does CCA.
+func (m *MAC) backoff() {
+	e := m.pending
+	units := m.s.Rand().Intn(1 << e.be)
+	m.s.After(sim.Duration(units)*UnitBackoff, m.cca)
+}
+
+// cca performs clear channel assessment (8 symbols of listening).
+func (m *MAC) cca() {
+	m.s.After(8*SymbolTime, func() {
+		e := m.pending
+		if e == nil {
+			return
+		}
+		if m.medium.Busy(Channel) {
+			e.nb++
+			e.be = min(e.be+1, MaxBE)
+			if e.nb > MaxCSMABackoffs {
+				m.stats.CCAFail++
+				m.finish(false)
+				return
+			}
+			m.backoff()
+			return
+		}
+		m.transmit()
+	})
+}
+
+// transmit puts the frame on the air and arms the ack wait.
+func (m *MAC) transmit() {
+	e := m.pending
+	f := e.frame
+	air := Airtime(f.MACLen())
+	m.stats.TXFrames++
+	if e.retries > 0 {
+		m.stats.Retries++
+	}
+	m.radio.Transmit(Channel, phy.Packet{Bits: f.MACLen() * 8, Payload: f}, air, func() {
+		m.radio.StartListen(Channel) // resume idle listening
+		if !f.AR {
+			m.stats.Delivered++
+			m.finish(true)
+			return
+		}
+		m.ackWait = m.s.After(AckWait, func() {
+			m.ackWait = nil
+			e.retries++
+			if e.retries > MaxFrameRetries {
+				m.stats.NoAck++
+				m.finish(false)
+				return
+			}
+			e.nb = 0
+			e.be = MinBE
+			m.backoff()
+		})
+	})
+}
+
+// finish completes the in-service frame and services the next.
+func (m *MAC) finish(ok bool) {
+	e := m.pending
+	m.pending = nil
+	m.busy = false
+	if e != nil && e.onDone != nil {
+		e.onDone(ok)
+	}
+	m.kick()
+}
+
+// receive handles end-of-packet indications.
+func (m *MAC) receive(pkt phy.Packet, _ phy.Channel, ok bool) {
+	f, is := pkt.Payload.(*Frame)
+	if !is {
+		return
+	}
+	if !ok {
+		m.stats.RXCorrupt++
+		return
+	}
+	if f.Ack {
+		if m.pending != nil && m.ackWait != nil && f.Seq == m.pending.frame.Seq {
+			m.s.Cancel(m.ackWait)
+			m.ackWait = nil
+			m.stats.RXAcks++
+			m.stats.Delivered++
+			m.finish(true)
+		}
+		return
+	}
+	if f.Dst != m.addr && f.Dst != BroadcastAddr {
+		return
+	}
+	m.stats.RXFrames++
+	if f.AR && f.Dst == m.addr {
+		// Acknowledge after the turnaround time. The radio may be
+		// mid-backoff for its own frame; the ACK takes priority and the
+		// transceiver handles it in hardware.
+		ack := &Frame{Ack: true, Seq: f.Seq, Src: m.addr, Dst: f.Src}
+		m.s.After(TurnaroundTime, func() {
+			if m.radio.State() == phy.RadioTX {
+				return // own transmission started; ack lost
+			}
+			m.radio.Transmit(Channel, phy.Packet{Bits: AckFrameLen * 8, Payload: ack},
+				Airtime(AckFrameLen), func() {
+					m.radio.StartListen(Channel)
+				})
+			m.stats.AcksSent++
+		})
+	}
+	if m.onRx != nil {
+		m.onRx(f.Src, append([]byte(nil), f.Payload...))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,133 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+func TestIdleConnCurrentMatchesPaper(t *testing.T) {
+	p := DefaultParams()
+	// §5.4: 75ms interval ⇒ 30.7µA coordinator, 34.7µA subordinate.
+	coord := p.IdleConnCurrent(75*sim.Millisecond, false)
+	sub := p.IdleConnCurrent(75*sim.Millisecond, true)
+	if math.Abs(coord-30.7) > 0.1 {
+		t.Fatalf("coordinator idle current = %.2fµA, paper says 30.7", coord)
+	}
+	if math.Abs(sub-34.7) > 0.1 {
+		t.Fatalf("subordinate idle current = %.2fµA, paper says 34.7", sub)
+	}
+}
+
+func TestBeaconCurrentMatchesPaper(t *testing.T) {
+	p := DefaultParams()
+	// §5.4: beacon at 1s advertising interval adds 12µA.
+	if got := p.BeaconCurrent(sim.Second); math.Abs(got-12) > 0.01 {
+		t.Fatalf("beacon current = %.2fµA, paper says 12", got)
+	}
+}
+
+func TestLifetimeMatchesPaperExamples(t *testing.T) {
+	// §5.4: 123µA + 15µA idle = 138µA total ⇒ 69 days on a 230mAh coin
+	// cell, "little over 2 years" on a 2500mAh 18650.
+	total := 123.0 + 15.0
+	days := LifetimeDays(CoinCellMAh, total)
+	if math.Abs(days-69) > 1.5 {
+		t.Fatalf("coin cell lifetime = %.1f days, paper says 69", days)
+	}
+	years := LifetimeDays(Cell18650, total) / 365
+	if years < 2.0 || years > 2.2 {
+		t.Fatalf("18650 lifetime = %.2f years, paper says a little over 2", years)
+	}
+	if LifetimeHours(100, 0) != 0 {
+		t.Fatal("zero current must not divide")
+	}
+}
+
+func TestDeriveBreakdown(t *testing.T) {
+	p := DefaultParams()
+	d := Snapshot{ConnEvents: 1000, ConnEventsSub: 500, AdvEvents: 10}
+	r := p.Derive(d, 100)
+	wantRadio := (1000*2.3 + 500*2.6 + 10*12) / 100
+	if math.Abs(r.RadioCurrent-wantRadio) > 1e-9 {
+		t.Fatalf("radio current %.3f, want %.3f", r.RadioCurrent, wantRadio)
+	}
+	if math.Abs(r.AvgCurrent-(wantRadio+15)) > 1e-9 {
+		t.Fatalf("avg current %.3f", r.AvgCurrent)
+	}
+	if r.Breakdown.DataActivity != 0 {
+		t.Fatalf("no data airtime but DataActivity=%v", r.Breakdown.DataActivity)
+	}
+}
+
+func TestDeriveChargesExtraAirtime(t *testing.T) {
+	p := DefaultParams()
+	d := Snapshot{ConnEvents: 100, TXTime: sim.Second, RXTime: sim.Second}
+	r := p.Derive(d, 100)
+	if r.Breakdown.DataActivity <= 0 {
+		t.Fatal("heavy airtime not charged")
+	}
+	// 2s of airtime minus the 100-event base ≈ 1.968s at 5400µA.
+	if math.Abs(r.Breakdown.DataActivity-1.968*5400) > 100 {
+		t.Fatalf("data activity charge = %.0fµC", r.Breakdown.DataActivity)
+	}
+}
+
+func TestMeterOnLiveIdleConnection(t *testing.T) {
+	// A real simulated idle connection at 75ms: the meter must land near
+	// the paper's 30.7µA/34.7µA split (plus idle floor).
+	s := sim.New(1)
+	medium := phy.NewMedium(s)
+	mkCtrl := func(ppm float64, addr int) (*ble.Controller, *phy.Radio) {
+		clk := sim.NewClock(s, ppm)
+		radio := medium.NewRadio()
+		return ble.NewController(s, clk, radio, ble.ControllerConfig{Addr: ble.DevAddr(addr)}), radio
+	}
+	subCtrl, subRadio := mkCtrl(1, 0xE1)
+	coordCtrl, coordRadio := mkCtrl(-1, 0xE2)
+	subCtrl.StartAdvertising(ble.AdvParams{Interval: 90 * sim.Millisecond})
+	params := ble.ConnParams{Interval: 75 * sim.Millisecond}
+	if err := params.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := coordCtrl.Connect(subCtrl.Addr(), params); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5 * sim.Second)
+
+	subMeter := NewMeter(DefaultParams(), subCtrl, subRadio)
+	coordMeter := NewMeter(DefaultParams(), coordCtrl, coordRadio)
+	subMeter.Reset(s.Now())
+	coordMeter.Reset(s.Now())
+	s.Run(s.Now() + 60*sim.Second)
+	subRep := subMeter.Report(s.Now())
+	coordRep := coordMeter.Report(s.Now())
+
+	if math.Abs(coordRep.RadioCurrent-30.7) > 3 {
+		t.Fatalf("measured coordinator current %.1fµA, want ≈30.7", coordRep.RadioCurrent)
+	}
+	if math.Abs(subRep.RadioCurrent-34.7) > 3 {
+		t.Fatalf("measured subordinate current %.1fµA, want ≈34.7", subRep.RadioCurrent)
+	}
+	if subRep.AvgCurrent <= subRep.RadioCurrent {
+		t.Fatal("idle floor missing from AvgCurrent")
+	}
+	if subRep.String() == "" {
+		t.Fatal("empty report string")
+	}
+}
+
+func TestMeterZeroWindow(t *testing.T) {
+	s := sim.New(2)
+	medium := phy.NewMedium(s)
+	clk := sim.NewClock(s, 0)
+	radio := medium.NewRadio()
+	ctrl := ble.NewController(s, clk, radio, ble.ControllerConfig{Addr: 1})
+	m := NewMeter(DefaultParams(), ctrl, radio)
+	if r := m.Report(0); r.AvgCurrent != 0 {
+		t.Fatal("zero-duration report should be empty")
+	}
+}

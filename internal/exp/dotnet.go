@@ -1,0 +1,112 @@
+package exp
+
+import (
+	"fmt"
+
+	"blemesh/internal/coap"
+	"blemesh/internal/dot15d4"
+	"blemesh/internal/ip6"
+	"blemesh/internal/metrics"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+	"blemesh/internal/testbed"
+)
+
+// DotNetwork is the IEEE 802.15.4 twin of Network: the same topology and
+// the same CoAP benchmark application on m3-style nodes (Fig. 10). The
+// medium is separate — the paper ran the two technologies at different
+// testbed sites.
+type DotNetwork struct {
+	Sim    *sim.Sim
+	Medium *phy.Medium
+	Topo   testbed.Topology
+	Nodes  map[int]*dot15d4.Node
+
+	RTTs    *metrics.CDF
+	Series  *metrics.TimeSeries
+	PerProd *metrics.Heatmap
+}
+
+// BuildDotNetwork assembles the 802.15.4 network.
+func BuildDotNetwork(seed int64, topo testbed.Topology) *DotNetwork {
+	s := sim.New(seed)
+	medium := phy.NewMedium(s)
+	nw := &DotNetwork{
+		Sim:     s,
+		Medium:  medium,
+		Topo:    topo,
+		Nodes:   make(map[int]*dot15d4.Node),
+		RTTs:    &metrics.CDF{},
+		Series:  metrics.NewTimeSeries(60 * sim.Second),
+		PerProd: metrics.NewHeatmap(60 * sim.Second),
+	}
+	names := make(map[int]string)
+	for _, d := range testbed.M3Nodes() {
+		names[d.ID] = d.Name
+	}
+	ids := topo.Nodes()
+	for _, id := range ids {
+		nw.Nodes[id] = dot15d4.NewNode(s, medium, names[id], uint64(0x4D0000000000)+uint64(id))
+	}
+	// The same multi-hop routes as the BLE network: even though every m3
+	// node hears every other, the benchmark forwards along the topology
+	// (the paper uses identical route configuration on both platforms).
+	for _, from := range ids {
+		next := topo.NextHops(from)
+		for dst, hop := range next {
+			nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+		}
+	}
+	return nw
+}
+
+// StartTraffic mirrors Network.StartTraffic for the 802.15.4 nodes.
+func (nw *DotNetwork) StartTraffic(t TrafficConfig) {
+	t.defaults()
+	consumer := nw.Nodes[nw.Topo.Consumer]
+	consumer.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
+		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	}
+	for _, id := range nw.Topo.Producers() {
+		nw.startProducer(id, t)
+	}
+}
+
+func (nw *DotNetwork) startProducer(id int, t TrafficConfig) {
+	node := nw.Nodes[id]
+	name := node.Name
+	if name == "" {
+		name = fmt.Sprintf("m3-%d", id)
+	}
+	row := nw.PerProd.Row(name)
+	dst := nw.Nodes[nw.Topo.Consumer].Addr()
+	var loop func()
+	loop = func() {
+		sent := nw.Sim.Now()
+		req := &coap.Message{Type: coap.NON, Code: coap.CodeGET,
+			Payload: make([]byte, t.PayloadBytes)}
+		req.SetPath("s")
+		nw.Series.RecordSent(sent)
+		row.RecordSent(sent)
+		_ = node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration) {
+			if m == nil {
+				return
+			}
+			nw.Series.RecordDelivered(sent)
+			row.RecordDelivered(sent)
+			nw.RTTs.AddDuration(rtt)
+		})
+		delay := t.Interval
+		if t.Jitter > 0 {
+			delay += sim.Duration(nw.Sim.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
+		}
+		nw.Sim.After(delay, loop)
+	}
+	nw.Sim.After(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
+}
+
+// Run advances the simulation by d.
+func (nw *DotNetwork) Run(d sim.Duration) { nw.Sim.Run(nw.Sim.Now() + d) }
+
+// CoAPPDR returns the overall delivery ratio.
+func (nw *DotNetwork) CoAPPDR() metrics.Counter { return nw.Series.Overall() }

@@ -1,0 +1,393 @@
+// Package exp is the experiment harness: it assembles the paper's testbed
+// networks (BLE and IEEE 802.15.4), drives the producer/consumer CoAP
+// workload of §4.3, collects the paper's metrics (CoAP PDR, link-layer PDR,
+// RTT distributions, connection losses, energy), and exposes one runnable
+// experiment per table and figure of the evaluation.
+package exp
+
+import (
+	"fmt"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/coap"
+	"blemesh/internal/core"
+	"blemesh/internal/energy"
+	"blemesh/internal/ip6"
+	"blemesh/internal/metrics"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+	"blemesh/internal/statconn"
+	"blemesh/internal/testbed"
+	"blemesh/internal/trace"
+)
+
+// NetworkConfig parameterises a BLE testbed network.
+type NetworkConfig struct {
+	Seed     int64
+	Topology testbed.Topology
+	// Policy selects the connection interval strategy (static vs the
+	// paper's randomized mitigation).
+	Policy statconn.IntervalPolicy
+	// MaxPPM bounds each node's clock error; the paper measured ±3ppm
+	// (≤6µs/s relative drift).
+	MaxPPM float64
+	// SCA is the declared sleep-clock accuracy (≥ MaxPPM).
+	SCA float64
+	// Supervision overrides the supervision timeout (0 = BLE default).
+	Supervision sim.Duration
+	// Arbitration selects the radio scheduler policy.
+	Arbitration ble.Arbitration
+	// NoisePER is the background packet error rate of the 2.4GHz band.
+	NoisePER float64
+	// JamChannel22 reproduces the testbed's permanently jammed channel;
+	// nodes exclude it from their channel maps, as the paper does.
+	JamChannel22 bool
+	// DisableWindowWidening is the ablation switch.
+	DisableWindowWidening bool
+	// PPMOverride pins specific nodes' clock errors (ablations).
+	PPMOverride map[int]float64
+	// Trace enables the per-node link event log (§4.2-style records).
+	Trace bool
+}
+
+func (c *NetworkConfig) defaults() {
+	if c.Topology.Name == "" {
+		c.Topology = testbed.Tree()
+	}
+	if c.Policy == nil {
+		c.Policy = statconn.Static{Interval: 75 * sim.Millisecond}
+	}
+	if c.MaxPPM == 0 {
+		c.MaxPPM = 3
+	}
+	if c.SCA == 0 {
+		c.SCA = 50
+	}
+	if c.NoisePER == 0 {
+		c.NoisePER = 0.005
+	}
+}
+
+// TrafficConfig is the §4.3 producer/consumer workload.
+type TrafficConfig struct {
+	// Interval is the mean producer interval (paper default 1s).
+	Interval sim.Duration
+	// Jitter is the uniform ± jitter (paper default ±0.5×interval).
+	Jitter sim.Duration
+	// PayloadBytes is the CoAP payload (paper: 39 bytes ⇒ 100-byte IP
+	// packets).
+	PayloadBytes int
+}
+
+func (t *TrafficConfig) defaults() {
+	if t.Interval == 0 {
+		t.Interval = sim.Second
+	}
+	if t.Jitter == 0 {
+		t.Jitter = t.Interval / 2
+	}
+	if t.PayloadBytes == 0 {
+		t.PayloadBytes = 39
+	}
+}
+
+// Network is an assembled BLE testbed network with live metric collection.
+type Network struct {
+	Sim    *sim.Sim
+	Medium *phy.Medium
+	Cfg    NetworkConfig
+	Nodes  map[int]*core.Node
+	Meters map[int]*energy.Meter
+
+	consumerID int
+
+	// Trace is the network-wide event log (enabled via NetworkConfig).
+	Trace *trace.Log
+
+	// Metrics.
+	RTTs     *metrics.CDF
+	PerProd  *metrics.Heatmap
+	Series   *metrics.TimeSeries
+	llSeries *llSampler
+	traffic  TrafficConfig
+	started  bool
+	lossBase uint64 // link losses before traffic start (setup collisions)
+}
+
+// BuildNetwork assembles the BLE network for cfg.
+func BuildNetwork(cfg NetworkConfig) *Network {
+	cfg.defaults()
+	s := sim.New(cfg.Seed)
+	medium := phy.NewMedium(s)
+	if cfg.NoisePER > 0 {
+		medium.AddInterference(phy.RandomNoise{PER: cfg.NoisePER})
+	}
+	chanMap := ble.AllDataChannels
+	if cfg.JamChannel22 {
+		medium.AddInterference(phy.Jammer{Ch: 22})
+		chanMap = chanMap.WithoutChannel(22)
+	}
+	ids := cfg.Topology.Nodes()
+	ppm := testbed.ClockPPM(cfg.Seed, ids, cfg.MaxPPM)
+	for id, v := range cfg.PPMOverride {
+		ppm[id] = v
+	}
+
+	nw := &Network{
+		Sim:        s,
+		Medium:     medium,
+		Cfg:        cfg,
+		Nodes:      make(map[int]*core.Node),
+		Meters:     make(map[int]*energy.Meter),
+		consumerID: cfg.Topology.Consumer,
+		RTTs:       &metrics.CDF{},
+		PerProd:    metrics.NewHeatmap(60 * sim.Second),
+		Series:     metrics.NewTimeSeries(60 * sim.Second),
+		Trace:      trace.New(s, 0),
+	}
+	if cfg.Trace {
+		nw.Trace.Enable()
+	}
+	names := make(map[int]string)
+	for _, d := range testbed.BLENodes() {
+		names[d.ID] = d.Name
+	}
+	for _, id := range ids {
+		n := core.NewNode(s, medium, core.NodeConfig{
+			Name:     names[id],
+			MAC:      uint64(0x5A0000000000) + uint64(id),
+			ClockPPM: ppm[id],
+			SCA:      cfg.SCA,
+			Statconn: statconn.Config{
+				Policy:      cfg.Policy,
+				Supervision: cfg.Supervision,
+				ChanMap:     chanMap,
+			},
+			Arbitration:           cfg.Arbitration,
+			DisableWindowWidening: cfg.DisableWindowWidening,
+			Trace:                 nw.Trace,
+		})
+		nw.Nodes[id] = n
+		nw.Meters[id] = energy.NewMeter(energy.DefaultParams(), n.Ctrl, n.Radio)
+	}
+	// Static links: subordinates advertise, coordinators connect.
+	// Iterate in node-ID order — map iteration order would consume the
+	// shared RNG nondeterministically and break run reproducibility.
+	subCount := cfg.Topology.SubordinateCount()
+	for _, id := range ids {
+		if k := subCount[id]; k > 0 {
+			nw.Nodes[id].AcceptInbound(k)
+		}
+	}
+	for _, l := range cfg.Topology.Links {
+		nw.Nodes[l.Coordinator].ConnectTo(nw.Nodes[l.Subordinate])
+	}
+	// Manual IP routes along the unique topology paths (§4.3).
+	for _, from := range ids {
+		next := cfg.Topology.NextHops(from)
+		for dst, hop := range next {
+			nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+		}
+	}
+	nw.llSeries = newLLSampler(nw, 60*sim.Second)
+	return nw
+}
+
+// Consumer returns the consumer node.
+func (nw *Network) Consumer() *core.Node { return nw.Nodes[nw.consumerID] }
+
+// Node returns a node by testbed ID.
+func (nw *Network) Node(id int) *core.Node { return nw.Nodes[id] }
+
+// WaitTopology runs the simulation until every configured link is up (or
+// the deadline passes). It returns whether the topology formed.
+func (nw *Network) WaitTopology(deadline sim.Duration) bool {
+	end := nw.Sim.Now() + deadline
+	for nw.Sim.Now() < end {
+		if nw.linksUp() {
+			return true
+		}
+		nw.Sim.Run(nw.Sim.Now() + 100*sim.Millisecond)
+	}
+	return nw.linksUp()
+}
+
+func (nw *Network) linksUp() bool {
+	for _, l := range nw.Cfg.Topology.Links {
+		// Usable means the IPSP channel is open, not merely that a
+		// CONNECT_IND went out (establishment can still fail).
+		subMAC := uint64(nw.Nodes[l.Subordinate].DevAddr())
+		ch := nw.Nodes[l.Coordinator].NetIf.Channel(subMAC)
+		if ch == nil || !ch.Open() {
+			return false
+		}
+	}
+	return true
+}
+
+// StartTraffic installs the consumer handler and schedules every producer's
+// send loop (each with its own uniform jitter, as §4.3 prescribes).
+func (nw *Network) StartTraffic(t TrafficConfig) {
+	t.defaults()
+	nw.traffic = t
+	nw.started = true
+	nw.lossBase = nw.rawConnLosses()
+	for id, m := range nw.Meters {
+		_ = id
+		m.Reset(nw.Sim.Now())
+	}
+	consumer := nw.Consumer()
+	consumer.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
+		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	}
+	for _, id := range nw.Cfg.Topology.Producers() {
+		nw.startProducer(id, t)
+	}
+}
+
+func (nw *Network) startProducer(id int, t TrafficConfig) {
+	node := nw.Nodes[id]
+	name := node.Name
+	if name == "" {
+		name = fmt.Sprintf("node-%d", id)
+	}
+	row := nw.PerProd.Row(name)
+	dst := nw.Consumer().Addr()
+	var loop func()
+	loop = func() {
+		sent := nw.Sim.Now()
+		req := &coap.Message{Type: coap.NON, Code: coap.CodeGET,
+			Payload: make([]byte, t.PayloadBytes)}
+		req.SetPath("s")
+		nw.Series.RecordSent(sent)
+		row.RecordSent(sent)
+		err := node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration) {
+			if m == nil {
+				return
+			}
+			nw.Series.RecordDelivered(sent)
+			row.RecordDelivered(sent)
+			nw.RTTs.AddDuration(rtt)
+		})
+		_ = err // send failures (no route during reconnect) count as losses
+		delay := t.Interval
+		if t.Jitter > 0 {
+			delay += sim.Duration(nw.Sim.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
+		}
+		nw.Sim.After(delay, loop)
+	}
+	// Desynchronise producers at start.
+	nw.Sim.After(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
+}
+
+// Run advances the simulation by d.
+func (nw *Network) Run(d sim.Duration) { nw.Sim.Run(nw.Sim.Now() + d) }
+
+// ---- Aggregate results ----------------------------------------------------
+
+// CoAPPDR returns the overall CoAP delivery ratio.
+func (nw *Network) CoAPPDR() metrics.Counter { return nw.Series.Overall() }
+
+// ConnLosses returns the number of link losses (supervision timeouts,
+// counted once per link) since traffic started — connection-establishment
+// collisions during setup are excluded, as the paper measures steady state.
+func (nw *Network) ConnLosses() uint64 {
+	return nw.rawConnLosses() - nw.lossBase
+}
+
+func (nw *Network) rawConnLosses() uint64 {
+	var total uint64
+	for _, n := range nw.Nodes {
+		total += n.Statconn.Stats().LinkLosses
+	}
+	return total
+}
+
+// IntervalRejects returns how many colliding-interval connections were
+// rejected by subordinates (mitigation machinery activity).
+func (nw *Network) IntervalRejects() uint64 {
+	var total uint64
+	for _, n := range nw.Nodes {
+		total += n.Statconn.Stats().IntervalRejects
+	}
+	return total
+}
+
+// LLPDR returns the network-wide link-layer delivery rate: data PDUs that
+// did not need retransmission over all transmitted data PDUs.
+func (nw *Network) LLPDR() float64 {
+	var tx, retr uint64
+	for _, n := range nw.Nodes {
+		for _, c := range n.Ctrl.Conns() {
+			st := c.Stats()
+			tx += st.TXPDUs - st.TXEmpty
+			retr += st.Retrans
+		}
+	}
+	if tx == 0 {
+		return 1
+	}
+	return float64(tx-retr) / float64(tx)
+}
+
+// BufferDrops sums pktbuf/queue drops across nodes (the §5.2 loss process).
+func (nw *Network) BufferDrops() uint64 {
+	var total uint64
+	for _, n := range nw.Nodes {
+		total += n.NetIf.Stats().QueueDrops + n.NetIf.Stats().LinkDrops
+	}
+	return total
+}
+
+// UpstreamConn returns node id's connection toward its next hop to the
+// consumer (its "upstream link", the subject of Fig. 12).
+func (nw *Network) UpstreamConn(id int) *ble.Conn {
+	hops := nw.Cfg.Topology.NextHops(id)
+	parent, ok := hops[nw.consumerID]
+	if !ok {
+		return nil
+	}
+	return nw.Nodes[id].Ctrl.FindConn(nw.Nodes[parent].DevAddr())
+}
+
+// LLSeries returns the sampled link-layer PDR time series (Fig. 13b).
+func (nw *Network) LLSeries() []float64 { return nw.llSeries.rates }
+
+// llSampler periodically snapshots network-wide LL counters.
+type llSampler struct {
+	nw       *Network
+	interval sim.Duration
+	prevTX   uint64
+	prevRt   uint64
+	rates    []float64
+}
+
+func newLLSampler(nw *Network, interval sim.Duration) *llSampler {
+	ls := &llSampler{nw: nw, interval: interval}
+	var tick func()
+	tick = func() {
+		var tx, retr uint64
+		for _, n := range nw.Nodes {
+			for _, c := range n.Ctrl.Conns() {
+				st := c.Stats()
+				tx += st.TXPDUs - st.TXEmpty
+				retr += st.Retrans
+			}
+		}
+		dTX := tx - ls.prevTX
+		dRt := retr - ls.prevRt
+		// Counters on closed connections vanish; clamp regressions.
+		if tx < ls.prevTX {
+			dTX, dRt = 0, 0
+		}
+		rate := 1.0
+		if dTX > 0 {
+			rate = float64(dTX-dRt) / float64(dTX)
+		}
+		ls.rates = append(ls.rates, rate)
+		ls.prevTX, ls.prevRt = tx, retr
+		nw.Sim.After(interval, tick)
+	}
+	nw.Sim.After(interval, tick)
+	return ls
+}

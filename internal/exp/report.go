@@ -1,0 +1,104 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Options tune an experiment run.
+type Options struct {
+	// Seed makes the run reproducible; runs r of a repeated experiment
+	// use Seed+r.
+	Seed int64
+	// Scale multiplies the paper's experiment durations (1.0 = the full
+	// 1h/24h runs; benches use small fractions). 0 means 1.0.
+	Scale float64
+	// Runs overrides the repetition count (paper: 5×; default here 1).
+	Runs int
+}
+
+func (o *Options) defaults() {
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Runs <= 0 {
+		o.Runs = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Report is an experiment's rendered outcome plus its key numbers.
+type Report struct {
+	ID     string
+	Title  string
+	Lines  []string
+	Values map[string]float64
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Values: make(map[string]float64)}
+}
+
+func (r *Report) addf(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) addBlock(s string) {
+	r.Lines = append(r.Lines, strings.TrimRight(s, "\n"))
+}
+
+func (r *Report) set(key string, v float64) { r.Values[key] = v }
+
+// Value returns a recorded key number (NaN-free access for tests).
+func (r *Report) Value(key string) float64 { return r.Values[key] }
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ValuesTable renders the key numbers sorted by name.
+func (r *Report) ValuesTable() string {
+	keys := make([]string, 0, len(r.Values))
+	for k := range r.Values {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-48s %12.6g\n", k, r.Values[k])
+	}
+	return b.String()
+}
+
+// Experiment is one reproducible artifact of the paper.
+type Experiment struct {
+	ID     string
+	Title  string
+	Figure string // which table/figure of the paper it regenerates
+	Run    func(Options) *Report
+}
+
+// Registry lists every experiment, in paper order.
+var Registry []Experiment
+
+func register(e Experiment) { Registry = append(Registry, e) }
+
+// Find returns the experiment with the given ID.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,250 @@
+// Package gatt implements the slice of the Attribute Protocol and the
+// Generic Attribute Profile that IPv6-over-BLE requires: a GATT server
+// exposing primary services — in particular the Internet Protocol Support
+// Service (IPSS) of the Internet Protocol Support Profile — and a client
+// that discovers a peer's primary services over the fixed ATT channel.
+//
+// RFC 7668 nodes advertise the IPSS and peers check it before opening the
+// IPSP L2CAP channel; the paper's Table 2 distinguishes implementations by
+// exactly this capability (BLEach lacks a GATT server and therefore does
+// not comply with the profile). The connection manager of this platform
+// performs the same check.
+package gatt
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blemesh/internal/l2cap"
+	"blemesh/internal/sim"
+)
+
+// Well-known 16-bit service UUIDs.
+const (
+	// UUIDIPSS is the Internet Protocol Support Service.
+	UUIDIPSS uint16 = 0x1820
+	// UUIDGenericAccess and UUIDGenericAttribute are mandatory services.
+	UUIDGenericAccess    uint16 = 0x1800
+	UUIDGenericAttribute uint16 = 0x1801
+)
+
+// ATT opcodes (subset: primary service discovery).
+const (
+	opErrorRsp           byte = 0x01
+	opReadByGroupTypeReq byte = 0x10
+	opReadByGroupTypeRsp byte = 0x11
+
+	attErrAttributeNotFound byte = 0x0A
+)
+
+// uuidPrimaryService is the attribute type of a primary service definition.
+const uuidPrimaryService uint16 = 0x2800
+
+// Service is one primary service in the attribute database.
+type Service struct {
+	UUID        uint16
+	StartHandle uint16
+	EndHandle   uint16
+}
+
+// Server is a node's GATT attribute database of primary services.
+type Server struct {
+	services []Service
+}
+
+// NewServer creates a server with the mandatory GAP/GATT services and the
+// given additional service UUIDs, handles assigned sequentially.
+func NewServer(extra ...uint16) *Server {
+	s := &Server{}
+	h := uint16(1)
+	add := func(uuid uint16) {
+		s.services = append(s.services, Service{UUID: uuid, StartHandle: h, EndHandle: h + 7})
+		h += 8
+	}
+	add(UUIDGenericAccess)
+	add(UUIDGenericAttribute)
+	for _, u := range extra {
+		add(u)
+	}
+	return s
+}
+
+// Services returns the database content.
+func (s *Server) Services() []Service { return append([]Service(nil), s.services...) }
+
+// Has reports whether the database contains a service UUID.
+func (s *Server) Has(uuid uint16) bool {
+	for _, sv := range s.services {
+		if sv.UUID == uuid {
+			return true
+		}
+	}
+	return false
+}
+
+// readByGroupType answers a discovery request against the database; the
+// reply is either a Read By Group Type Response or an Error Response with
+// Attribute Not Found, which terminates the client's iteration.
+func (s *Server) readByGroupType(req []byte) []byte {
+	if len(req) != 7 {
+		return nil
+	}
+	start := binary.LittleEndian.Uint16(req[1:])
+	end := binary.LittleEndian.Uint16(req[3:])
+	typ := binary.LittleEndian.Uint16(req[5:])
+	if typ != uuidPrimaryService {
+		return errorRsp(req[0], start, attErrAttributeNotFound)
+	}
+	var body []byte
+	for _, sv := range s.services {
+		if sv.StartHandle < start || sv.StartHandle > end {
+			continue
+		}
+		entry := make([]byte, 6)
+		binary.LittleEndian.PutUint16(entry[0:], sv.StartHandle)
+		binary.LittleEndian.PutUint16(entry[2:], sv.EndHandle)
+		binary.LittleEndian.PutUint16(entry[4:], sv.UUID)
+		body = append(body, entry...)
+	}
+	if len(body) == 0 {
+		return errorRsp(req[0], start, attErrAttributeNotFound)
+	}
+	return append([]byte{opReadByGroupTypeRsp, 6}, body...)
+}
+
+func errorRsp(reqOp byte, handle uint16, code byte) []byte {
+	out := make([]byte, 5)
+	out[0] = opErrorRsp
+	out[1] = reqOp
+	binary.LittleEndian.PutUint16(out[2:], handle)
+	out[4] = code
+	return out
+}
+
+// ATT multiplexes one connection's fixed ATT channel between the local
+// server (answering the peer's requests) and the local client (consuming
+// the peer's responses).
+type ATT struct {
+	s      *sim.Sim
+	ep     *l2cap.Endpoint
+	server *Server
+
+	// Client state: one outstanding request, per the ATT flow rule.
+	found   []Service
+	next    uint16
+	done    func([]Service, error)
+	timeout *sim.Event
+}
+
+// NewATT installs the fixed-channel mux on an endpoint.
+func NewATT(s *sim.Sim, ep *l2cap.Endpoint, server *Server) *ATT {
+	a := &ATT{s: s, ep: ep, server: server}
+	ep.HandleFixed(l2cap.CIDATT, a.onPDU)
+	return a
+}
+
+// Server returns the attached attribute database (may be nil).
+func (a *ATT) Server() *Server { return a.server }
+
+func (a *ATT) onPDU(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	switch b[0] {
+	case opReadByGroupTypeReq:
+		if a.server == nil {
+			a.ep.SendFixed(l2cap.CIDATT, errorRsp(b[0], 0, attErrAttributeNotFound))
+			return
+		}
+		if rsp := a.server.readByGroupType(b); rsp != nil {
+			a.ep.SendFixed(l2cap.CIDATT, rsp)
+		}
+	case opReadByGroupTypeRsp:
+		a.onDiscoveryRsp(b)
+	case opErrorRsp:
+		// Attribute Not Found terminates discovery normally.
+		if a.done != nil {
+			a.s.Cancel(a.timeout)
+			a.finish(a.found, nil)
+		}
+	}
+}
+
+// DiscoverPrimaryServices walks the peer's attribute database and invokes
+// done with every primary service found (or an error on timeout). Only one
+// discovery may be outstanding per connection.
+func (a *ATT) DiscoverPrimaryServices(done func([]Service, error)) error {
+	if a.done != nil {
+		return fmt.Errorf("gatt: discovery already in progress")
+	}
+	a.found = nil
+	a.next = 1
+	a.done = done
+	a.request()
+	return nil
+}
+
+// SupportsIPSS is the Internet Protocol Support Profile check: discover the
+// peer's services and report whether the IPSS is present.
+func (a *ATT) SupportsIPSS(done func(bool, error)) error {
+	return a.DiscoverPrimaryServices(func(svcs []Service, err error) {
+		if err != nil {
+			done(false, err)
+			return
+		}
+		for _, sv := range svcs {
+			if sv.UUID == UUIDIPSS {
+				done(true, nil)
+				return
+			}
+		}
+		done(false, nil)
+	})
+}
+
+func (a *ATT) request() {
+	req := make([]byte, 7)
+	req[0] = opReadByGroupTypeReq
+	binary.LittleEndian.PutUint16(req[1:], a.next)
+	binary.LittleEndian.PutUint16(req[3:], 0xFFFF)
+	binary.LittleEndian.PutUint16(req[5:], uuidPrimaryService)
+	a.ep.SendFixed(l2cap.CIDATT, req)
+	a.timeout = a.s.After(30*sim.Second, func() {
+		a.finish(nil, fmt.Errorf("gatt: discovery timed out"))
+	})
+}
+
+func (a *ATT) onDiscoveryRsp(b []byte) {
+	if a.done == nil {
+		return
+	}
+	a.s.Cancel(a.timeout)
+	if len(b) < 2 || b[1] != 6 {
+		a.finish(nil, fmt.Errorf("gatt: malformed discovery response"))
+		return
+	}
+	for p := 2; p+6 <= len(b); p += 6 {
+		sv := Service{
+			StartHandle: binary.LittleEndian.Uint16(b[p:]),
+			EndHandle:   binary.LittleEndian.Uint16(b[p+2:]),
+			UUID:        binary.LittleEndian.Uint16(b[p+4:]),
+		}
+		a.found = append(a.found, sv)
+		if sv.EndHandle >= a.next {
+			a.next = sv.EndHandle + 1
+		}
+	}
+	if a.next == 0 || a.next == 0xFFFF {
+		a.finish(a.found, nil)
+		return
+	}
+	a.request()
+}
+
+func (a *ATT) finish(svcs []Service, err error) {
+	done := a.done
+	a.done = nil
+	if done != nil {
+		done(svcs, err)
+	}
+}

@@ -1,0 +1,181 @@
+package ip6
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Next-header protocol numbers.
+const (
+	ProtoUDP    byte = 17
+	ProtoICMPv6 byte = 58
+)
+
+// HeaderLen is the fixed IPv6 header size.
+const HeaderLen = 40
+
+// UDPHeaderLen is the UDP header size.
+const UDPHeaderLen = 8
+
+// Header is a decoded IPv6 base header.
+type Header struct {
+	TrafficClass byte
+	FlowLabel    uint32
+	PayloadLen   int
+	NextHeader   byte
+	HopLimit     byte
+	Src, Dst     Addr
+}
+
+// Encode serialises the header followed by payload.
+func (h *Header) Encode(payload []byte) []byte {
+	out := make([]byte, HeaderLen+len(payload))
+	out[0] = 0x60 | h.TrafficClass>>4
+	out[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16)
+	out[2] = byte(h.FlowLabel >> 8)
+	out[3] = byte(h.FlowLabel)
+	binary.BigEndian.PutUint16(out[4:], uint16(len(payload)))
+	out[6] = h.NextHeader
+	out[7] = h.HopLimit
+	copy(out[8:24], h.Src[:])
+	copy(out[24:40], h.Dst[:])
+	copy(out[HeaderLen:], payload)
+	return out
+}
+
+// Decode parses an IPv6 packet into its header and payload slice.
+func Decode(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < HeaderLen {
+		return Header{}, nil, fmt.Errorf("ip6: packet shorter than header (%d)", len(pkt))
+	}
+	if pkt[0]>>4 != 6 {
+		return Header{}, nil, fmt.Errorf("ip6: version %d", pkt[0]>>4)
+	}
+	var h Header
+	h.TrafficClass = pkt[0]<<4 | pkt[1]>>4
+	h.FlowLabel = uint32(pkt[1]&0x0f)<<16 | uint32(pkt[2])<<8 | uint32(pkt[3])
+	h.PayloadLen = int(binary.BigEndian.Uint16(pkt[4:]))
+	h.NextHeader = pkt[6]
+	h.HopLimit = pkt[7]
+	copy(h.Src[:], pkt[8:24])
+	copy(h.Dst[:], pkt[24:40])
+	if len(pkt)-HeaderLen < h.PayloadLen {
+		return Header{}, nil, fmt.Errorf("ip6: truncated payload (%d < %d)", len(pkt)-HeaderLen, h.PayloadLen)
+	}
+	return h, pkt[HeaderLen : HeaderLen+h.PayloadLen], nil
+}
+
+// UDPHeader is a decoded UDP header.
+type UDPHeader struct {
+	SrcPort, DstPort uint16
+	Checksum         uint16
+}
+
+// EncodeUDP builds a UDP datagram (header + payload) with a checksum over
+// the IPv6 pseudo-header.
+func EncodeUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	out := make([]byte, UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(out[0:], srcPort)
+	binary.BigEndian.PutUint16(out[2:], dstPort)
+	binary.BigEndian.PutUint16(out[4:], uint16(len(out)))
+	copy(out[UDPHeaderLen:], payload)
+	ck := checksum(pseudoHeader(src, dst, len(out), ProtoUDP), out)
+	if ck == 0 {
+		ck = 0xffff
+	}
+	binary.BigEndian.PutUint16(out[6:], ck)
+	return out
+}
+
+// DecodeUDP parses and verifies a UDP datagram.
+func DecodeUDP(src, dst Addr, dgram []byte) (UDPHeader, []byte, error) {
+	if len(dgram) < UDPHeaderLen {
+		return UDPHeader{}, nil, fmt.Errorf("ip6: UDP datagram too short (%d)", len(dgram))
+	}
+	ln := int(binary.BigEndian.Uint16(dgram[4:]))
+	if ln < UDPHeaderLen || ln > len(dgram) {
+		return UDPHeader{}, nil, fmt.Errorf("ip6: UDP length field %d invalid", ln)
+	}
+	h := UDPHeader{
+		SrcPort:  binary.BigEndian.Uint16(dgram[0:]),
+		DstPort:  binary.BigEndian.Uint16(dgram[2:]),
+		Checksum: binary.BigEndian.Uint16(dgram[4+2:]),
+	}
+	if h.Checksum != 0 {
+		if checksum(pseudoHeader(src, dst, ln, ProtoUDP), dgram[:ln]) != 0 {
+			return UDPHeader{}, nil, fmt.Errorf("ip6: UDP checksum mismatch")
+		}
+	}
+	return h, dgram[UDPHeaderLen:ln], nil
+}
+
+// ICMPv6 types we implement.
+const (
+	ICMPEchoRequest byte = 128
+	ICMPEchoReply   byte = 129
+)
+
+// ICMPEcho is a decoded echo request/reply.
+type ICMPEcho struct {
+	Type    byte
+	ID, Seq uint16
+	Data    []byte
+}
+
+// EncodeICMPEcho builds an ICMPv6 echo message with checksum.
+func EncodeICMPEcho(src, dst Addr, e ICMPEcho) []byte {
+	out := make([]byte, 8+len(e.Data))
+	out[0] = e.Type
+	binary.BigEndian.PutUint16(out[4:], e.ID)
+	binary.BigEndian.PutUint16(out[6:], e.Seq)
+	copy(out[8:], e.Data)
+	ck := checksum(pseudoHeader(src, dst, len(out), ProtoICMPv6), out)
+	binary.BigEndian.PutUint16(out[2:], ck)
+	return out
+}
+
+// DecodeICMPEcho parses and verifies an ICMPv6 echo message.
+func DecodeICMPEcho(src, dst Addr, b []byte) (ICMPEcho, error) {
+	if len(b) < 8 {
+		return ICMPEcho{}, fmt.Errorf("ip6: ICMPv6 too short")
+	}
+	if b[0] != ICMPEchoRequest && b[0] != ICMPEchoReply {
+		return ICMPEcho{}, fmt.Errorf("ip6: unsupported ICMPv6 type %d", b[0])
+	}
+	if checksum(pseudoHeader(src, dst, len(b), ProtoICMPv6), b) != 0 {
+		return ICMPEcho{}, fmt.Errorf("ip6: ICMPv6 checksum mismatch")
+	}
+	return ICMPEcho{
+		Type: b[0],
+		ID:   binary.BigEndian.Uint16(b[4:]),
+		Seq:  binary.BigEndian.Uint16(b[6:]),
+		Data: b[8:],
+	}, nil
+}
+
+// pseudoHeader builds the IPv6 pseudo-header for upper-layer checksums.
+func pseudoHeader(src, dst Addr, upperLen int, proto byte) []byte {
+	ph := make([]byte, 40)
+	copy(ph[0:16], src[:])
+	copy(ph[16:32], dst[:])
+	binary.BigEndian.PutUint32(ph[32:], uint32(upperLen))
+	ph[39] = proto
+	return ph
+}
+
+// checksum computes the Internet checksum over the given byte slices.
+func checksum(parts ...[]byte) uint16 {
+	var sum uint32
+	for _, p := range parts {
+		for i := 0; i+1 < len(p); i += 2 {
+			sum += uint32(p[i])<<8 | uint32(p[i+1])
+		}
+		if len(p)%2 == 1 {
+			sum += uint32(p[len(p)-1]) << 8
+		}
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
+}

@@ -1,0 +1,393 @@
+package ip6
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blemesh/internal/sim"
+)
+
+func TestAddrHelpers(t *testing.T) {
+	ll := LinkLocal(0x0102030405FF)
+	if !ll.IsLinkLocal() || ll.IsMulticast() || ll.IsUnspecified() {
+		t.Fatalf("link-local classification wrong: %v", ll)
+	}
+	if ll.String() != "fe80::302:3ff:fe04:5ff" {
+		t.Fatalf("link-local = %v", ll)
+	}
+	if !AllNodes.IsMulticast() {
+		t.Fatal("ff02::1 not multicast")
+	}
+	if !Unspecified.IsUnspecified() {
+		t.Fatal(":: not unspecified")
+	}
+}
+
+func TestIIDMACRoundTrip(t *testing.T) {
+	for _, mac := range []uint64{0, 1, 0x0102030405FF, 0xFFFFFFFFFFFF} {
+		got, ok := MACFromIID(IIDFromMAC(mac))
+		if !ok || got != mac {
+			t.Fatalf("MAC %012x round trip -> %012x ok=%v", mac, got, ok)
+		}
+	}
+	if _, ok := MACFromIID([8]byte{1, 2, 3, 4, 5, 6, 7, 8}); ok {
+		t.Fatal("non-EUI IID accepted")
+	}
+}
+
+func TestAddrMAC(t *testing.T) {
+	a := ULA(DefaultPrefix, 0xABCDEF123456)
+	mac, ok := a.MAC()
+	if !ok || mac != 0xABCDEF123456 {
+		t.Fatalf("MAC from ULA = %012x ok=%v", mac, ok)
+	}
+	if !SamePrefix(a, DefaultPrefix) {
+		t.Fatal("ULA lost its prefix")
+	}
+}
+
+func TestParseAddr(t *testing.T) {
+	if _, err := ParseAddr("fd00::1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"", "10.0.0.1", "zz::1"} {
+		if _, err := ParseAddr(bad); err == nil {
+			t.Fatalf("ParseAddr(%q) accepted", bad)
+		}
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{
+		TrafficClass: 0x12, FlowLabel: 0xABCDE, NextHeader: ProtoUDP,
+		HopLimit: 64, Src: MustParseAddr("fd00::1"), Dst: MustParseAddr("fd00::2"),
+	}
+	payload := []byte{1, 2, 3, 4, 5}
+	pkt := h.Encode(payload)
+	if len(pkt) != HeaderLen+5 {
+		t.Fatalf("encoded length %d", len(pkt))
+	}
+	got, pl, err := Decode(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TrafficClass != h.TrafficClass || got.FlowLabel != h.FlowLabel ||
+		got.NextHeader != h.NextHeader || got.HopLimit != h.HopLimit ||
+		got.Src != h.Src || got.Dst != h.Dst || got.PayloadLen != 5 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(pl, payload) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(make([]byte, 10)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	bad := (&Header{HopLimit: 1}).Encode(nil)
+	bad[0] = 0x40 // IPv4 version
+	if _, _, err := Decode(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	trunc := (&Header{}).Encode(make([]byte, 10))
+	if _, _, err := Decode(trunc[:45]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(tc byte, fl uint32, nh byte, hl byte, src, dst [16]byte, n uint8) bool {
+		h := Header{TrafficClass: tc, FlowLabel: fl & 0xFFFFF, NextHeader: nh,
+			HopLimit: hl, Src: Addr(src), Dst: Addr(dst)}
+		pl := make([]byte, n)
+		got, _, err := Decode(h.Encode(pl))
+		if err != nil {
+			return false
+		}
+		return got.TrafficClass == h.TrafficClass && got.FlowLabel == h.FlowLabel &&
+			got.NextHeader == nh && got.HopLimit == hl && got.Src == h.Src && got.Dst == h.Dst
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUDPRoundTripAndChecksum(t *testing.T) {
+	src, dst := MustParseAddr("fd00::1"), MustParseAddr("fd00::2")
+	d := EncodeUDP(src, dst, 1234, 5683, []byte("payload"))
+	h, pl, err := DecodeUDP(src, dst, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.SrcPort != 1234 || h.DstPort != 5683 || string(pl) != "payload" {
+		t.Fatalf("UDP round trip: %+v %q", h, pl)
+	}
+	// Corrupt one payload byte: the checksum must catch it.
+	d[9]++
+	if _, _, err := DecodeUDP(src, dst, d); err == nil {
+		t.Fatal("corrupted UDP datagram accepted")
+	}
+	// Wrong pseudo-header (different dst) must also fail.
+	d[9]--
+	if _, _, err := DecodeUDP(src, MustParseAddr("fd00::3"), d); err == nil {
+		t.Fatal("UDP with wrong pseudo-header accepted")
+	}
+}
+
+func TestICMPEchoRoundTrip(t *testing.T) {
+	src, dst := MustParseAddr("fe80::1"), MustParseAddr("fe80::2")
+	b := EncodeICMPEcho(src, dst, ICMPEcho{Type: ICMPEchoRequest, ID: 7, Seq: 9, Data: []byte{1, 2}})
+	e, err := DecodeICMPEcho(src, dst, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != ICMPEchoRequest || e.ID != 7 || e.Seq != 9 || !bytes.Equal(e.Data, []byte{1, 2}) {
+		t.Fatalf("echo mismatch: %+v", e)
+	}
+	b[8]++
+	if _, err := DecodeICMPEcho(src, dst, b); err == nil {
+		t.Fatal("corrupted echo accepted")
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := Pool{Capacity: 100}
+	if !p.Alloc(60) || !p.Alloc(40) {
+		t.Fatal("allocations within capacity failed")
+	}
+	if p.Alloc(1) {
+		t.Fatal("over-capacity allocation succeeded")
+	}
+	if p.Fails() != 1 || p.Peak() != 100 {
+		t.Fatalf("fails=%d peak=%d", p.Fails(), p.Peak())
+	}
+	p.Free(60)
+	if !p.Alloc(50) {
+		t.Fatal("allocation after free failed")
+	}
+	if p.Used() != 90 {
+		t.Fatalf("used=%d", p.Used())
+	}
+}
+
+func TestQuickPoolNeverOverflows(t *testing.T) {
+	f := func(ops []int16) bool {
+		p := Pool{Capacity: 1000}
+		var held []int
+		for _, op := range ops {
+			if op >= 0 {
+				n := int(op) % 400
+				if p.Alloc(n) {
+					held = append(held, n)
+				}
+			} else if len(held) > 0 {
+				p.Free(held[len(held)-1])
+				held = held[:len(held)-1]
+			}
+			if p.Used() > p.Capacity || p.Used() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// fakeIf is a loop-free test interface that records outputs.
+type fakeIf struct {
+	neighbors map[uint64]bool
+	sent      []struct {
+		mac uint64
+		pkt []byte
+	}
+	reject bool
+}
+
+func (f *fakeIf) Output(mac uint64, pkt []byte) bool {
+	if f.reject {
+		return false
+	}
+	cp := append([]byte(nil), pkt...)
+	f.sent = append(f.sent, struct {
+		mac uint64
+		pkt []byte
+	}{mac, cp})
+	return true
+}
+func (f *fakeIf) HasNeighbor(mac uint64) bool { return f.neighbors[mac] }
+func (f *fakeIf) MTU() int                    { return 1280 }
+
+func TestRoutingLongestPrefix(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x02: true, 0x03: true}}
+	st.AddInterface(ifc)
+	// Default route via node 2, host route to one address via node 3.
+	target := ULA(DefaultPrefix, 0x99)
+	st.AddRoute(Route{Dst: DefaultPrefix, PrefixLen: 0, NextHop: ULA(DefaultPrefix, 0x02)})
+	st.AddRoute(Route{Dst: target, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
+	if err := st.SendUDP(target, 1, 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SendUDP(ULA(DefaultPrefix, 0x77), 1, 2, []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if len(ifc.sent) != 2 {
+		t.Fatalf("sent %d packets", len(ifc.sent))
+	}
+	if ifc.sent[0].mac != 0x03 {
+		t.Fatalf("host route not preferred: went via %x", ifc.sent[0].mac)
+	}
+	if ifc.sent[1].mac != 0x02 {
+		t.Fatalf("default route not used: went via %x", ifc.sent[1].mac)
+	}
+}
+
+func TestNoRouteCounted(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	st.AddInterface(&fakeIf{neighbors: map[uint64]bool{}})
+	if err := st.SendUDP(ULA(DefaultPrefix, 0x42), 1, 2, nil); err == nil {
+		t.Fatal("send without route succeeded")
+	}
+	if st.Stats().NoRoute != 1 {
+		t.Fatalf("NoRoute=%d", st.Stats().NoRoute)
+	}
+}
+
+func TestAddressDerivedNeighborResolution(t *testing.T) {
+	// 6LoWPAN: the IID embeds the MAC, so an on-link mesh address
+	// resolves without any NIB entry.
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x55: true}}
+	st.AddInterface(ifc)
+	if err := st.SendUDP(ULA(DefaultPrefix, 0x55), 1, 2, []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	if len(ifc.sent) != 1 || ifc.sent[0].mac != 0x55 {
+		t.Fatalf("address-derived resolution failed: %+v", ifc.sent)
+	}
+}
+
+func TestNIBBoundedEviction(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	ifc := &fakeIf{neighbors: map[uint64]bool{}}
+	st.AddInterface(ifc)
+	for i := 0; i < 40; i++ {
+		st.AddNeighbor(ULA(DefaultPrefix, uint64(0x1000+i)), uint64(0x1000+i), ifc)
+	}
+	if len(st.nib) != 32 {
+		t.Fatalf("NIB grew to %d entries, cap is 32", len(st.nib))
+	}
+	// The oldest entries were evicted; the newest must still resolve.
+	if _, _, ok := st.resolve(ULA(DefaultPrefix, 0x1000+39)); !ok {
+		t.Fatal("newest NIB entry missing")
+	}
+}
+
+func TestForwardingDecrementsHopLimit(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x03: true}}
+	st.AddInterface(ifc)
+	dst := ULA(DefaultPrefix, 0x99)
+	st.AddRoute(Route{Dst: dst, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
+	h := Header{NextHeader: ProtoUDP, HopLimit: 5, Src: ULA(DefaultPrefix, 0x01), Dst: dst}
+	st.Input(h.Encode(EncodeUDP(h.Src, h.Dst, 1, 2, nil)))
+	if len(ifc.sent) != 1 {
+		t.Fatalf("not forwarded")
+	}
+	fh, _, _ := Decode(ifc.sent[0].pkt)
+	if fh.HopLimit != 4 {
+		t.Fatalf("hop limit %d, want 4", fh.HopLimit)
+	}
+	if st.Stats().Forwarded != 1 {
+		t.Fatalf("Forwarded=%d", st.Stats().Forwarded)
+	}
+}
+
+func TestHopLimitExhaustionDrops(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x03: true}}
+	st.AddInterface(ifc)
+	dst := ULA(DefaultPrefix, 0x99)
+	st.AddRoute(Route{Dst: dst, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
+	h := Header{NextHeader: ProtoUDP, HopLimit: 1, Src: ULA(DefaultPrefix, 0x01), Dst: dst}
+	st.Input(h.Encode(nil))
+	if len(ifc.sent) != 0 || st.Stats().HopLimit != 1 {
+		t.Fatalf("hop-limit-1 packet forwarded (sent=%d)", len(ifc.sent))
+	}
+}
+
+func TestUDPDelivery(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	var gotSrc Addr
+	var gotPort uint16
+	var gotData []byte
+	st.ListenUDP(5683, func(src Addr, sport uint16, data []byte) {
+		gotSrc, gotPort, gotData = src, sport, data
+	})
+	src := ULA(DefaultPrefix, 0x01)
+	h := Header{NextHeader: ProtoUDP, HopLimit: 64, Src: src, Dst: st.GlobalAddr()}
+	st.Input(h.Encode(EncodeUDP(src, st.GlobalAddr(), 4444, 5683, []byte("coap"))))
+	if gotSrc != src || gotPort != 4444 || string(gotData) != "coap" {
+		t.Fatalf("UDP delivery: src=%v port=%d data=%q", gotSrc, gotPort, gotData)
+	}
+	if st.Stats().Received != 1 {
+		t.Fatalf("Received=%d", st.Stats().Received)
+	}
+}
+
+func TestLoopbackDelivery(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	got := false
+	st.ListenUDP(99, func(Addr, uint16, []byte) { got = true })
+	if err := st.SendUDP(st.GlobalAddr(), 1, 99, []byte("self")); err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("loopback UDP not delivered")
+	}
+}
+
+func TestEchoRequestGeneratesReply(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x01: true}}
+	st.AddInterface(ifc)
+	src := ULA(DefaultPrefix, 0x01)
+	icmp := EncodeICMPEcho(src, st.GlobalAddr(), ICMPEcho{Type: ICMPEchoRequest, ID: 3, Seq: 4})
+	h := Header{NextHeader: ProtoICMPv6, HopLimit: 64, Src: src, Dst: st.GlobalAddr()}
+	st.Input(h.Encode(icmp))
+	if len(ifc.sent) != 1 {
+		t.Fatal("no echo reply emitted")
+	}
+	rh, pl, _ := Decode(ifc.sent[0].pkt)
+	e, err := DecodeICMPEcho(rh.Src, rh.Dst, pl)
+	if err != nil || e.Type != ICMPEchoReply || e.ID != 3 || e.Seq != 4 {
+		t.Fatalf("bad echo reply: %+v err=%v", e, err)
+	}
+}
+
+func TestQueueDropCounted(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x02)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x03: true}, reject: true}
+	st.AddInterface(ifc)
+	dst := ULA(DefaultPrefix, 0x03)
+	if err := st.SendUDP(dst, 1, 2, nil); err == nil {
+		t.Fatal("send into full queue succeeded")
+	}
+	if st.Stats().QueueDrops != 1 {
+		t.Fatalf("QueueDrops=%d", st.Stats().QueueDrops)
+	}
+}

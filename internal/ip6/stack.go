@@ -1,0 +1,380 @@
+package ip6
+
+import (
+	"fmt"
+
+	"blemesh/internal/sim"
+)
+
+// Pool is a byte-budget packet buffer, the moral equivalent of GNRC's
+// pktbuf: every queued packet occupies its size in a fixed byte pool, and an
+// allocation failure means the packet is dropped. The paper leaves the GNRC
+// buffer at its default of 6144 bytes and attributes the high-load losses of
+// §5.2 to exactly this overflow.
+type Pool struct {
+	Capacity int
+	used     int
+	peak     int
+	fails    uint64
+}
+
+// Alloc reserves n bytes, failing when the pool would overflow.
+func (p *Pool) Alloc(n int) bool {
+	if p.used+n > p.Capacity {
+		p.fails++
+		return false
+	}
+	p.used += n
+	if p.used > p.peak {
+		p.peak = p.used
+	}
+	return true
+}
+
+// Free returns n bytes to the pool.
+func (p *Pool) Free(n int) {
+	p.used -= n
+	if p.used < 0 {
+		panic("ip6: pktbuf underflow")
+	}
+}
+
+// Used returns the bytes currently allocated.
+func (p *Pool) Used() int { return p.used }
+
+// Peak returns the high-water mark.
+func (p *Pool) Peak() int { return p.peak }
+
+// Fails returns the number of failed allocations (dropped packets).
+func (p *Pool) Fails() uint64 { return p.fails }
+
+// NetIf is a network interface below the stack: the BLE 6LoWPAN adapter
+// (internal/core) or the IEEE 802.15.4 adapter (internal/dot15d4).
+type NetIf interface {
+	// Output queues pkt (a full IPv6 packet) for transmission to the
+	// neighbor with link-layer address nextHopMAC. It returns false when
+	// the interface has no link to that neighbor or no queue space; the
+	// stack counts the drop.
+	Output(nextHopMAC uint64, pkt []byte) bool
+	// HasNeighbor reports whether a usable link to the neighbor exists.
+	HasNeighbor(nextHopMAC uint64) bool
+	// MTU returns the interface MTU (1280 for both our link types).
+	MTU() int
+}
+
+// Route is one routing table entry: a host route or a prefix route.
+type Route struct {
+	Dst       Addr
+	PrefixLen int // bits; 128 = host route, 0 = default route
+	NextHop   Addr
+	If        NetIf
+}
+
+// neighbor is one NIB entry.
+type neighbor struct {
+	addr Addr
+	mac  uint64
+	ifc  NetIf
+}
+
+// StackStats counts network-layer events.
+type StackStats struct {
+	Sent        uint64 // locally originated packets handed to a netif
+	Received    uint64 // packets delivered to local upper layers
+	Forwarded   uint64 // packets routed onward
+	NoRoute     uint64
+	NoNeighbor  uint64
+	HopLimit    uint64 // dropped: hop limit exhausted
+	QueueDrops  uint64 // netif rejected (queue/pktbuf full downstream)
+	PktbufDrops uint64 // local pktbuf exhausted
+	HdrErrors   uint64
+}
+
+// UDPHandler receives a datagram's source address/port and payload.
+type UDPHandler func(src Addr, srcPort uint16, payload []byte)
+
+// EchoHandler observes echo replies (for ping-style tooling).
+type EchoHandler func(src Addr, e ICMPEcho)
+
+// Stack is one node's IPv6 stack: addresses, routes, neighbor base, UDP
+// demultiplexing, and forwarding, in the spirit of GNRC with the 6LoWPAN
+// router role enabled (§4.2 of the paper).
+type Stack struct {
+	s *sim.Sim
+
+	linkLocal Addr
+	global    Addr
+	mac       uint64
+
+	routes []Route
+	nib    []neighbor
+	nibMax int
+
+	Pktbuf Pool
+
+	udp    map[uint16]UDPHandler
+	onEcho EchoHandler
+	stats  StackStats
+	ifaces []NetIf
+	// HopLimitDefault is used for locally originated packets.
+	HopLimitDefault byte
+}
+
+// NewStack builds a stack for a node with the given 48-bit link-layer
+// address. The node gets fe80::IID and fd00::IID (DefaultPrefix) addresses.
+// The NIB is bounded to 32 entries, the value the paper raises GNRC to.
+func NewStack(s *sim.Sim, mac uint64) *Stack {
+	return &Stack{
+		s:               s,
+		mac:             mac,
+		linkLocal:       LinkLocal(mac),
+		global:          ULA(DefaultPrefix, mac),
+		nibMax:          32,
+		Pktbuf:          Pool{Capacity: 6144},
+		udp:             make(map[uint16]UDPHandler),
+		HopLimitDefault: 64,
+	}
+}
+
+// LinkLocalAddr returns the node's fe80:: address.
+func (st *Stack) LinkLocalAddr() Addr { return st.linkLocal }
+
+// GlobalAddr returns the node's mesh-prefix (fd00::) address.
+func (st *Stack) GlobalAddr() Addr { return st.global }
+
+// MAC returns the node's link-layer address.
+func (st *Stack) MAC() uint64 { return st.mac }
+
+// Stats returns a copy of the stack counters.
+func (st *Stack) Stats() StackStats { return st.stats }
+
+// AddInterface attaches a netif to the stack.
+func (st *Stack) AddInterface(ifc NetIf) { st.ifaces = append(st.ifaces, ifc) }
+
+// AddRoute installs a route. Host routes (prefix length 128) are how the
+// experiments build their tree/line forwarding state.
+func (st *Stack) AddRoute(r Route) error {
+	if r.PrefixLen < 0 || r.PrefixLen > 128 {
+		return fmt.Errorf("ip6: prefix length %d", r.PrefixLen)
+	}
+	if r.If == nil && len(st.ifaces) == 1 {
+		r.If = st.ifaces[0]
+	}
+	st.routes = append(st.routes, r)
+	return nil
+}
+
+// ClearRoutes removes all routes (topology reconfiguration).
+func (st *Stack) ClearRoutes() { st.routes = nil }
+
+// AddNeighbor installs a NIB entry mapping an IPv6 address to a link-layer
+// address on an interface. The table is bounded; inserting beyond the limit
+// evicts the oldest entry (GNRC would fail neighbor resolution instead, but
+// the experiments size the NIB to fit all nodes, as the paper does).
+func (st *Stack) AddNeighbor(addr Addr, mac uint64, ifc NetIf) {
+	if ifc == nil && len(st.ifaces) == 1 {
+		ifc = st.ifaces[0]
+	}
+	for i := range st.nib {
+		if st.nib[i].addr == addr {
+			st.nib[i].mac = mac
+			st.nib[i].ifc = ifc
+			return
+		}
+	}
+	if len(st.nib) >= st.nibMax {
+		st.nib = st.nib[1:]
+	}
+	st.nib = append(st.nib, neighbor{addr: addr, mac: mac, ifc: ifc})
+}
+
+// lookupRoute returns the longest-prefix match for dst.
+func (st *Stack) lookupRoute(dst Addr) (Route, bool) {
+	best := -1
+	var hit Route
+	for _, r := range st.routes {
+		if !prefixMatch(dst, r.Dst, r.PrefixLen) {
+			continue
+		}
+		if r.PrefixLen > best {
+			best = r.PrefixLen
+			hit = r
+		}
+	}
+	return hit, best >= 0
+}
+
+func prefixMatch(a, p Addr, bits int) bool {
+	for i := 0; i < bits/8; i++ {
+		if a[i] != p[i] {
+			return false
+		}
+	}
+	if rem := bits % 8; rem != 0 {
+		mask := byte(0xff << (8 - rem))
+		if a[bits/8]&mask != p[bits/8]&mask {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve maps a next-hop (or on-link destination) address to (MAC, netif).
+func (st *Stack) resolve(nh Addr) (uint64, NetIf, bool) {
+	for _, n := range st.nib {
+		if n.addr == nh {
+			return n.mac, n.ifc, true
+		}
+	}
+	// Link-local and mesh-local addresses embed the MAC in their IID:
+	// 6LoWPAN's address-derived resolution needs no NDP round trip.
+	if mac, ok := nh.MAC(); ok {
+		for _, ifc := range st.ifaces {
+			if ifc.HasNeighbor(mac) {
+				return mac, ifc, true
+			}
+		}
+	}
+	return 0, nil, false
+}
+
+// ListenUDP registers a handler for a UDP port.
+func (st *Stack) ListenUDP(port uint16, h UDPHandler) { st.udp[port] = h }
+
+// OnEchoReply registers the echo-reply observer.
+func (st *Stack) OnEchoReply(h EchoHandler) { st.onEcho = h }
+
+// SendUDP emits a UDP datagram from this node.
+func (st *Stack) SendUDP(dst Addr, srcPort, dstPort uint16, payload []byte) error {
+	src := st.srcFor(dst)
+	dgram := EncodeUDP(src, dst, srcPort, dstPort, payload)
+	h := Header{NextHeader: ProtoUDP, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
+	return st.output(h.Encode(dgram))
+}
+
+// SendEcho emits an ICMPv6 echo request.
+func (st *Stack) SendEcho(dst Addr, id, seq uint16, data []byte) error {
+	src := st.srcFor(dst)
+	icmp := EncodeICMPEcho(src, dst, ICMPEcho{Type: ICMPEchoRequest, ID: id, Seq: seq, Data: data})
+	h := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
+	return st.output(h.Encode(icmp))
+}
+
+// srcFor selects the source address for a destination (link-local stays
+// link-local; everything else uses the mesh address).
+func (st *Stack) srcFor(dst Addr) Addr {
+	if dst.IsLinkLocal() {
+		return st.linkLocal
+	}
+	return st.global
+}
+
+// output routes and transmits a locally originated packet.
+func (st *Stack) output(pkt []byte) error {
+	h, payload, err := Decode(pkt)
+	if err != nil {
+		st.stats.HdrErrors++
+		return err
+	}
+	if st.isLocal(h.Dst) {
+		// Loopback delivery.
+		st.deliver(h, payload)
+		return nil
+	}
+	if err := st.transmit(h.Dst, pkt); err != nil {
+		return err
+	}
+	st.stats.Sent++
+	return nil
+}
+
+// transmit resolves the next hop for dst and hands pkt to the right netif.
+func (st *Stack) transmit(dst Addr, pkt []byte) error {
+	nh := dst
+	var viaIf NetIf
+	if r, ok := st.lookupRoute(dst); ok {
+		if !r.NextHop.IsUnspecified() {
+			nh = r.NextHop
+		}
+		viaIf = r.If
+	}
+	mac, ifc, ok := st.resolve(nh)
+	if !ok {
+		if viaIf == nil {
+			st.stats.NoRoute++
+			return fmt.Errorf("ip6: no route to %v", dst)
+		}
+		st.stats.NoNeighbor++
+		return fmt.Errorf("ip6: no neighbor for %v", nh)
+	}
+	if viaIf != nil {
+		ifc = viaIf
+	}
+	if !ifc.Output(mac, pkt) {
+		st.stats.QueueDrops++
+		return fmt.Errorf("ip6: interface queue full toward %v", nh)
+	}
+	return nil
+}
+
+// isLocal reports whether dst addresses this node.
+func (st *Stack) isLocal(dst Addr) bool {
+	return dst == st.linkLocal || dst == st.global || dst == AllNodes
+}
+
+// Input accepts an IPv6 packet from a netif (already decompressed). This is
+// the forwarding plane: local delivery, hop-limit handling, and routing.
+func (st *Stack) Input(pkt []byte) {
+	h, payload, err := Decode(pkt)
+	if err != nil {
+		st.stats.HdrErrors++
+		return
+	}
+	if st.isLocal(h.Dst) {
+		st.stats.Received++
+		st.deliver(h, payload)
+		return
+	}
+	// Forwarding.
+	if h.HopLimit <= 1 {
+		st.stats.HopLimit++
+		return
+	}
+	pkt[7] = h.HopLimit - 1
+	if err := st.transmit(h.Dst, pkt); err == nil {
+		st.stats.Forwarded++
+	}
+}
+
+// deliver hands a local packet's payload to the upper layers.
+func (st *Stack) deliver(h Header, payload []byte) {
+	switch h.NextHeader {
+	case ProtoUDP:
+		uh, data, err := DecodeUDP(h.Src, h.Dst, payload)
+		if err != nil {
+			st.stats.HdrErrors++
+			return
+		}
+		if handler, ok := st.udp[uh.DstPort]; ok {
+			handler(h.Src, uh.SrcPort, data)
+		}
+	case ProtoICMPv6:
+		e, err := DecodeICMPEcho(h.Src, h.Dst, payload)
+		if err != nil {
+			st.stats.HdrErrors++
+			return
+		}
+		switch e.Type {
+		case ICMPEchoRequest:
+			reply := EncodeICMPEcho(st.srcFor(h.Src), h.Src,
+				ICMPEcho{Type: ICMPEchoReply, ID: e.ID, Seq: e.Seq, Data: e.Data})
+			rh := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault,
+				Src: st.srcFor(h.Src), Dst: h.Src}
+			_ = st.output(rh.Encode(reply))
+		case ICMPEchoReply:
+			if st.onEcho != nil {
+				st.onEcho(h.Src, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,577 @@
+package l2cap
+
+import (
+	"fmt"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/sim"
+)
+
+// Config parameterises one side of a credit-based channel.
+type Config struct {
+	// MTU is the largest SDU this side is willing to receive. RFC 7668
+	// requires at least 1280 bytes for IPv6.
+	MTU int
+	// MPS is the largest PDU payload this side accepts per K-frame.
+	MPS int
+	// InitialCredits is the number of K-frames the peer may send before
+	// waiting for replenishment.
+	InitialCredits int
+}
+
+func (c *Config) defaults() {
+	if c.MTU == 0 {
+		c.MTU = 1280
+	}
+	if c.MPS == 0 {
+		// Fits one LL data PDU with the 4-byte basic header (and the
+		// 2-byte SDU header on first frames) under the 251-byte DLE
+		// limit.
+		c.MPS = 245
+	}
+	if c.InitialCredits == 0 {
+		c.InitialCredits = 10
+	}
+}
+
+// ChannelStats counts per-channel occurrences.
+type ChannelStats struct {
+	SDUsSent     uint64
+	SDUsReceived uint64
+	FramesSent   uint64
+	FramesRecv   uint64
+	CreditsSent  uint64 // credit grants signalled to the peer
+	Stalls       uint64 // drain attempts blocked on credits or LL pool
+	Violations   uint64 // peer exceeded granted credits
+}
+
+// Channel is one endpoint of an LE credit-based connection-oriented channel.
+type Channel struct {
+	ep   *Endpoint
+	scid uint16 // our channel id (peer sends to this)
+	dcid uint16 // peer's channel id (we send to this)
+	psm  uint16
+
+	// TX view: the peer's receive configuration.
+	peerMTU   int
+	peerMPS   int
+	txCredits int
+
+	// RX view: our configuration and outstanding grant.
+	cfg       Config
+	rxCredits int // frames the peer may still send
+	consumed  int // frames received since last grant
+
+	open   bool
+	closed bool
+
+	// Segmentation queue: K-frames ready to go; onDone fires when the
+	// final frame of its SDU is acknowledged by the LL.
+	txq []txFrame
+
+	// Reassembly state.
+	sduBuf []byte
+	sduLen int
+
+	stats ChannelStats
+
+	// OnSDU delivers a complete received SDU (an IPv6 packet, for IPSP).
+	OnSDU func([]byte)
+	// OnWritable fires when the channel transitions from blocked to
+	// accepting more SDUs.
+	OnWritable func()
+	// OnClose fires when the channel is torn down (peer disconnect
+	// request or the BLE link dying).
+	OnClose func()
+}
+
+type txFrame struct {
+	data   []byte
+	onDone func()
+}
+
+// SCID returns the local channel id.
+func (ch *Channel) SCID() uint16 { return ch.scid }
+
+// PSM returns the protocol/service multiplexer the channel was opened for.
+func (ch *Channel) PSM() uint16 { return ch.psm }
+
+// Open reports whether the channel is established and usable.
+func (ch *Channel) Open() bool { return ch.open && !ch.closed }
+
+// Stats returns a copy of the channel counters.
+func (ch *Channel) Stats() ChannelStats { return ch.stats }
+
+// PeerMTU returns the largest SDU the peer accepts.
+func (ch *Channel) PeerMTU() int { return ch.peerMTU }
+
+// Writable reports whether SendSDU will accept another SDU right now: the
+// previous queue must have drained and the peer must have granted credit.
+// This is the backpressure signal the network layer's interface queue obeys.
+func (ch *Channel) Writable() bool {
+	return ch.Open() && len(ch.txq) == 0 && ch.txCredits > 0
+}
+
+// SendSDU segments data into K-frames and queues them for transmission.
+// onDone fires when the LL has delivered (and the peer acknowledged) the
+// final frame. SendSDU returns an error when the channel is not open or the
+// SDU exceeds the peer's MTU; it accepts data even when currently blocked
+// (the frames wait for credits), so callers should gate on Writable.
+func (ch *Channel) SendSDU(data []byte, onDone func()) error {
+	if !ch.Open() {
+		return fmt.Errorf("l2cap: channel %d not open", ch.scid)
+	}
+	if len(data) > ch.peerMTU {
+		return fmt.Errorf("l2cap: SDU %d exceeds peer MTU %d", len(data), ch.peerMTU)
+	}
+	frames := segment(data, ch.peerMPS)
+	for i, f := range frames {
+		tf := txFrame{data: f}
+		if i == len(frames)-1 {
+			tf.onDone = onDone
+		}
+		ch.txq = append(ch.txq, tf)
+	}
+	ch.stats.SDUsSent++
+	ch.drain()
+	return nil
+}
+
+// segment splits an SDU into K-frames: the first carries the 2-byte SDU
+// length prefix, every frame carries at most mps payload bytes.
+func segment(sdu []byte, mps int) [][]byte {
+	first := make([]byte, sduHeaderLen, sduHeaderLen+min(len(sdu), mps-sduHeaderLen))
+	first[0] = byte(len(sdu))
+	first[1] = byte(len(sdu) >> 8)
+	n := min(len(sdu), mps-sduHeaderLen)
+	first = append(first, sdu[:n]...)
+	frames := [][]byte{first}
+	rest := sdu[n:]
+	for len(rest) > 0 {
+		n := min(len(rest), mps)
+		frames = append(frames, rest[:n:n])
+		rest = rest[n:]
+	}
+	return frames
+}
+
+// drain pushes queued frames while credits and LL buffers allow.
+func (ch *Channel) drain() {
+	for len(ch.txq) > 0 {
+		if ch.txCredits <= 0 {
+			ch.stats.Stalls++
+			return
+		}
+		f := ch.txq[0]
+		if !ch.ep.sendPDU(ch.dcid, f.data, f.onDone) {
+			// LL pool exhausted: retry when the link drains.
+			ch.stats.Stalls++
+			ch.ep.scheduleKick()
+			return
+		}
+		ch.txCredits--
+		ch.stats.FramesSent++
+		ch.txq = ch.txq[1:]
+	}
+}
+
+// notifyWritable fires OnWritable on a blocked→writable transition. Callers
+// capture the blocked state BEFORE the action that may unblock the channel.
+func (ch *Channel) notifyWritable(wasBlocked bool) {
+	if wasBlocked && ch.Writable() && ch.OnWritable != nil {
+		ch.OnWritable()
+	}
+}
+
+// receiveFrame handles one K-frame from the peer.
+func (ch *Channel) receiveFrame(payload []byte) {
+	if ch.rxCredits <= 0 {
+		// Peer sent beyond its grant: a real stack would disconnect
+		// the channel; we count and drop.
+		ch.stats.Violations++
+		return
+	}
+	ch.rxCredits--
+	ch.consumed++
+	ch.stats.FramesRecv++
+
+	if ch.sduBuf == nil {
+		if len(payload) < sduHeaderLen {
+			ch.stats.Violations++
+			return
+		}
+		ch.sduLen = int(payload[0]) | int(payload[1])<<8
+		if ch.sduLen > ch.cfg.MTU {
+			ch.stats.Violations++
+			return
+		}
+		ch.sduBuf = make([]byte, 0, ch.sduLen)
+		payload = payload[sduHeaderLen:]
+	}
+	ch.sduBuf = append(ch.sduBuf, payload...)
+	if len(ch.sduBuf) >= ch.sduLen {
+		sdu := ch.sduBuf[:ch.sduLen]
+		ch.sduBuf = nil
+		ch.stats.SDUsReceived++
+		if ch.OnSDU != nil {
+			ch.OnSDU(sdu)
+		}
+	}
+	ch.maybeReplenish()
+}
+
+// maybeReplenish grants the peer fresh credits once half the initial grant
+// has been consumed, keeping the pipe from stalling in steady state.
+func (ch *Channel) maybeReplenish() {
+	if ch.consumed < (ch.cfg.InitialCredits+1)/2 {
+		return
+	}
+	grant := ch.consumed
+	ch.consumed = 0
+	ch.rxCredits += grant
+	ch.stats.CreditsSent++
+	ch.ep.sendSignal(signal{code: codeFlowCredit, id: ch.ep.nextSigID(), cid: ch.scid, credits: uint16(grant)})
+}
+
+// creditsGranted applies a peer's flow-control credit signal.
+func (ch *Channel) creditsGranted(n int) {
+	wasBlocked := !ch.Writable()
+	ch.txCredits += n
+	ch.drain()
+	ch.notifyWritable(wasBlocked)
+}
+
+// Close tears the channel down with a disconnect handshake.
+func (ch *Channel) Close() {
+	if ch.closed {
+		return
+	}
+	ch.ep.sendSignal(signal{code: codeDisconnReq, id: ch.ep.nextSigID(), dcid: ch.dcid, scid: ch.scid})
+	ch.teardown()
+}
+
+func (ch *Channel) teardown() {
+	if ch.closed {
+		return
+	}
+	ch.closed = true
+	ch.open = false
+	delete(ch.ep.channels, ch.scid)
+	if ch.OnClose != nil {
+		ch.OnClose()
+	}
+}
+
+// Endpoint multiplexes L2CAP channels over one BLE connection.
+type Endpoint struct {
+	s    *sim.Sim
+	conn *ble.Conn
+
+	nextCID  uint16
+	sigID    byte
+	channels map[uint16]*Channel // by local scid
+	servers  map[uint16]serverEntry
+	pending  map[byte]pendingDial // signaling id → dial state
+
+	// LL-level PDU reassembly (a PDU may span several LL fragments).
+	rxBuf []byte
+
+	// Fixed-channel handlers (ATT rides the fixed CID 0x0004).
+	fixed map[uint16]func(payload []byte)
+
+	kickArmed bool
+
+	// EndpointStats diagnostics.
+	stats EndpointStats
+
+	// OnChannelOpen fires for channels opened by the peer (after the
+	// server accepted them).
+	OnChannelOpen func(*Channel)
+}
+
+type serverEntry struct {
+	cfg Config
+}
+
+type pendingDial struct {
+	ch *Channel
+	cb func(*Channel, error)
+}
+
+// EndpointStats counts endpoint-level anomalies (all zero in a healthy run).
+type EndpointStats struct {
+	UnknownCID       uint64 // PDU for a CID with no channel
+	ClosedCID        uint64 // PDU for a closed channel
+	ContWithoutStart uint64 // continuation fragment with no start
+	StartMidPDU      uint64 // start fragment while a PDU was incomplete
+	DecodeErrors     uint64
+}
+
+// NewEndpoint attaches an L2CAP endpoint to an established BLE connection.
+func NewEndpoint(s *sim.Sim, conn *ble.Conn) *Endpoint {
+	ep := &Endpoint{
+		s:        s,
+		conn:     conn,
+		nextCID:  FirstDynamicCID,
+		channels: make(map[uint16]*Channel),
+		servers:  make(map[uint16]serverEntry),
+		pending:  make(map[byte]pendingDial),
+		fixed:    make(map[uint16]func([]byte)),
+	}
+	conn.OnData = ep.onLL
+	return ep
+}
+
+// Conn returns the underlying BLE connection.
+func (ep *Endpoint) Conn() *ble.Conn { return ep.conn }
+
+// Stats returns a copy of the endpoint anomaly counters.
+func (ep *Endpoint) Stats() EndpointStats { return ep.stats }
+
+// Channels returns the currently open channels.
+func (ep *Endpoint) Channels() []*Channel {
+	out := make([]*Channel, 0, len(ep.channels))
+	for _, ch := range ep.channels {
+		out = append(out, ch)
+	}
+	return out
+}
+
+// RegisterServer accepts incoming channels for psm with the given receive
+// configuration. IPSP nodes register PSMIPSP.
+func (ep *Endpoint) RegisterServer(psm uint16, cfg Config) {
+	cfg.defaults()
+	ep.servers[psm] = serverEntry{cfg: cfg}
+}
+
+// Dial opens a channel to the peer's psm server. cb is invoked with the open
+// channel or an error (peer refused).
+func (ep *Endpoint) Dial(psm uint16, cfg Config, cb func(*Channel, error)) {
+	cfg.defaults()
+	ch := &Channel{ep: ep, scid: ep.allocCID(), psm: psm, cfg: cfg, rxCredits: cfg.InitialCredits}
+	ep.channels[ch.scid] = ch
+	id := ep.nextSigID()
+	ep.pending[id] = pendingDial{ch: ch, cb: cb}
+	ep.sendSignal(signal{
+		code: codeConnReq, id: id, psm: psm,
+		scid: ch.scid, mtu: uint16(cfg.MTU), mps: uint16(cfg.MPS), credits: uint16(cfg.InitialCredits),
+	})
+}
+
+// Teardown closes all channels without signaling — used when the BLE link
+// itself died.
+func (ep *Endpoint) Teardown() {
+	for _, ch := range ep.Channels() {
+		ch.teardown()
+	}
+}
+
+func (ep *Endpoint) allocCID() uint16 {
+	cid := ep.nextCID
+	ep.nextCID++
+	return cid
+}
+
+func (ep *Endpoint) nextSigID() byte {
+	ep.sigID++
+	if ep.sigID == 0 {
+		ep.sigID = 1
+	}
+	return ep.sigID
+}
+
+// scheduleKick arms a retry of all channel drains once the LL pool has had a
+// chance to free (pool space returns as the peer acknowledges PDUs).
+func (ep *Endpoint) scheduleKick() {
+	if ep.kickArmed {
+		return
+	}
+	ep.kickArmed = true
+	ep.s.After(2*sim.Millisecond, func() {
+		ep.kickArmed = false
+		for _, ch := range ep.channels {
+			wasBlocked := !ch.Writable()
+			ch.drain()
+			ch.notifyWritable(wasBlocked)
+		}
+	})
+}
+
+// sendPDU fragments an L2CAP PDU into LL data packets. It returns false
+// (sending nothing) when the LL pool cannot hold the whole PDU.
+func (ep *Endpoint) sendPDU(cid uint16, payload []byte, onDone func()) bool {
+	full := encodePDU(cid, payload)
+	if ep.conn.PoolFree() < len(full) {
+		return false
+	}
+	llid := ble.LLIDDataStart
+	for len(full) > 0 {
+		n := min(len(full), ble.MaxDataLen)
+		frag := full[:n:n]
+		full = full[n:]
+		var cb func()
+		if len(full) == 0 {
+			cb = onDone
+		}
+		if !ep.conn.Send(llid, frag, cb) {
+			// Cannot happen after the PoolFree check in a
+			// single-threaded simulation, but fail loudly if the
+			// invariant breaks.
+			panic("l2cap: LL rejected fragment after pool check")
+		}
+		llid = ble.LLIDDataCont
+	}
+	return true
+}
+
+func (ep *Endpoint) sendSignal(s signal) {
+	// Signaling is exempt from channel credits but still occupies the LL
+	// pool; if the pool is momentarily full, retry shortly.
+	if !ep.sendPDU(CIDSignaling, encodeSignal(s), nil) {
+		ep.s.After(2*sim.Millisecond, func() { ep.sendSignal(s) })
+	}
+}
+
+// onLL reassembles LL fragments into L2CAP PDUs and routes them.
+func (ep *Endpoint) onLL(llid ble.LLID, payload []byte) {
+	switch llid {
+	case ble.LLIDDataStart:
+		if len(ep.rxBuf) > 0 {
+			ep.stats.StartMidPDU++
+		}
+		ep.rxBuf = append(ep.rxBuf[:0], payload...)
+	case ble.LLIDDataCont:
+		if ep.rxBuf == nil {
+			ep.stats.ContWithoutStart++
+			return // continuation without a start: drop
+		}
+		ep.rxBuf = append(ep.rxBuf, payload...)
+	default:
+		return
+	}
+	if len(ep.rxBuf) < basicHeaderLen || len(ep.rxBuf) < pduLength(ep.rxBuf) {
+		return // PDU incomplete, await continuation
+	}
+	p, err := decodePDU(ep.rxBuf)
+	ep.rxBuf = nil
+	if err != nil {
+		ep.stats.DecodeErrors++
+		return
+	}
+	if p.cid == CIDSignaling {
+		if s, err := decodeSignal(p.payload); err == nil {
+			ep.onSignal(s)
+		}
+		return
+	}
+	if h, ok := ep.fixed[p.cid]; ok {
+		h(p.payload)
+		return
+	}
+	ch, ok := ep.channels[p.cid]
+	switch {
+	case !ok:
+		ep.stats.UnknownCID++
+	case !ch.Open():
+		ep.stats.ClosedCID++
+	default:
+		ch.receiveFrame(p.payload)
+	}
+}
+
+func (ep *Endpoint) onSignal(s signal) {
+	switch s.code {
+	case codeConnReq:
+		srv, ok := ep.servers[s.psm]
+		if !ok {
+			ep.sendSignal(signal{code: codeConnRsp, id: s.id, result: resultRefusedPSM})
+			return
+		}
+		ch := &Channel{
+			ep: ep, scid: ep.allocCID(), dcid: s.scid, psm: s.psm,
+			cfg: srv.cfg, rxCredits: srv.cfg.InitialCredits,
+			peerMTU: int(s.mtu), peerMPS: int(s.mps), txCredits: int(s.credits),
+			open: true,
+		}
+		ep.channels[ch.scid] = ch
+		ep.sendSignal(signal{
+			code: codeConnRsp, id: s.id, dcid: ch.scid,
+			mtu: uint16(srv.cfg.MTU), mps: uint16(srv.cfg.MPS),
+			credits: uint16(srv.cfg.InitialCredits), result: resultSuccess,
+		})
+		if ep.OnChannelOpen != nil {
+			ep.OnChannelOpen(ch)
+		}
+	case codeConnRsp:
+		pd, ok := ep.pending[s.id]
+		if !ok {
+			return
+		}
+		delete(ep.pending, s.id)
+		if s.result != resultSuccess {
+			delete(ep.channels, pd.ch.scid)
+			if pd.cb != nil {
+				pd.cb(nil, fmt.Errorf("l2cap: peer refused channel (result %#x)", s.result))
+			}
+			return
+		}
+		ch := pd.ch
+		ch.dcid = s.dcid
+		ch.peerMTU = int(s.mtu)
+		ch.peerMPS = int(s.mps)
+		ch.txCredits = int(s.credits)
+		ch.open = true
+		if pd.cb != nil {
+			pd.cb(ch, nil)
+		}
+		ch.drain()
+	case codeFlowCredit:
+		// The cid in the signal is the PEER's channel id; find ours.
+		for _, ch := range ep.channels {
+			if ch.dcid == s.cid {
+				ch.creditsGranted(int(s.credits))
+				break
+			}
+		}
+	case codeDisconnReq:
+		if ch, ok := ep.channels[s.dcid]; ok {
+			ep.sendSignal(signal{code: codeDisconnRsp, id: s.id, dcid: s.dcid, scid: s.scid})
+			ch.teardown()
+		}
+	case codeDisconnRsp:
+		// Our disconnect completed; nothing further to do.
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// TXCredits returns the credits currently granted by the peer.
+func (ch *Channel) TXCredits() int { return ch.txCredits }
+
+// RXCredits returns the credits we have granted and the peer has not spent.
+func (ch *Channel) RXCredits() int { return ch.rxCredits }
+
+// QueueLen returns the number of K-frames waiting for transmission.
+func (ch *Channel) QueueLen() int { return len(ch.txq) }
+
+// CIDATT is the fixed channel of the Attribute Protocol.
+const CIDATT uint16 = 0x0004
+
+// HandleFixed installs a handler for a fixed L2CAP channel (e.g. ATT).
+// Fixed channels have no flow control; PDUs are delivered as they arrive.
+func (ep *Endpoint) HandleFixed(cid uint16, h func(payload []byte)) {
+	ep.fixed[cid] = h
+}
+
+// SendFixed transmits a PDU on a fixed channel, retrying briefly when the
+// LL pool is momentarily full (like signaling PDUs).
+func (ep *Endpoint) SendFixed(cid uint16, payload []byte) {
+	if !ep.sendPDU(cid, payload, nil) {
+		ep.s.After(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
+	}
+}

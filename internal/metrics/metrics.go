@@ -1,0 +1,342 @@
+// Package metrics provides the measurement toolkit of the experiment
+// harness: CDFs with quantiles, bucketed time series (for PDR-over-time
+// plots), per-producer heatmap rows, and ASCII renderings that mirror the
+// paper's figures in a terminal.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"blemesh/internal/sim"
+)
+
+// CDF accumulates samples and answers quantile queries.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// Add inserts a sample.
+func (c *CDF) Add(v float64) {
+	c.samples = append(c.samples, v)
+	c.sorted = false
+}
+
+// AddDuration inserts a sim duration as seconds.
+func (c *CDF) AddDuration(d sim.Duration) { c.Add(d.Seconds()) }
+
+// N returns the sample count.
+func (c *CDF) N() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0..1) by linear interpolation.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	if q <= 0 {
+		return c.samples[0]
+	}
+	if q >= 1 {
+		return c.samples[len(c.samples)-1]
+	}
+	pos := q * float64(len(c.samples)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(c.samples) {
+		return c.samples[len(c.samples)-1]
+	}
+	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+}
+
+// Median returns the 0.5 quantile.
+func (c *CDF) Median() float64 { return c.Quantile(0.5) }
+
+// Mean returns the arithmetic mean.
+func (c *CDF) Mean() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range c.samples {
+		sum += v
+	}
+	return sum / float64(len(c.samples))
+}
+
+// Max returns the largest sample.
+func (c *CDF) Max() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	return c.samples[len(c.samples)-1]
+}
+
+// Min returns the smallest sample.
+func (c *CDF) Min() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	return c.samples[0]
+}
+
+// FractionBelow returns the empirical CDF value at x.
+func (c *CDF) FractionBelow(x float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, x)
+	return float64(i) / float64(len(c.samples))
+}
+
+// Points returns n evenly spaced (x, F(x)) pairs for plotting.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.samples) == 0 || n < 2 {
+		return nil
+	}
+	c.sort()
+	out := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		out = append(out, [2]float64{c.Quantile(q), q})
+	}
+	return out
+}
+
+// ASCII renders the CDF as a small terminal plot.
+func (c *CDF) ASCII(width, height int, label string) string {
+	if c.N() == 0 {
+		return label + ": (no samples)\n"
+	}
+	lo, hi := c.Min(), c.Max()
+	if hi <= lo {
+		hi = lo + 1e-9
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for col := 0; col < width; col++ {
+		x := lo + (hi-lo)*float64(col)/float64(width-1)
+		f := c.FractionBelow(x)
+		row := height - 1 - int(f*float64(height-1)+0.5)
+		grid[row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s  (n=%d, median=%.3f, p99=%.3f, max=%.3f)\n",
+		label, c.N(), c.Median(), c.Quantile(0.99), c.Max())
+	for i, row := range grid {
+		f := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", f, string(row))
+	}
+	fmt.Fprintf(&b, "      %-*.3g%*.3g\n", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+// Counter is a ratio counter (delivered / sent).
+type Counter struct {
+	Sent      uint64
+	Delivered uint64
+}
+
+// Rate returns Delivered/Sent, or 1 when nothing was sent.
+func (c Counter) Rate() float64 {
+	if c.Sent == 0 {
+		return 1
+	}
+	return float64(c.Delivered) / float64(c.Sent)
+}
+
+// TimeSeries buckets ratio samples over simulation time — the shape of the
+// paper's PDR-over-time plots (Fig. 7a, 9, 13).
+type TimeSeries struct {
+	Bucket  sim.Duration
+	buckets []Counter
+}
+
+// NewTimeSeries creates a series with the given bucket width.
+func NewTimeSeries(bucket sim.Duration) *TimeSeries {
+	if bucket <= 0 {
+		bucket = 60 * sim.Second
+	}
+	return &TimeSeries{Bucket: bucket}
+}
+
+func (ts *TimeSeries) bucketAt(t sim.Time) *Counter {
+	i := int(t / ts.Bucket)
+	for len(ts.buckets) <= i {
+		ts.buckets = append(ts.buckets, Counter{})
+	}
+	return &ts.buckets[i]
+}
+
+// RecordSent counts an attempt at time t.
+func (ts *TimeSeries) RecordSent(t sim.Time) { ts.bucketAt(t).Sent++ }
+
+// RecordDelivered counts a success attributed to send time t.
+func (ts *TimeSeries) RecordDelivered(t sim.Time) { ts.bucketAt(t).Delivered++ }
+
+// Rates returns the per-bucket delivery rates.
+func (ts *TimeSeries) Rates() []float64 {
+	out := make([]float64, len(ts.buckets))
+	for i, b := range ts.buckets {
+		out[i] = b.Rate()
+	}
+	return out
+}
+
+// Overall returns the whole-run ratio.
+func (ts *TimeSeries) Overall() Counter {
+	var total Counter
+	for _, b := range ts.buckets {
+		total.Sent += b.Sent
+		total.Delivered += b.Delivered
+	}
+	return total
+}
+
+// ASCII renders the series as one character per bucket ('9' = ≥0.95,
+// '#' = 1.0, digits = first decimal).
+func (ts *TimeSeries) ASCII(label string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s [", label)
+	for _, bk := range ts.buckets {
+		b.WriteByte(rateChar(bk.Rate()))
+	}
+	total := ts.Overall()
+	fmt.Fprintf(&b, "] overall=%.4f (%d/%d)\n", total.Rate(), total.Delivered, total.Sent)
+	return b.String()
+}
+
+func rateChar(r float64) byte {
+	switch {
+	case r >= 0.995:
+		return '#'
+	case r >= 0.95:
+		return '9'
+	case math.IsNaN(r):
+		return ' '
+	default:
+		d := int(r * 10)
+		if d > 9 {
+			d = 9
+		}
+		if d < 0 {
+			d = 0
+		}
+		return byte('0' + d)
+	}
+}
+
+// Heatmap collects per-row time series (one row per producer, Fig. 9a/12).
+type Heatmap struct {
+	Bucket sim.Duration
+	rows   map[string]*TimeSeries
+	order  []string
+}
+
+// NewHeatmap creates a heatmap with the given time bucket.
+func NewHeatmap(bucket sim.Duration) *Heatmap {
+	return &Heatmap{Bucket: bucket, rows: make(map[string]*TimeSeries)}
+}
+
+// Row returns (creating if needed) the series for a row label.
+func (h *Heatmap) Row(label string) *TimeSeries {
+	ts, ok := h.rows[label]
+	if !ok {
+		ts = NewTimeSeries(h.Bucket)
+		h.rows[label] = ts
+		h.order = append(h.order, label)
+	}
+	return ts
+}
+
+// Rows returns the labels in insertion order.
+func (h *Heatmap) Rows() []string { return append([]string(nil), h.order...) }
+
+// ASCII renders every row.
+func (h *Heatmap) ASCII() string {
+	var b strings.Builder
+	w := 0
+	for _, l := range h.order {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	for _, l := range h.order {
+		b.WriteString(fmt.Sprintf("%-*s ", w, l))
+		b.WriteString(h.rows[l].ASCII(""))
+	}
+	return b.String()
+}
+
+// Summary aggregates a set of scalar observations keyed by name, used for
+// the table-style outputs (energy table, Fig. 14/15 cells).
+type Summary struct {
+	names  []string
+	values map[string][]float64
+}
+
+// NewSummary creates an empty summary.
+func NewSummary() *Summary { return &Summary{values: make(map[string][]float64)} }
+
+// Observe appends a value under a name.
+func (s *Summary) Observe(name string, v float64) {
+	if _, ok := s.values[name]; !ok {
+		s.names = append(s.names, name)
+	}
+	s.values[name] = append(s.values[name], v)
+}
+
+// Mean returns the mean of a named series (NaN when absent).
+func (s *Summary) Mean(name string) float64 {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// MinMax returns the extremes of a named series.
+func (s *Summary) MinMax(name string) (float64, float64) {
+	vs := s.values[name]
+	if len(vs) == 0 {
+		return math.NaN(), math.NaN()
+	}
+	lo, hi := vs[0], vs[0]
+	for _, v := range vs {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	return lo, hi
+}
+
+// Names returns the observation names in first-seen order.
+func (s *Summary) Names() []string { return append([]string(nil), s.names...) }
+
+// Table renders "name: mean [min..max] (n)" lines.
+func (s *Summary) Table() string {
+	var b strings.Builder
+	for _, n := range s.names {
+		lo, hi := s.MinMax(n)
+		fmt.Fprintf(&b, "%-40s %10.4f  [%.4f .. %.4f]  n=%d\n", n, s.Mean(n), lo, hi, len(s.values[n]))
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"blemesh/internal/sim"
+)
+
+func TestCDFQuantiles(t *testing.T) {
+	var c CDF
+	for i := 1; i <= 100; i++ {
+		c.Add(float64(i))
+	}
+	if c.N() != 100 {
+		t.Fatalf("N=%d", c.N())
+	}
+	if m := c.Median(); m < 50 || m > 51 {
+		t.Fatalf("median=%v", m)
+	}
+	if c.Min() != 1 || c.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", c.Min(), c.Max())
+	}
+	if q := c.Quantile(0.99); q < 99 || q > 100 {
+		t.Fatalf("p99=%v", q)
+	}
+	if q := c.Quantile(0); q != 1 {
+		t.Fatalf("q0=%v", q)
+	}
+	if q := c.Quantile(1); q != 100 {
+		t.Fatalf("q1=%v", q)
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	var c CDF
+	if !math.IsNaN(c.Median()) || !math.IsNaN(c.Mean()) {
+		t.Fatal("empty CDF should return NaN")
+	}
+	if !strings.Contains(c.ASCII(10, 4, "x"), "no samples") {
+		t.Fatal("empty ASCII output wrong")
+	}
+}
+
+func TestCDFFractionBelow(t *testing.T) {
+	var c CDF
+	for _, v := range []float64{1, 2, 3, 4} {
+		c.Add(v)
+	}
+	if f := c.FractionBelow(2.5); f != 0.5 {
+		t.Fatalf("F(2.5)=%v", f)
+	}
+	if f := c.FractionBelow(0); f != 0 {
+		t.Fatalf("F(0)=%v", f)
+	}
+	if f := c.FractionBelow(10); f != 1 {
+		t.Fatalf("F(10)=%v", f)
+	}
+}
+
+func TestCDFAddDurationSeconds(t *testing.T) {
+	var c CDF
+	c.AddDuration(250 * sim.Millisecond)
+	if c.Mean() != 0.25 {
+		t.Fatalf("duration sample = %v", c.Mean())
+	}
+}
+
+func TestQuickCDFQuantileMonotone(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		var c CDF
+		ok := false
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				c.Add(v)
+				ok = true
+			}
+		}
+		if !ok {
+			return true
+		}
+		qa, qb := math.Abs(a), math.Abs(b)
+		qa, qb = qa-math.Floor(qa), qb-math.Floor(qb)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return c.Quantile(qa) <= c.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCDFPointsSorted(t *testing.T) {
+	f := func(vals []float64) bool {
+		var c CDF
+		for _, v := range vals {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				c.Add(v)
+			}
+		}
+		pts := c.Points(20)
+		xs := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i] = p[0]
+		}
+		return sort.Float64sAreSorted(xs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries(10 * sim.Second)
+	// Bucket 0: 2 sent, 1 delivered; bucket 2: 1 sent, 1 delivered.
+	ts.RecordSent(sim.Second)
+	ts.RecordSent(2 * sim.Second)
+	ts.RecordDelivered(2 * sim.Second)
+	ts.RecordSent(25 * sim.Second)
+	ts.RecordDelivered(25 * sim.Second)
+	rates := ts.Rates()
+	if len(rates) != 3 {
+		t.Fatalf("buckets=%d", len(rates))
+	}
+	if rates[0] != 0.5 || rates[1] != 1 || rates[2] != 1 {
+		t.Fatalf("rates=%v", rates)
+	}
+	total := ts.Overall()
+	if total.Sent != 3 || total.Delivered != 2 {
+		t.Fatalf("overall=%+v", total)
+	}
+}
+
+func TestTimeSeriesASCII(t *testing.T) {
+	ts := NewTimeSeries(sim.Second)
+	ts.RecordSent(0)
+	ts.RecordDelivered(0)
+	out := ts.ASCII("pdr")
+	if !strings.Contains(out, "#") || !strings.Contains(out, "overall=1.0000") {
+		t.Fatalf("ASCII: %q", out)
+	}
+}
+
+func TestRateChar(t *testing.T) {
+	cases := []struct {
+		r float64
+		c byte
+	}{{1, '#'}, {0.97, '9'}, {0.85, '8'}, {0.5, '5'}, {0, '0'}}
+	for _, cse := range cases {
+		if got := rateChar(cse.r); got != cse.c {
+			t.Errorf("rateChar(%v)=%c want %c", cse.r, got, cse.c)
+		}
+	}
+}
+
+func TestCounterRate(t *testing.T) {
+	if (Counter{}).Rate() != 1 {
+		t.Fatal("empty counter rate != 1")
+	}
+	if (Counter{Sent: 4, Delivered: 1}).Rate() != 0.25 {
+		t.Fatal("rate wrong")
+	}
+}
+
+func TestHeatmapRows(t *testing.T) {
+	h := NewHeatmap(sim.Second)
+	h.Row("node-1").RecordSent(0)
+	h.Row("node-2").RecordSent(0)
+	h.Row("node-1").RecordDelivered(0)
+	if rows := h.Rows(); len(rows) != 2 || rows[0] != "node-1" {
+		t.Fatalf("rows=%v", rows)
+	}
+	out := h.ASCII()
+	if !strings.Contains(out, "node-1") || !strings.Contains(out, "node-2") {
+		t.Fatalf("heatmap ASCII: %q", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := NewSummary()
+	s.Observe("pdr", 0.9)
+	s.Observe("pdr", 1.0)
+	s.Observe("rtt", 0.2)
+	if m := s.Mean("pdr"); math.Abs(m-0.95) > 1e-9 {
+		t.Fatalf("mean=%v", m)
+	}
+	lo, hi := s.MinMax("pdr")
+	if lo != 0.9 || hi != 1.0 {
+		t.Fatalf("minmax=%v/%v", lo, hi)
+	}
+	if !math.IsNaN(s.Mean("missing")) {
+		t.Fatal("missing name should be NaN")
+	}
+	if names := s.Names(); len(names) != 2 || names[0] != "pdr" {
+		t.Fatalf("names=%v", names)
+	}
+	if !strings.Contains(s.Table(), "rtt") {
+		t.Fatal("table missing rows")
+	}
+}
+
+func TestCDFASCIIShape(t *testing.T) {
+	var c CDF
+	for i := 0; i < 1000; i++ {
+		c.Add(float64(i % 100))
+	}
+	out := c.ASCII(40, 8, "rtt")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Header + 8 rows + axis.
+	if len(lines) != 10 {
+		t.Fatalf("ASCII has %d lines", len(lines))
+	}
+	if !strings.Contains(lines[0], "n=1000") {
+		t.Fatalf("header: %q", lines[0])
+	}
+}

@@ -1,0 +1,384 @@
+// Package phy models the shared 2.4GHz radio medium of the testbed room:
+// channels, on-air transmissions with real airtime, overlap-based collision
+// detection, clear-channel assessment for CSMA MACs, jammed channels (the
+// paper found BLE channel 22 permanently jammed in the IoT-Lab), and random
+// background noise.
+//
+// The model is deliberately geometry-free: the paper states that all BLE
+// nodes were in radio range of each other in a 1m x 1m grid and that node
+// placement had negligible impact, so every radio on the medium hears every
+// transmission on its channel. Loss comes from collisions, jammers, and a
+// configurable stochastic noise process — the three RF loss processes the
+// paper identifies — never from path loss.
+package phy
+
+import (
+	"fmt"
+
+	"blemesh/internal/sim"
+)
+
+// NodeID identifies a radio on the medium. IDs are assigned by the medium
+// in registration order and are stable for a simulation run.
+type NodeID int
+
+// Channel is a radio channel index. BLE uses 0..39 (37 data channels plus
+// 37/38/39 for advertising); IEEE 802.15.4 uses 11..26. Both fit the same
+// index space because the two technologies never share one Medium instance
+// in our experiments (the paper ran them in different testbed sites).
+type Channel int
+
+// BLE channel layout constants.
+const (
+	// NumDataChannels is the number of BLE data channels (0..36).
+	NumDataChannels = 37
+	// AdvChannel37..39 are the three BLE advertising channels.
+	AdvChannel37 Channel = 37
+	AdvChannel38 Channel = 38
+	AdvChannel39 Channel = 39
+	// NumChannels is the total BLE channel count.
+	NumChannels = 40
+)
+
+// Packet is an on-air frame. The payload is opaque to the PHY; link layers
+// attach their PDU structures. Bits is the on-air size used for airtime and
+// energy accounting.
+type Packet struct {
+	Src     NodeID
+	Bits    int
+	Payload any
+}
+
+// transmission is one in-flight packet on a channel.
+type transmission struct {
+	pkt       Packet
+	ch        Channel
+	start     sim.Time
+	end       sim.Time
+	corrupted bool
+	aborted   bool
+}
+
+// Receiver is the callback a radio installs to get end-of-packet
+// indications. ok is false when the packet was corrupted by a collision,
+// a jammer, or noise; link layers treat that as a CRC failure.
+type Receiver func(pkt Packet, ch Channel, ok bool)
+
+// Interference corrupts packets independently of collisions. Implementations
+// must be deterministic functions of the simulation RNG and their own state.
+type Interference interface {
+	// Corrupts reports whether a packet occupying [start,end) on ch is
+	// destroyed by this interference source.
+	Corrupts(s *sim.Sim, ch Channel, start, end sim.Time) bool
+	// Busy reports whether the source makes ch appear busy to CCA at time t.
+	Busy(ch Channel, t sim.Time) bool
+}
+
+// Jammer is a permanent blocking carrier on one channel, like the external
+// signal the paper found on BLE channel 22 at the Saclay site.
+type Jammer struct{ Ch Channel }
+
+// Corrupts implements Interference: every packet on the jammed channel dies.
+func (j Jammer) Corrupts(_ *sim.Sim, ch Channel, _, _ sim.Time) bool { return ch == j.Ch }
+
+// Busy implements Interference: the jammed channel always fails CCA.
+func (j Jammer) Busy(ch Channel, _ sim.Time) bool { return ch == j.Ch }
+
+// RandomNoise corrupts each packet independently with probability PER,
+// modelling diffuse 2.4GHz background traffic (WiFi beacons etc.). The
+// paper attributes "slight variations ... to the impact of background noise
+// in the testbed".
+type RandomNoise struct{ PER float64 }
+
+// Corrupts implements Interference.
+func (n RandomNoise) Corrupts(s *sim.Sim, _ Channel, _, _ sim.Time) bool {
+	return n.PER > 0 && s.Rand().Float64() < n.PER
+}
+
+// Busy implements Interference; diffuse noise does not trip CCA.
+func (n RandomNoise) Busy(Channel, sim.Time) bool { return false }
+
+// Stats aggregates medium-level counters, exported for experiment reports.
+type Stats struct {
+	Transmissions uint64 // packets put on the air
+	Collisions    uint64 // packets corrupted by overlap
+	Interfered    uint64 // packets corrupted by jammers/noise
+	Delivered     uint64 // end-of-packet indications with ok=true
+	Missed        uint64 // corrupted indications delivered to listeners
+}
+
+// Medium is the shared broadcast channel space.
+type Medium struct {
+	sim    *sim.Sim
+	active map[Channel][]*transmission
+	radios []*Radio
+	interf []Interference
+	stats  Stats
+}
+
+// NewMedium creates an empty medium on the given simulation.
+func NewMedium(s *sim.Sim) *Medium {
+	return &Medium{sim: s, active: make(map[Channel][]*transmission)}
+}
+
+// AddInterference attaches an interference source to the medium.
+func (m *Medium) AddInterference(i Interference) { m.interf = append(m.interf, i) }
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Busy reports whether any transmission or blocking interference occupies ch
+// right now. This is the CCA primitive used by the IEEE 802.15.4 MAC.
+func (m *Medium) Busy(ch Channel) bool {
+	if len(m.active[ch]) > 0 {
+		return true
+	}
+	for _, i := range m.interf {
+		if i.Busy(ch, m.sim.Now()) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewRadio registers a radio on the medium and returns it.
+func (m *Medium) NewRadio() *Radio {
+	r := &Radio{medium: m, id: NodeID(len(m.radios)), listenCh: -1}
+	m.radios = append(m.radios, r)
+	return r
+}
+
+// RadioState describes what a radio is doing, for energy accounting.
+type RadioState int
+
+// Radio states.
+const (
+	RadioIdle RadioState = iota
+	RadioRX
+	RadioTX
+)
+
+func (s RadioState) String() string {
+	switch s {
+	case RadioIdle:
+		return "idle"
+	case RadioRX:
+		return "rx"
+	case RadioTX:
+		return "tx"
+	}
+	return fmt.Sprintf("RadioState(%d)", int(s))
+}
+
+// Radio is one node's transceiver. A radio can either listen on one channel
+// or transmit on one channel at a time — the single-radio constraint that,
+// combined with deterministic connection intervals, produces the scheduling
+// collisions the paper analyses.
+type Radio struct {
+	medium *Medium
+	id     NodeID
+
+	state       RadioState
+	listenCh    Channel
+	listenSince sim.Time
+	recv        Receiver
+	carrier     CarrierFunc
+
+	txEnd sim.Time
+	curTX *transmission
+
+	// Accumulated air-interface activity, consumed by the energy model.
+	TXTime sim.Duration
+	RXTime sim.Duration
+	TXPkts uint64
+	RXPkts uint64
+}
+
+// ID returns the radio's medium-assigned node ID.
+func (r *Radio) ID() NodeID { return r.id }
+
+// State returns what the radio is currently doing.
+func (r *Radio) State() RadioState { return r.state }
+
+// SetReceiver installs the end-of-packet callback.
+func (r *Radio) SetReceiver(recv Receiver) { r.recv = recv }
+
+// CarrierFunc is the start-of-packet indication: a listening radio detects a
+// preamble on its channel and learns when the packet will end. Link layers
+// use it to extend receive windows instead of aborting mid-packet, exactly
+// like hardware preamble/access-address detection.
+type CarrierFunc func(ch Channel, end sim.Time)
+
+// SetCarrier installs the start-of-packet callback.
+func (r *Radio) SetCarrier(fn CarrierFunc) { r.carrier = fn }
+
+// Listening reports the channel the radio is receiving on, or -1.
+func (r *Radio) Listening() Channel {
+	if r.state == RadioRX {
+		return r.listenCh
+	}
+	return -1
+}
+
+// StartListen tunes the receiver to ch. A transmit in progress is an error:
+// link layers must sequence their radio use through their scheduler.
+func (r *Radio) StartListen(ch Channel) {
+	if r.state == RadioTX {
+		panic("phy: StartListen while transmitting")
+	}
+	if r.state == RadioRX {
+		if r.listenCh == ch {
+			return
+		}
+		r.accumRX()
+	}
+	r.state = RadioRX
+	r.listenCh = ch
+	r.listenSince = r.medium.sim.Now()
+}
+
+// StopListen turns the receiver off.
+func (r *Radio) StopListen() {
+	if r.state != RadioRX {
+		return
+	}
+	r.accumRX()
+	r.state = RadioIdle
+	r.listenCh = -1
+}
+
+func (r *Radio) accumRX() {
+	r.RXTime += r.medium.sim.Now() - r.listenSince
+}
+
+// Transmit puts pkt on the air on ch for the given airtime. The radio must
+// not already be transmitting. Listening stops for the TX duration (BLE and
+// 802.15.4 radios are half-duplex) and is NOT resumed automatically.
+// The done callback, if non-nil, fires when the transmission ends.
+func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func()) {
+	if r.state == RadioTX {
+		panic("phy: Transmit while already transmitting")
+	}
+	if airtime <= 0 {
+		panic("phy: non-positive airtime")
+	}
+	if r.state == RadioRX {
+		r.accumRX()
+	}
+	pkt.Src = r.id
+	r.state = RadioTX
+	r.TXTime += airtime
+	r.TXPkts++
+	now := r.medium.sim.Now()
+	r.txEnd = now + airtime
+	m := r.medium
+	tx := &transmission{pkt: pkt, ch: ch, start: now, end: now + airtime}
+	r.curTX = tx
+	m.stats.Transmissions++
+
+	// Collision detection: any overlap on the same channel corrupts all
+	// parties. Mark existing in-flight transmissions and the new one.
+	for _, other := range m.active[ch] {
+		if !other.corrupted {
+			other.corrupted = true
+			m.stats.Collisions++
+		}
+		if !tx.corrupted {
+			tx.corrupted = true
+			m.stats.Collisions++
+		}
+	}
+	// Interference sources (jammer, noise).
+	if !tx.corrupted {
+		for _, i := range m.interf {
+			if i.Corrupts(m.sim, ch, tx.start, tx.end) {
+				tx.corrupted = true
+				m.stats.Interfered++
+				break
+			}
+		}
+	}
+	m.active[ch] = append(m.active[ch], tx)
+
+	// Start-of-packet (carrier) indication for eligible listeners.
+	for _, lr := range m.radios {
+		if lr == r || lr.state != RadioRX || lr.listenCh != ch || lr.listenSince > now {
+			continue
+		}
+		if lr.carrier != nil {
+			lr.carrier(ch, tx.end)
+		}
+	}
+
+	m.sim.At(tx.end, func() {
+		m.finish(r, tx)
+		if done != nil {
+			done()
+		}
+	})
+}
+
+// AbortTX cuts a transmission short: the carrier stops, the partial packet
+// is unrecoverable at every receiver (CRC failure), and the radio is free
+// immediately. Link layers use this when a higher-priority scheduled event
+// preempts an in-flight packet.
+func (r *Radio) AbortTX() {
+	if r.state != RadioTX || r.curTX == nil {
+		return
+	}
+	tx := r.curTX
+	if !tx.corrupted {
+		tx.corrupted = true
+	}
+	// Remove from the active set now so CCA reads the channel as free.
+	m := r.medium
+	lst := m.active[tx.ch]
+	for i, t := range lst {
+		if t == tx {
+			lst[i] = lst[len(lst)-1]
+			m.active[tx.ch] = lst[:len(lst)-1]
+			break
+		}
+	}
+	tx.aborted = true
+	r.state = RadioIdle
+	r.curTX = nil
+}
+
+// finish removes tx from the active set, returns the sender to idle, and
+// delivers end-of-packet indications to eligible listeners.
+func (m *Medium) finish(sender *Radio, tx *transmission) {
+	if !tx.aborted {
+		lst := m.active[tx.ch]
+		for i, t := range lst {
+			if t == tx {
+				lst[i] = lst[len(lst)-1]
+				m.active[tx.ch] = lst[:len(lst)-1]
+				break
+			}
+		}
+		sender.state = RadioIdle
+		sender.curTX = nil
+	}
+
+	for _, r := range m.radios {
+		if r == sender || r.state != RadioRX || r.listenCh != tx.ch {
+			continue
+		}
+		// The receiver must have been tuned in before the packet started;
+		// a radio that arrived mid-packet cannot sync to the preamble.
+		if r.listenSince > tx.start {
+			continue
+		}
+		ok := !tx.corrupted
+		if ok {
+			m.stats.Delivered++
+			r.RXPkts++
+		} else {
+			m.stats.Missed++
+		}
+		if r.recv != nil {
+			r.recv(tx.pkt, tx.ch, ok)
+		}
+	}
+}

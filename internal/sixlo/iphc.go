@@ -1,0 +1,467 @@
+// Package sixlo implements the 6LoWPAN adaptation layer: IPHC header
+// compression with UDP next-header compression (RFC 6282) and
+// fragmentation/reassembly (RFC 4944). IPv6-over-BLE (RFC 7668) uses the
+// compression but not the fragmentation (L2CAP carries full 1280-byte MTUs);
+// the IEEE 802.15.4 comparison stack uses both.
+package sixlo
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blemesh/internal/ip6"
+)
+
+// Dispatch values.
+const (
+	dispatchIPv6 byte = 0x41 // uncompressed IPv6 follows
+	dispatchIPHC byte = 0x60 // 011xxxxx: IPHC compressed header
+	maskIPHC     byte = 0xE0
+)
+
+// Context is one 6LoWPAN compression context: a shared prefix that can be
+// elided from addresses. The experiments install fd00::/64 as context 0 on
+// every node.
+type Context struct {
+	Prefix ip6.Addr
+	Len    int // prefix length in bits (only /64 contexts are supported)
+}
+
+// DefaultContexts is the context table the experiments use.
+var DefaultContexts = []Context{{Prefix: ip6.DefaultPrefix, Len: 64}}
+
+// IPHC byte-0 fields.
+const (
+	tfElided byte = 0x18 // TF=11
+	tfTCOnly byte = 0x10 // TF=10: traffic class inline (1 byte)
+	tfFull   byte = 0x00 // TF=00: 4 bytes inline
+	nhComp   byte = 0x04 // next header compressed (NHC follows)
+	hlimIn   byte = 0x00
+	hlim1    byte = 0x01
+	hlim64   byte = 0x02
+	hlim255  byte = 0x03
+)
+
+// IPHC byte-1 fields.
+const (
+	cidExt byte = 0x80
+	sac    byte = 0x40
+	samOff      = 4
+	mcast  byte = 0x08
+	dac    byte = 0x04
+	damOff      = 0
+)
+
+// Address compression modes.
+const (
+	amFull   byte = 0 // 128 bits inline
+	am64     byte = 1 // 64 bits inline, prefix from context/link-local
+	am16     byte = 2 // 16 bits inline (::ff:fe00:XXXX IID)
+	amElided byte = 3 // fully derived from the link-layer address
+)
+
+// udpNHCBase is the UDP NHC dispatch 11110CPP.
+const udpNHCBase byte = 0xF0
+
+// Compress turns a full IPv6 packet into a 6LoWPAN IPHC frame. srcMAC and
+// dstMAC are the link-layer addresses of this hop (needed to elide
+// IID-derived addresses). Unsupported shapes fall back to less compressed
+// but always valid encodings.
+func Compress(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
+	h, payload, err := ip6.Decode(pkt)
+	if err != nil {
+		return nil, err
+	}
+	var b0, b1 byte
+	b0 = dispatchIPHC
+	var inline []byte
+
+	// Traffic class / flow label.
+	switch {
+	case h.TrafficClass == 0 && h.FlowLabel == 0:
+		b0 |= tfElided
+	case h.FlowLabel == 0:
+		b0 |= tfTCOnly
+		inline = append(inline, h.TrafficClass)
+	default:
+		b0 |= tfFull
+		inline = append(inline,
+			h.TrafficClass,
+			byte(h.FlowLabel>>16)&0x0F,
+			byte(h.FlowLabel>>8),
+			byte(h.FlowLabel))
+	}
+
+	// Next header: UDP gets NHC; everything else inline.
+	compressUDP := h.NextHeader == ip6.ProtoUDP && len(payload) >= ip6.UDPHeaderLen
+	if compressUDP {
+		b0 |= nhComp
+	} else {
+		inline = append(inline, h.NextHeader)
+	}
+
+	// Hop limit.
+	switch h.HopLimit {
+	case 1:
+		b0 |= hlim1
+	case 64:
+		b0 |= hlim64
+	case 255:
+		b0 |= hlim255
+	default:
+		b0 |= hlimIn
+		inline = append(inline, h.HopLimit)
+	}
+
+	// Source address.
+	srcAM, srcCtx, srcInline := compressAddr(h.Src, srcMAC, ctxs)
+	b1 |= srcAM << samOff
+	if srcCtx >= 0 {
+		b1 |= sac
+	}
+	inline = append(inline, srcInline...)
+
+	// Destination address.
+	var dstAM byte
+	var dstCtx int
+	var dstInline []byte
+	if h.Dst.IsMulticast() {
+		b1 |= mcast
+		dstAM, dstInline = compressMulticast(h.Dst)
+		dstCtx = -1
+	} else {
+		dstAM, dstCtx, dstInline = compressAddr(h.Dst, dstMAC, ctxs)
+		if dstCtx >= 0 {
+			b1 |= dac
+		}
+	}
+	b1 |= dstAM << damOff
+	inline = append(inline, dstInline...)
+
+	// Context extension byte (we only use context 0, so SCI=DCI=0, but
+	// the byte must be present whenever SAC or DAC is set).
+	out := []byte{b0, b1}
+	if b1&(sac|dac) != 0 {
+		b1 |= cidExt
+		out[1] = b1
+		sci, dci := byte(0), byte(0)
+		if srcCtx > 0 {
+			sci = byte(srcCtx)
+		}
+		if dstCtx > 0 {
+			dci = byte(dstCtx)
+		}
+		out = append(out, sci<<4|dci)
+	}
+	out = append(out, inline...)
+
+	if compressUDP {
+		nhc, udpPayload := compressUDPHeader(payload)
+		out = append(out, nhc...)
+		out = append(out, udpPayload...)
+	} else {
+		out = append(out, payload...)
+	}
+	return out, nil
+}
+
+// compressAddr picks the tightest stateless or context-based encoding.
+func compressAddr(a ip6.Addr, mac uint64, ctxs []Context) (am byte, ctx int, inline []byte) {
+	ctx = -1
+	var prefixOK bool
+	if a.IsLinkLocal() {
+		prefixOK = true
+	} else {
+		for i, c := range ctxs {
+			if ip6.SamePrefix(a, c.Prefix) {
+				ctx = i
+				prefixOK = true
+				break
+			}
+		}
+	}
+	if !prefixOK {
+		return amFull, -1, a[:]
+	}
+	if m, ok := a.MAC(); ok && m == mac {
+		return amElided, ctx, nil
+	}
+	// ::ff:fe00:XXXX style IIDs compress to 16 bits.
+	if a[8] == 0 && a[9] == 0 && a[10] == 0 && a[11] == 0xff && a[12] == 0xfe && a[13] == 0 {
+		return am16, ctx, a[14:16]
+	}
+	return am64, ctx, a[8:16]
+}
+
+// compressMulticast encodes the destination multicast address.
+func compressMulticast(a ip6.Addr) (am byte, inline []byte) {
+	// ff02::00XX compresses to 1 byte (DAM=11).
+	small := a[1] == 0x02
+	for i := 2; i < 15; i++ {
+		if a[i] != 0 {
+			small = false
+			break
+		}
+	}
+	if small {
+		return amElided, []byte{a[15]}
+	}
+	return amFull, a[:]
+}
+
+// compressUDPHeader emits the UDP NHC header. The checksum is always
+// carried inline (C=0) — RFC 6282 only allows elision with upper-layer
+// authorization.
+func compressUDPHeader(dgram []byte) (nhc []byte, payload []byte) {
+	srcPort := binary.BigEndian.Uint16(dgram[0:])
+	dstPort := binary.BigEndian.Uint16(dgram[2:])
+	cksum := dgram[6:8]
+	switch {
+	case srcPort&0xFFF0 == 0xF0B0 && dstPort&0xFFF0 == 0xF0B0:
+		// Both ports in the 4-bit range.
+		nhc = []byte{udpNHCBase | 0x03, byte(srcPort&0x0F)<<4 | byte(dstPort&0x0F)}
+	case dstPort&0xFF00 == 0xF000:
+		nhc = []byte{udpNHCBase | 0x01, byte(srcPort >> 8), byte(srcPort), byte(dstPort)}
+	case srcPort&0xFF00 == 0xF000:
+		nhc = []byte{udpNHCBase | 0x02, byte(srcPort), byte(dstPort >> 8), byte(dstPort)}
+	default:
+		nhc = []byte{udpNHCBase, byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort)}
+	}
+	nhc = append(nhc, cksum...)
+	return nhc, dgram[ip6.UDPHeaderLen:]
+}
+
+// Decompress reconstructs the full IPv6 packet from an IPHC frame.
+func Decompress(frame []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("sixlo: empty frame")
+	}
+	if frame[0] == dispatchIPv6 {
+		return frame[1:], nil
+	}
+	if frame[0]&maskIPHC != dispatchIPHC {
+		return nil, fmt.Errorf("sixlo: unknown dispatch %#x", frame[0])
+	}
+	if len(frame) < 2 {
+		return nil, fmt.Errorf("sixlo: IPHC frame too short")
+	}
+	b0, b1 := frame[0], frame[1]
+	p := 2
+	next := func(n int) ([]byte, error) {
+		if p+n > len(frame) {
+			return nil, fmt.Errorf("sixlo: IPHC truncated at offset %d", p)
+		}
+		s := frame[p : p+n]
+		p += n
+		return s, nil
+	}
+
+	sci, dci := 0, 0
+	if b1&cidExt != 0 {
+		c, err := next(1)
+		if err != nil {
+			return nil, err
+		}
+		sci, dci = int(c[0]>>4), int(c[0]&0x0F)
+	}
+
+	var h ip6.Header
+	switch b0 & 0x18 {
+	case tfElided:
+	case tfTCOnly:
+		tc, err := next(1)
+		if err != nil {
+			return nil, err
+		}
+		h.TrafficClass = tc[0]
+	case tfFull:
+		tf, err := next(4)
+		if err != nil {
+			return nil, err
+		}
+		h.TrafficClass = tf[0]
+		h.FlowLabel = uint32(tf[1]&0x0F)<<16 | uint32(tf[2])<<8 | uint32(tf[3])
+	default:
+		return nil, fmt.Errorf("sixlo: unsupported TF mode")
+	}
+
+	udpNHC := b0&nhComp != 0
+	if !udpNHC {
+		nh, err := next(1)
+		if err != nil {
+			return nil, err
+		}
+		h.NextHeader = nh[0]
+	}
+
+	switch b0 & 0x03 {
+	case hlim1:
+		h.HopLimit = 1
+	case hlim64:
+		h.HopLimit = 64
+	case hlim255:
+		h.HopLimit = 255
+	default:
+		hl, err := next(1)
+		if err != nil {
+			return nil, err
+		}
+		h.HopLimit = hl[0]
+	}
+
+	var err error
+	h.Src, err = decompressAddr((b1>>samOff)&0x03, b1&sac != 0, sci, srcMAC, ctxs, next)
+	if err != nil {
+		return nil, err
+	}
+	if b1&mcast != 0 {
+		h.Dst, err = decompressMulticast((b1>>damOff)&0x03, next)
+	} else {
+		h.Dst, err = decompressAddr((b1>>damOff)&0x03, b1&dac != 0, dci, dstMAC, ctxs, next)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	payload := frame[p:]
+	if udpNHC {
+		dgram, err := decompressUDPHeader(payload)
+		if err != nil {
+			return nil, err
+		}
+		h.NextHeader = ip6.ProtoUDP
+		payload = dgram
+	}
+	return h.Encode(payload), nil
+}
+
+func decompressAddr(am byte, hasCtx bool, ci int, mac uint64, ctxs []Context,
+	next func(int) ([]byte, error)) (ip6.Addr, error) {
+	var prefix ip6.Addr
+	if hasCtx {
+		if ci >= len(ctxs) {
+			return ip6.Addr{}, fmt.Errorf("sixlo: unknown context %d", ci)
+		}
+		prefix = ctxs[ci].Prefix
+	} else {
+		prefix[0], prefix[1] = 0xfe, 0x80
+	}
+	switch am {
+	case amFull:
+		b, err := next(16)
+		if err != nil {
+			return ip6.Addr{}, err
+		}
+		var a ip6.Addr
+		copy(a[:], b)
+		return a, nil
+	case am64:
+		b, err := next(8)
+		if err != nil {
+			return ip6.Addr{}, err
+		}
+		a := prefix
+		copy(a[8:], b)
+		return a, nil
+	case am16:
+		b, err := next(2)
+		if err != nil {
+			return ip6.Addr{}, err
+		}
+		a := prefix
+		a[11], a[12] = 0xff, 0xfe
+		a[14], a[15] = b[0], b[1]
+		return a, nil
+	default: // amElided
+		a := prefix
+		iid := ip6.IIDFromMAC(mac)
+		copy(a[8:], iid[:])
+		return a, nil
+	}
+}
+
+func decompressMulticast(am byte, next func(int) ([]byte, error)) (ip6.Addr, error) {
+	switch am {
+	case amElided:
+		b, err := next(1)
+		if err != nil {
+			return ip6.Addr{}, err
+		}
+		var a ip6.Addr
+		a[0], a[1] = 0xff, 0x02
+		a[15] = b[0]
+		return a, nil
+	case amFull:
+		b, err := next(16)
+		if err != nil {
+			return ip6.Addr{}, err
+		}
+		var a ip6.Addr
+		copy(a[:], b)
+		return a, nil
+	default:
+		return ip6.Addr{}, fmt.Errorf("sixlo: unsupported multicast DAM %d", am)
+	}
+}
+
+func decompressUDPHeader(b []byte) ([]byte, error) {
+	if len(b) < 1 {
+		return nil, fmt.Errorf("sixlo: missing UDP NHC")
+	}
+	if b[0]&0xF8 != udpNHCBase {
+		return nil, fmt.Errorf("sixlo: bad UDP NHC dispatch %#x", b[0])
+	}
+	mode := b[0] & 0x03
+	p := 1
+	need := func(n int) error {
+		if p+n > len(b) {
+			return fmt.Errorf("sixlo: UDP NHC truncated")
+		}
+		return nil
+	}
+	var srcPort, dstPort uint16
+	switch mode {
+	case 0x03:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		srcPort = 0xF0B0 | uint16(b[p]>>4)
+		dstPort = 0xF0B0 | uint16(b[p]&0x0F)
+		p++
+	case 0x01:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		srcPort = uint16(b[p])<<8 | uint16(b[p+1])
+		dstPort = 0xF000 | uint16(b[p+2])
+		p += 3
+	case 0x02:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		srcPort = 0xF000 | uint16(b[p])
+		dstPort = uint16(b[p+1])<<8 | uint16(b[p+2])
+		p += 3
+	default:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		srcPort = uint16(b[p])<<8 | uint16(b[p+1])
+		dstPort = uint16(b[p+2])<<8 | uint16(b[p+3])
+		p += 4
+	}
+	if err := need(2); err != nil {
+		return nil, err
+	}
+	cksum := []byte{b[p], b[p+1]}
+	p += 2
+	payload := b[p:]
+
+	dgram := make([]byte, ip6.UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(dgram[0:], srcPort)
+	binary.BigEndian.PutUint16(dgram[2:], dstPort)
+	binary.BigEndian.PutUint16(dgram[4:], uint16(len(dgram)))
+	dgram[6], dgram[7] = cksum[0], cksum[1]
+	copy(dgram[ip6.UDPHeaderLen:], payload)
+	return dgram, nil
+}

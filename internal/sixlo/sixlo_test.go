@@ -1,0 +1,345 @@
+package sixlo
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"blemesh/internal/ip6"
+	"blemesh/internal/sim"
+)
+
+const (
+	macA = 0x0000A1A2A3A4
+	macB = 0x0000B1B2B3B4
+)
+
+// roundTrip compresses and decompresses pkt across the A→B hop.
+func roundTrip(t *testing.T, pkt []byte) ([]byte, []byte) {
+	t.Helper()
+	comp, err := Compress(pkt, macA, macB, DefaultContexts)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	back, err := Decompress(comp, macA, macB, DefaultContexts)
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	return comp, back
+}
+
+func TestIPHCElidesEverythingOnBestCase(t *testing.T) {
+	// Mesh-prefix addresses with MAC-derived IIDs, hop limit 64, UDP:
+	// the entire 40-byte IPv6 header + 8-byte UDP header should shrink
+	// to a handful of bytes.
+	src := ip6.ULA(ip6.DefaultPrefix, macA)
+	dst := ip6.ULA(ip6.DefaultPrefix, macB)
+	dgram := ip6.EncodeUDP(src, dst, 5683, 5683, []byte("hello coap"))
+	h := ip6.Header{NextHeader: ip6.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+	pkt := h.Encode(dgram)
+
+	comp, back := roundTrip(t, pkt)
+	if !bytes.Equal(back, pkt) {
+		t.Fatalf("round trip mismatch\n in: %x\nout: %x", pkt, back)
+	}
+	// 2 IPHC + 1 CID + UDP NHC (1+4+2) + payload.
+	overhead := len(comp) - len("hello coap")
+	if overhead > 12 {
+		t.Fatalf("best-case overhead %d bytes, want ≤ 12 (was %d uncompressed)",
+			overhead, ip6.HeaderLen+ip6.UDPHeaderLen)
+	}
+}
+
+func TestIPHCLinkLocalElision(t *testing.T) {
+	src := ip6.LinkLocal(macA)
+	dst := ip6.LinkLocal(macB)
+	h := ip6.Header{NextHeader: ip6.ProtoICMPv6, HopLimit: 255, Src: src, Dst: dst}
+	pkt := h.Encode([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	comp, back := roundTrip(t, pkt)
+	if !bytes.Equal(back, pkt) {
+		t.Fatal("link-local round trip mismatch")
+	}
+	// 2 IPHC + NH inline: both addresses and the hop limit elided.
+	if len(comp) != 2+1+8 {
+		t.Fatalf("link-local frame = %d bytes, want 11", len(comp))
+	}
+}
+
+func TestIPHCMulticastDst(t *testing.T) {
+	src := ip6.LinkLocal(macA)
+	h := ip6.Header{NextHeader: ip6.ProtoICMPv6, HopLimit: 1, Src: src, Dst: ip6.AllNodes}
+	pkt := h.Encode([]byte{9})
+	comp, back := roundTrip(t, pkt)
+	if !bytes.Equal(back, pkt) {
+		t.Fatal("multicast round trip mismatch")
+	}
+	// ff02::1 compresses to a single byte.
+	if len(comp) != 2+1+1+1 {
+		t.Fatalf("multicast frame = %d bytes", len(comp))
+	}
+}
+
+func TestIPHCForeignAddressesInline(t *testing.T) {
+	// Addresses outside every context must survive as full 128 bits.
+	src := ip6.MustParseAddr("2001:db8::1")
+	dst := ip6.MustParseAddr("2001:db8::2")
+	h := ip6.Header{NextHeader: 99, HopLimit: 17, TrafficClass: 3,
+		FlowLabel: 0x12345, Src: src, Dst: dst}
+	pkt := h.Encode([]byte("x"))
+	_, back := roundTrip(t, pkt)
+	if !bytes.Equal(back, pkt) {
+		t.Fatal("foreign-address round trip mismatch")
+	}
+}
+
+func TestIPHCHopLimitVariants(t *testing.T) {
+	src := ip6.ULA(ip6.DefaultPrefix, macA)
+	dst := ip6.ULA(ip6.DefaultPrefix, macB)
+	for _, hl := range []byte{1, 2, 63, 64, 65, 255} {
+		h := ip6.Header{NextHeader: ip6.ProtoUDP, HopLimit: hl, Src: src, Dst: dst}
+		pkt := h.Encode(ip6.EncodeUDP(src, dst, 1000, 2000, []byte("p")))
+		_, back := roundTrip(t, pkt)
+		got, _, err := ip6.Decode(back)
+		if err != nil || got.HopLimit != hl {
+			t.Fatalf("hop limit %d round trip -> %d (err %v)", hl, got.HopLimit, err)
+		}
+	}
+}
+
+func TestUDPNHCPortModes(t *testing.T) {
+	src := ip6.ULA(ip6.DefaultPrefix, macA)
+	dst := ip6.ULA(ip6.DefaultPrefix, macB)
+	cases := []struct{ sp, dp uint16 }{
+		{0xF0B1, 0xF0B2}, // both 4-bit
+		{1234, 0xF042},   // dst 8-bit
+		{0xF042, 5683},   // src 8-bit
+		{5683, 5683},     // both 16-bit
+	}
+	for _, c := range cases {
+		dgram := ip6.EncodeUDP(src, dst, c.sp, c.dp, []byte("data"))
+		h := ip6.Header{NextHeader: ip6.ProtoUDP, HopLimit: 64, Src: src, Dst: dst}
+		pkt := h.Encode(dgram)
+		_, back := roundTrip(t, pkt)
+		bh, pl, err := ip6.Decode(back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uh, data, err := ip6.DecodeUDP(bh.Src, bh.Dst, pl)
+		if err != nil {
+			t.Fatalf("ports %d/%d: %v", c.sp, c.dp, err)
+		}
+		if uh.SrcPort != c.sp || uh.DstPort != c.dp || string(data) != "data" {
+			t.Fatalf("ports %d/%d decoded as %d/%d", c.sp, c.dp, uh.SrcPort, uh.DstPort)
+		}
+	}
+}
+
+func TestUncompressedDispatch(t *testing.T) {
+	h := ip6.Header{NextHeader: 77, HopLimit: 7,
+		Src: ip6.MustParseAddr("fd00::1"), Dst: ip6.MustParseAddr("fd00::2")}
+	pkt := h.Encode([]byte("raw"))
+	frame := append([]byte{dispatchIPv6}, pkt...)
+	back, err := Decompress(frame, macA, macB, DefaultContexts)
+	if err != nil || !bytes.Equal(back, pkt) {
+		t.Fatalf("uncompressed dispatch failed: %v", err)
+	}
+}
+
+func TestDecompressErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x99},             // unknown dispatch
+		{dispatchIPHC},     // truncated IPHC
+		{0x7F, 0xFF, 0x00}, // CID byte + impossible trailing state
+	}
+	for i, c := range cases {
+		if _, err := Decompress(c, macA, macB, DefaultContexts); err == nil {
+			t.Errorf("case %d: bad frame accepted", i)
+		}
+	}
+}
+
+func TestQuickIPHCRoundTripUDP(t *testing.T) {
+	// Property: any UDP packet between mesh addresses survives the
+	// compress/decompress round trip bit-exactly.
+	f := func(sp, dp uint16, payload []byte, srcMAC, dstMAC uint32, hl byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		sm, dm := uint64(srcMAC), uint64(dstMAC)
+		src := ip6.ULA(ip6.DefaultPrefix, sm)
+		dst := ip6.ULA(ip6.DefaultPrefix, dm)
+		dgram := ip6.EncodeUDP(src, dst, sp, dp, payload)
+		h := ip6.Header{NextHeader: ip6.ProtoUDP, HopLimit: hl, Src: src, Dst: dst}
+		pkt := h.Encode(dgram)
+		comp, err := Compress(pkt, sm, dm, DefaultContexts)
+		if err != nil {
+			return false
+		}
+		back, err := Decompress(comp, sm, dm, DefaultContexts)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, pkt) && len(comp) < len(pkt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFragmentSmallFrameUntouched(t *testing.T) {
+	frame := make([]byte, 80)
+	frags, err := Fragment(frame, 102, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) != 1 || !bytes.Equal(frags[0], frame) {
+		t.Fatalf("small frame fragmented into %d pieces", len(frags))
+	}
+}
+
+func TestFragmentAndReassemble(t *testing.T) {
+	s := sim.New(1)
+	r := NewReassembler(s, 4)
+	frame := make([]byte, 1000)
+	for i := range frame {
+		frame[i] = byte(i * 7)
+	}
+	frags, err := Fragment(frame, 102, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 10 {
+		t.Fatalf("1000 bytes over 102-byte MTU should be ≥10 fragments, got %d", len(frags))
+	}
+	for _, f := range frags {
+		if len(f) > 102 {
+			t.Fatalf("fragment exceeds MTU: %d", len(f))
+		}
+		if !IsFragment(f) {
+			t.Fatal("fragment not recognized")
+		}
+	}
+	var out []byte
+	for _, f := range frags {
+		out = r.Input(macA, f)
+	}
+	if !bytes.Equal(out, frame) {
+		t.Fatal("reassembly mismatch")
+	}
+	if r.Stats().Completed != 1 {
+		t.Fatalf("completed=%d", r.Stats().Completed)
+	}
+}
+
+func TestReassemblyInterleavedSenders(t *testing.T) {
+	s := sim.New(1)
+	r := NewReassembler(s, 4)
+	f1 := mustFrag(t, bytes.Repeat([]byte{1}, 500), 7)
+	f2 := mustFrag(t, bytes.Repeat([]byte{2}, 500), 7) // same tag, other sender
+	var out1, out2 []byte
+	for i := range f1 {
+		out1 = r.Input(macA, f1[i])
+		out2 = r.Input(macB, f2[i])
+	}
+	if out1 == nil || out2 == nil {
+		t.Fatal("interleaved reassembly failed")
+	}
+	if out1[0] != 1 || out2[0] != 2 {
+		t.Fatal("reassemblies crossed senders")
+	}
+}
+
+func TestReassemblyTimeout(t *testing.T) {
+	s := sim.New(1)
+	r := NewReassembler(s, 4)
+	frags := mustFrag(t, make([]byte, 500), 9)
+	r.Input(macA, frags[0])
+	s.Run(10 * sim.Second) // past the 5s timeout
+	// Completing after timeout restarts the reassembly instead.
+	for _, f := range frags[1:] {
+		if out := r.Input(macA, f); out != nil {
+			t.Fatal("stale reassembly completed after timeout")
+		}
+	}
+	if r.Stats().Timeouts == 0 {
+		t.Fatal("timeout not counted")
+	}
+}
+
+func TestReassemblyDuplicateFragmentIgnored(t *testing.T) {
+	s := sim.New(1)
+	r := NewReassembler(s, 4)
+	frags := mustFrag(t, make([]byte, 400), 3)
+	r.Input(macA, frags[0])
+	if out := r.Input(macA, frags[0]); out != nil {
+		t.Fatal("duplicate completed a datagram")
+	}
+	var out []byte
+	for _, f := range frags[1:] {
+		out = r.Input(macA, f)
+	}
+	if out == nil {
+		t.Fatal("reassembly failed after duplicate")
+	}
+}
+
+func TestReassemblerTableBounded(t *testing.T) {
+	s := sim.New(1)
+	r := NewReassembler(s, 2)
+	for tag := uint16(0); tag < 5; tag++ {
+		frags := mustFrag(t, make([]byte, 300), tag)
+		r.Input(macA, frags[0]) // leave all incomplete
+	}
+	if len(r.table) > 2 {
+		t.Fatalf("table grew to %d, cap 2", len(r.table))
+	}
+	if r.Stats().Dropped == 0 {
+		t.Fatal("overflow not counted")
+	}
+}
+
+func TestQuickFragmentReassembleIdentity(t *testing.T) {
+	f := func(data []byte, tag uint16, mtuRaw uint8) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		if len(data) > 2000 {
+			data = data[:2000]
+		}
+		mtu := 30 + int(mtuRaw)%120
+		s := sim.New(int64(tag))
+		r := NewReassembler(s, 4)
+		frags, err := Fragment(data, mtu, tag)
+		if err != nil {
+			return false
+		}
+		var out []byte
+		for _, fr := range frags {
+			if len(fr) > mtu {
+				return false
+			}
+			if len(frags) > 1 {
+				out = r.Input(macA, fr)
+			} else {
+				out = fr
+			}
+		}
+		return bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustFrag(t *testing.T, frame []byte, tag uint16) [][]byte {
+	t.Helper()
+	frags, err := Fragment(frame, 102, tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frags) < 2 {
+		t.Fatal("test frame did not fragment")
+	}
+	return frags
+}

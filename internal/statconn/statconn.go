@@ -1,0 +1,401 @@
+// Package statconn implements the paper's static connection manager (§3):
+// each node is statically told which BLE connections to maintain and in
+// which role. Subordinate-role nodes advertise; coordinator-role nodes scan
+// and initiate. The manager monitors connection health and reopens lost
+// links, and it implements the paper's §6.3 mitigation: connection intervals
+// randomized within a window, kept unique per node on both ends.
+package statconn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/sim"
+)
+
+// IntervalPolicy selects connection intervals for new connections.
+type IntervalPolicy interface {
+	// Pick returns the interval for a new connection given the intervals
+	// already in use on this node. Values are multiples of 1.25ms.
+	Pick(rng *rand.Rand, used []sim.Duration) sim.Duration
+	// EnforceUnique reports whether subordinates must reject connections
+	// whose interval collides with an existing one (§6.3's second
+	// enhancement — only meaningful for randomized policies).
+	EnforceUnique() bool
+	// String describes the policy (used in experiment reports).
+	String() string
+}
+
+// Static is the standard BLE-mesh behaviour: every connection uses the same
+// fixed interval. This is the configuration that suffers connection shading.
+type Static struct{ Interval sim.Duration }
+
+// Pick implements IntervalPolicy.
+func (p Static) Pick(*rand.Rand, []sim.Duration) sim.Duration { return p.Interval }
+
+// EnforceUnique implements IntervalPolicy: static deployments cannot avoid
+// collisions, so no enforcement happens (matching stock BLE stacks).
+func (p Static) EnforceUnique() bool { return false }
+
+func (p Static) String() string { return fmt.Sprintf("static %v", p.Interval) }
+
+// Random is the paper's mitigation: intervals drawn uniformly (in 1.25ms
+// units) from [Min, Max], regenerated until unique among the node's
+// connections. Subordinates close new connections whose interval collides
+// with an existing one, forcing the coordinator to retry with a new draw.
+type Random struct {
+	Min, Max sim.Duration
+}
+
+// Pick implements IntervalPolicy.
+func (p Random) Pick(rng *rand.Rand, used []sim.Duration) sim.Duration {
+	lo := (p.Min + ble.ConnIntervalUnit - 1) / ble.ConnIntervalUnit
+	hi := p.Max / ble.ConnIntervalUnit
+	if hi < lo {
+		hi = lo
+	}
+	for attempt := 0; ; attempt++ {
+		v := sim.Duration(lo+sim.Time(rng.Int63n(int64(hi-lo+1)))) * ble.ConnIntervalUnit
+		if attempt > 64 || !contains(used, v) {
+			return v
+		}
+	}
+}
+
+// EnforceUnique implements IntervalPolicy.
+func (p Random) EnforceUnique() bool { return true }
+
+func (p Random) String() string {
+	return fmt.Sprintf("random [%v:%v]", p.Min, p.Max)
+}
+
+// Renegotiate is the §6.3 design-space alternative the paper dismisses:
+// every coordinator opens connections at the same Target interval (as a
+// stock deployment would), and a subordinate that detects a collision asks
+// for a different interval through the Connection Parameters Request
+// procedure instead of closing the link. The coordinator accepts unless the
+// proposed value collides among ITS OWN connections — the blind spot the
+// paper points out: neither side can see the other's constraint set, so
+// reconfigurations can be rejected or re-collide, and the procedure costs a
+// round trip per attempt while shading continues.
+type Renegotiate struct {
+	Target sim.Duration
+	// Window bounds the search for a free interval around Target
+	// (default ±10ms).
+	Window sim.Duration
+}
+
+// Pick implements IntervalPolicy: coordinators always propose the target.
+func (p Renegotiate) Pick(*rand.Rand, []sim.Duration) sim.Duration { return p.Target }
+
+// EnforceUnique implements IntervalPolicy: collisions are renegotiated, not
+// rejected.
+func (p Renegotiate) EnforceUnique() bool { return false }
+
+func (p Renegotiate) String() string {
+	return fmt.Sprintf("renegotiate around %v", p.Target)
+}
+
+func (p Renegotiate) window() sim.Duration {
+	if p.Window == 0 {
+		return 10 * sim.Millisecond
+	}
+	return p.Window
+}
+
+// pickFree returns an interval in the window that is unused locally, or 0.
+func (p Renegotiate) pickFree(rng *rand.Rand, used []sim.Duration) sim.Duration {
+	w := p.window()
+	var free []sim.Duration
+	for v := p.Target - w; v <= p.Target+w; v += ble.ConnIntervalUnit {
+		if v < ble.MinConnInterval || v%ble.ConnIntervalUnit != 0 {
+			continue
+		}
+		if !contains(used, v) {
+			free = append(free, v)
+		}
+	}
+	if len(free) == 0 {
+		return 0
+	}
+	return free[rng.Intn(len(free))]
+}
+
+func contains(ds []sim.Duration, v sim.Duration) bool {
+	for _, d := range ds {
+		if d == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Config parameterises a node's connection manager. Defaults follow the
+// paper's setup (§4.2): 90ms advertising interval, 100ms scan interval and
+// window, 75ms static connection interval.
+type Config struct {
+	AdvInterval  sim.Duration
+	AdvDataLen   int
+	ScanInterval sim.Duration
+	ScanWindow   sim.Duration
+	Policy       IntervalPolicy
+	Supervision  sim.Duration
+	Latency      int
+	ChanMap      ble.ChannelMap
+	CSA          int
+}
+
+func (c *Config) defaults() {
+	if c.AdvInterval == 0 {
+		c.AdvInterval = 90 * sim.Millisecond
+	}
+	if c.AdvDataLen == 0 {
+		c.AdvDataLen = 11 // flags + IPSS service data
+	}
+	if c.ScanInterval == 0 {
+		c.ScanInterval = 100 * sim.Millisecond
+	}
+	if c.ScanWindow == 0 {
+		c.ScanWindow = c.ScanInterval
+	}
+	if c.Policy == nil {
+		c.Policy = Static{Interval: 75 * sim.Millisecond}
+	}
+}
+
+// Stats counts manager-level events; Fig. 13/14 report the loss counts.
+type Stats struct {
+	LinksOpened     uint64
+	SupervisionLoss uint64 // established links lost to supervision timeouts (shading)
+	LinkLosses      uint64 // supervision losses counted once per link (coordinator side)
+	EstablishFails  uint64 // connections that never exchanged a packet (CONNECT_IND lost)
+	OtherLoss       uint64
+	IntervalRejects uint64 // subordinate closed a colliding connection
+	Reconnects      uint64
+	ParamRequests   uint64 // renegotiation attempts sent (Renegotiate policy)
+	ParamRejects    uint64 // renegotiations rejected by the coordinator
+	ParamAccepts    uint64 // renegotiations this coordinator accepted
+}
+
+// Manager maintains a node's configured BLE connections.
+type Manager struct {
+	s    *sim.Sim
+	ctrl *ble.Controller
+	cfg  Config
+	rng  *rand.Rand
+
+	wantedOut map[ble.DevAddr]bool // peers we coordinate toward
+	expectIn  int                  // subordinate links we accept
+	activeIn  int
+	up        map[*ble.Conn]bool // links reported via OnLinkUp
+
+	// lossTimes records when each loss happened (Fig. 14's counts and the
+	// reconnect-latency characterization).
+	lossTimes      []sim.Time
+	reconnectEnds  []sim.Time
+	pendingReopens int
+
+	stats Stats
+
+	// OnLinkUp fires for every usable connection (colliding-interval
+	// connections are filtered out before this fires).
+	OnLinkUp func(c *ble.Conn)
+	// OnLinkDown fires when a previously usable connection ended.
+	OnLinkDown func(c *ble.Conn, reason ble.LossReason)
+}
+
+// New wires a manager onto a controller. The manager owns the controller's
+// OnConnect/OnDisconnect hooks.
+func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
+	cfg.defaults()
+	m := &Manager{
+		s:         s,
+		ctrl:      ctrl,
+		cfg:       cfg,
+		rng:       s.Rand(),
+		wantedOut: make(map[ble.DevAddr]bool),
+		up:        make(map[*ble.Conn]bool),
+	}
+	ctrl.SetScanParams(ble.ScanParams{Interval: cfg.ScanInterval, Window: cfg.ScanWindow})
+	ctrl.OnConnect = m.handleConnect
+	ctrl.OnDisconnect = m.handleDisconnect
+	return m
+}
+
+// Stats returns a copy of the manager counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// LossTimes returns when supervision losses happened (for loss-over-time
+// reporting).
+func (m *Manager) LossTimes() []sim.Time { return append([]sim.Time(nil), m.lossTimes...) }
+
+// Config returns the active configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// ExpectInbound declares how many subordinate-role connections this node
+// accepts. The manager advertises whenever fewer are active.
+func (m *Manager) ExpectInbound(n int) {
+	m.expectIn = n
+	m.ensureAdvertising()
+}
+
+// Connect declares a coordinator-role connection this node must maintain.
+func (m *Manager) Connect(peer ble.DevAddr) {
+	if m.wantedOut[peer] {
+		return
+	}
+	m.wantedOut[peer] = true
+	m.initiateAfterBackoff(peer)
+}
+
+// initiateAfterBackoff desynchronises initiators: two coordinators targeting
+// the same advertiser otherwise answer the same ADV_IND and their
+// CONNECT_INDs collide on the air — deterministically, forever.
+func (m *Manager) initiateAfterBackoff(peer ble.DevAddr) {
+	delay := sim.Duration(m.rng.Int63n(int64(3 * m.cfg.AdvInterval)))
+	m.s.After(delay, func() {
+		if !m.wantedOut[peer] || m.ctrl.FindConn(peer) != nil {
+			return
+		}
+		m.initiate(peer)
+	})
+}
+
+// usedIntervals lists the intervals of all active connections plus a few in
+// flight, so Pick can avoid duplicates.
+func (m *Manager) usedIntervals() []sim.Duration {
+	var used []sim.Duration
+	for _, c := range m.ctrl.Conns() {
+		used = append(used, c.Interval())
+	}
+	return used
+}
+
+func (m *Manager) initiate(peer ble.DevAddr) {
+	params := ble.ConnParams{
+		Interval:    m.cfg.Policy.Pick(m.rng, m.usedIntervals()),
+		Latency:     m.cfg.Latency,
+		Supervision: m.cfg.Supervision,
+		ChanMap:     m.cfg.ChanMap,
+		CSA:         m.cfg.CSA,
+	}
+	if err := params.Validate(); err != nil {
+		panic(fmt.Sprintf("statconn: invalid connection parameters: %v", err))
+	}
+	if err := m.ctrl.Connect(peer, params); err != nil {
+		panic(fmt.Sprintf("statconn: connect: %v", err))
+	}
+}
+
+func (m *Manager) ensureAdvertising() {
+	if m.activeIn < m.expectIn {
+		m.ctrl.StartAdvertising(ble.AdvParams{Interval: m.cfg.AdvInterval, DataLen: m.cfg.AdvDataLen})
+	}
+}
+
+// handleConnect filters colliding intervals (subordinate side of §6.3) and
+// reports usable links.
+func (m *Manager) handleConnect(c *ble.Conn) {
+	if c.Role() == ble.Subordinate {
+		if m.cfg.Policy.EnforceUnique() && m.intervalCollides(c) {
+			// Close immediately; the coordinator's manager retries
+			// with a fresh random interval.
+			m.stats.IntervalRejects++
+			c.Close()
+			m.ensureAdvertising()
+			return
+		}
+		if p, ok := m.cfg.Policy.(Renegotiate); ok && m.intervalCollides(c) {
+			// §6.3 alternative: keep the link and ask the
+			// coordinator for a different interval.
+			if iv := p.pickFree(m.rng, m.usedIntervals()); iv != 0 {
+				m.stats.ParamRequests++
+				_ = c.RequestParams(iv)
+			}
+		}
+		m.activeIn++
+		m.ensureAdvertising() // keep advertising if more are expected
+	}
+	if c.Role() == ble.Coordinator {
+		if _, ok := m.cfg.Policy.(Renegotiate); ok {
+			conn := c
+			conn.OnParamRequest = func(iv sim.Duration) bool {
+				// The coordinator only sees its own constraint
+				// set — the paper's point.
+				for _, other := range m.ctrl.Conns() {
+					if other != conn && other.Interval() == iv {
+						m.stats.ParamRejects++
+						return false
+					}
+				}
+				m.stats.ParamAccepts++
+				return true
+			}
+		}
+	}
+	m.up[c] = true
+	m.stats.LinksOpened++
+	if m.pendingReopens > 0 {
+		m.pendingReopens--
+		m.reconnectEnds = append(m.reconnectEnds, m.s.Now())
+		m.stats.Reconnects++
+	}
+	if m.OnLinkUp != nil {
+		m.OnLinkUp(c)
+	}
+}
+
+// intervalCollides reports whether another active connection uses c's
+// interval.
+func (m *Manager) intervalCollides(c *ble.Conn) bool {
+	for _, other := range m.ctrl.Conns() {
+		if other != c && other.Interval() == c.Interval() {
+			return true
+		}
+	}
+	return false
+}
+
+// handleDisconnect restores the configured topology after a loss.
+func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
+	if !m.up[c] {
+		// A connection we rejected (interval collision) finished its
+		// teardown: nothing to restore beyond advertising.
+		m.ensureAdvertising()
+		return
+	}
+	delete(m.up, c)
+	switch {
+	case reason == ble.LossSupervision && c.Stats().EventsOK == 0:
+		// The six-interval establishment timeout: the CONNECT_IND was
+		// lost (e.g. two initiators answered the same advertisement).
+		// Not a link loss — the link never existed.
+		m.stats.EstablishFails++
+	case reason == ble.LossSupervision:
+		m.stats.SupervisionLoss++
+		if c.Role() == ble.Coordinator {
+			m.stats.LinkLosses++
+		}
+		m.lossTimes = append(m.lossTimes, m.s.Now())
+	default:
+		m.stats.OtherLoss++
+	}
+
+	switch c.Role() {
+	case ble.Coordinator:
+		if m.wantedOut[c.Peer()] {
+			m.pendingReopens++
+			m.initiateAfterBackoff(c.Peer())
+		}
+	case ble.Subordinate:
+		if m.activeIn > 0 {
+			m.activeIn--
+		}
+		m.pendingReopens++
+		m.ensureAdvertising()
+	}
+	if m.OnLinkDown != nil {
+		m.OnLinkDown(c, reason)
+	}
+}

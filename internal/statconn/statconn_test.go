@@ -1,0 +1,261 @@
+package statconn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"blemesh/internal/ble"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+func TestStaticPolicy(t *testing.T) {
+	p := Static{Interval: 75 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := p.Pick(rng, nil); got != 75*sim.Millisecond {
+			t.Fatalf("static pick = %v", got)
+		}
+	}
+	if p.EnforceUnique() {
+		t.Fatal("static policy must not enforce uniqueness")
+	}
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestRandomPolicyRangeAndGranularity(t *testing.T) {
+	p := Random{Min: 65 * sim.Millisecond, Max: 85 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[sim.Duration]bool{}
+	for i := 0; i < 500; i++ {
+		v := p.Pick(rng, nil)
+		if v < 65*sim.Millisecond || v > 85*sim.Millisecond {
+			t.Fatalf("pick %v outside window", v)
+		}
+		if v%ble.ConnIntervalUnit != 0 {
+			t.Fatalf("pick %v not a 1.25ms multiple", v)
+		}
+		seen[v] = true
+	}
+	// [65:85]ms has 17 legal values; a sampler should hit most.
+	if len(seen) < 12 {
+		t.Fatalf("only %d distinct values drawn", len(seen))
+	}
+	if !p.EnforceUnique() {
+		t.Fatal("random policy must enforce uniqueness")
+	}
+}
+
+func TestRandomPolicyAvoidsUsedIntervals(t *testing.T) {
+	p := Random{Min: 65 * sim.Millisecond, Max: 85 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(3))
+	var used []sim.Duration
+	// Fill all but one slot; picks must land on the free one.
+	for v := 65 * sim.Millisecond; v <= 85*sim.Millisecond; v += ble.ConnIntervalUnit {
+		if v != 75*sim.Millisecond {
+			used = append(used, v)
+		}
+	}
+	for i := 0; i < 20; i++ {
+		if got := p.Pick(rng, used); got != 75*sim.Millisecond {
+			t.Fatalf("pick %v despite only 75ms being free", got)
+		}
+	}
+}
+
+func TestQuickRandomPolicyAlwaysLegal(t *testing.T) {
+	f := func(minRaw, maxRaw uint8, seed int64) bool {
+		lo := sim.Duration(8+int(minRaw)%400) * sim.Millisecond
+		hi := lo + sim.Duration(int(maxRaw)%100)*sim.Millisecond
+		p := Random{Min: lo, Max: hi}
+		rng := rand.New(rand.NewSource(seed))
+		v := p.Pick(rng, nil)
+		params := ble.ConnParams{Interval: v}
+		return params.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// buildPair wires two controllers with managers on a fresh medium.
+func buildPair(seed int64, cfg Config) (*sim.Sim, *Manager, *Manager, *ble.Controller, *ble.Controller) {
+	s := sim.New(seed)
+	medium := phy.NewMedium(s)
+	mk := func(ppm float64, addr int) (*ble.Controller, *Manager) {
+		clk := sim.NewClock(s, ppm)
+		ctrl := ble.NewController(s, clk, medium.NewRadio(), ble.ControllerConfig{Addr: ble.DevAddr(addr)})
+		return ctrl, New(s, ctrl, cfg)
+	}
+	ctrlA, mgrA := mk(1, 0xA)
+	ctrlB, mgrB := mk(-1, 0xB)
+	return s, mgrA, mgrB, ctrlA, ctrlB
+}
+
+func TestManagerEstablishesAndReports(t *testing.T) {
+	s, mgrA, mgrB, ctrlA, ctrlB := buildPair(1, Config{})
+	var up *ble.Conn
+	mgrB.OnLinkUp = func(c *ble.Conn) { up = c }
+	mgrA.ExpectInbound(1)
+	mgrB.Connect(ctrlA.Addr())
+	s.Run(5 * sim.Second)
+	if up == nil || up.Role() != ble.Coordinator {
+		t.Fatalf("link not reported up: %v", up)
+	}
+	if mgrB.Stats().LinksOpened != 1 {
+		t.Fatalf("stats: %+v", mgrB.Stats())
+	}
+	if ctrlB.FindConn(ctrlA.Addr()) == nil {
+		t.Fatal("connection missing")
+	}
+}
+
+func TestManagerReconnectsAfterLoss(t *testing.T) {
+	s, mgrA, mgrB, ctrlA, _ := buildPair(2, Config{})
+	ups := 0
+	var last *ble.Conn
+	mgrB.OnLinkUp = func(c *ble.Conn) { ups++; last = c }
+	mgrA.ExpectInbound(1)
+	mgrB.Connect(ctrlA.Addr())
+	s.Run(5 * sim.Second)
+	if ups != 1 {
+		t.Fatalf("ups=%d", ups)
+	}
+	// Kill the link without a handshake (forced supervision loss).
+	last.Close()
+	s.Run(20 * sim.Second)
+	if ups < 2 {
+		t.Fatalf("no reconnect after loss (ups=%d)", ups)
+	}
+}
+
+func TestManagerRejectsCollidingIntervalWithRandomPolicy(t *testing.T) {
+	// Three coordinators race toward one subordinate. With the Random
+	// policy active, no two of the subordinate's connections may share
+	// an interval, whatever the coordinators drew.
+	cfg := Config{Policy: Random{Min: 65 * sim.Millisecond, Max: 70 * sim.Millisecond}}
+	s := sim.New(5)
+	medium := phy.NewMedium(s)
+	mk := func(ppm float64, addr int) (*ble.Controller, *Manager) {
+		clk := sim.NewClock(s, ppm)
+		ctrl := ble.NewController(s, clk, medium.NewRadio(), ble.ControllerConfig{Addr: ble.DevAddr(addr)})
+		return ctrl, New(s, ctrl, cfg)
+	}
+	hubCtrl, hubMgr := mk(0, 0x1)
+	hubMgr.ExpectInbound(3)
+	for i := 0; i < 3; i++ {
+		_, mgr := mk(float64(i), 0x10+i)
+		mgr.Connect(hubCtrl.Addr())
+	}
+	s.Run(60 * sim.Second)
+	conns := hubCtrl.Conns()
+	if len(conns) != 3 {
+		t.Fatalf("hub has %d conns", len(conns))
+	}
+	seen := map[sim.Duration]bool{}
+	for _, c := range conns {
+		if seen[c.Interval()] {
+			t.Fatalf("duplicate interval %v survived on the hub", c.Interval())
+		}
+		seen[c.Interval()] = true
+	}
+	// A [65:70] window has 5 slots for 3 links: rejections are likely
+	// but not guaranteed; the invariant above is what matters.
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	c.defaults()
+	if c.AdvInterval != 90*sim.Millisecond || c.ScanInterval != 100*sim.Millisecond {
+		t.Fatalf("defaults: %+v", c)
+	}
+	if c.Policy == nil {
+		t.Fatal("no default policy")
+	}
+	if c.ScanWindow != c.ScanInterval {
+		t.Fatal("scan window default")
+	}
+}
+
+func TestRenegotiatePolicyBasics(t *testing.T) {
+	p := Renegotiate{Target: 75 * sim.Millisecond}
+	rng := rand.New(rand.NewSource(4))
+	if p.Pick(rng, nil) != 75*sim.Millisecond {
+		t.Fatal("renegotiate must open at the target interval")
+	}
+	if p.EnforceUnique() {
+		t.Fatal("renegotiate must not close colliding connections")
+	}
+	if p.String() == "" {
+		t.Fatal("empty string")
+	}
+	// pickFree avoids used values within the window.
+	used := []sim.Duration{75 * sim.Millisecond}
+	for i := 0; i < 50; i++ {
+		v := p.pickFree(rng, used)
+		if v == 0 || v == 75*sim.Millisecond {
+			t.Fatalf("pickFree returned %v", v)
+		}
+		if v < 65*sim.Millisecond || v > 85*sim.Millisecond {
+			t.Fatalf("pickFree %v outside default ±10ms window", v)
+		}
+	}
+	// A fully occupied window yields 0.
+	var all []sim.Duration
+	for v := 65 * sim.Millisecond; v <= 85*sim.Millisecond; v += ble.ConnIntervalUnit {
+		all = append(all, v)
+	}
+	if v := p.pickFree(rng, all); v != 0 {
+		t.Fatalf("pickFree on a full window returned %v", v)
+	}
+}
+
+func TestRenegotiateResolvesSetupCollision(t *testing.T) {
+	// Two coordinators open at the same target toward one subordinate;
+	// the subordinate renegotiates one of them to a different interval
+	// instead of closing it.
+	cfg := Config{Policy: Renegotiate{Target: 75 * sim.Millisecond, Window: 10 * sim.Millisecond}}
+	s := sim.New(9)
+	medium := phy.NewMedium(s)
+	mk := func(ppm float64, addr int) (*ble.Controller, *Manager) {
+		clk := sim.NewClock(s, ppm)
+		ctrl := ble.NewController(s, clk, medium.NewRadio(), ble.ControllerConfig{Addr: ble.DevAddr(addr)})
+		return ctrl, New(s, ctrl, cfg)
+	}
+	hubCtrl, hubMgr := mk(0, 0x1)
+	hubMgr.ExpectInbound(2)
+	for i := 0; i < 2; i++ {
+		_, mgr := mk(float64(i)+1, 0x20+i)
+		mgr.Connect(hubCtrl.Addr())
+	}
+	s.Run(30 * sim.Second)
+	conns := hubCtrl.Conns()
+	if len(conns) != 2 {
+		t.Fatalf("hub has %d conns", len(conns))
+	}
+	if hubMgr.Stats().ParamRequests == 0 {
+		t.Fatal("no renegotiation attempted despite guaranteed collision")
+	}
+	if conns[0].Interval() == conns[1].Interval() {
+		t.Fatalf("collision not resolved: both at %v", conns[0].Interval())
+	}
+	if hubMgr.Stats().IntervalRejects != 0 {
+		t.Fatal("renegotiate policy must not close connections")
+	}
+}
+
+func TestLossTimesRecorded(t *testing.T) {
+	s, mgrA, mgrB, ctrlA, _ := buildPair(7, Config{})
+	mgrA.ExpectInbound(1)
+	mgrB.Connect(ctrlA.Addr())
+	s.Run(5 * sim.Second)
+	if len(mgrB.LossTimes()) != 0 {
+		t.Fatal("phantom loss times")
+	}
+	if mgrB.Config().AdvInterval != 90*sim.Millisecond {
+		t.Fatal("Config() accessor broken")
+	}
+}

@@ -1,0 +1,260 @@
+// Package testbed describes the FIT IoT-Lab deployment the paper uses
+// (§4.1, Fig. 6): the node inventory (ten nrf52dk and five nrf52840dk
+// boards at Saclay for BLE, fifteen m3 boards at Strasbourg for the
+// IEEE 802.15.4 comparison), their grid placement, and the two statically
+// configured topologies — a tree with maximum depth 3 and average producer
+// hop count 2.14, and a 15-node line.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Hardware describes a board model.
+type Hardware struct {
+	Model   string
+	SoC     string
+	RAMKB   int
+	FlashKB int
+	Radio   string
+}
+
+// Board models from the paper.
+var (
+	NRF52DK = Hardware{Model: "nrf52dk", SoC: "nRF52832 (Cortex-M4F)",
+		RAMKB: 64, FlashKB: 512, Radio: "BLE"}
+	NRF52840DK = Hardware{Model: "nrf52840dk", SoC: "nRF52840 (Cortex-M4F)",
+		RAMKB: 256, FlashKB: 1024, Radio: "BLE"}
+	M3 = Hardware{Model: "m3", SoC: "STM32F103 (Cortex-M3)",
+		RAMKB: 64, FlashKB: 256, Radio: "IEEE 802.15.4"}
+)
+
+// NodeDesc is one testbed node. IDs are 1-based as in Fig. 6.
+type NodeDesc struct {
+	ID   int
+	Name string
+	HW   Hardware
+	// Grid position in meters (1m spacing, §4.1).
+	X, Y float64
+}
+
+// BLENodes returns the 15 Saclay BLE nodes in Fig. 6(a)'s 5×3 grid: the
+// bottom two rows are nrf52dk-1..10, the top row nrf52840dk-6..10.
+func BLENodes() []NodeDesc {
+	nodes := make([]NodeDesc, 0, 15)
+	for i := 1; i <= 10; i++ {
+		nodes = append(nodes, NodeDesc{
+			ID:   i,
+			Name: fmt.Sprintf("nrf52dk-%d", i),
+			HW:   NRF52DK,
+			X:    float64((i - 1) % 5),
+			Y:    float64((i - 1) / 5),
+		})
+	}
+	for i := 11; i <= 15; i++ {
+		nodes = append(nodes, NodeDesc{
+			ID:   i,
+			Name: fmt.Sprintf("nrf52840dk-%d", i-5),
+			HW:   NRF52840DK,
+			X:    float64(i - 11),
+			Y:    2,
+		})
+	}
+	return nodes
+}
+
+// M3Nodes returns the 15 Strasbourg m3 nodes for the 802.15.4 comparison.
+func M3Nodes() []NodeDesc {
+	nodes := make([]NodeDesc, 0, 15)
+	for i := 1; i <= 15; i++ {
+		nodes = append(nodes, NodeDesc{
+			ID:   i,
+			Name: fmt.Sprintf("m3-%d", i),
+			HW:   M3,
+			X:    float64((i - 1) % 5),
+			Y:    float64((i - 1) / 5),
+		})
+	}
+	return nodes
+}
+
+// Link is one statically configured BLE connection. The coordinator scans
+// and initiates; the subordinate advertises. In both of the paper's
+// topologies children coordinate toward their parent, so the consumer ends
+// up subordinate for all of its links (the §6.1 shading scenario).
+type Link struct {
+	Coordinator int // node ID
+	Subordinate int // node ID
+}
+
+// Topology is a statically configured network: links plus the traffic roles
+// (one consumer, everyone else a producer).
+type Topology struct {
+	Name     string
+	Consumer int
+	Links    []Link
+}
+
+// Tree returns the 15-node tree of Fig. 6(b): depth ≤ 3, average producer
+// hop count 2.14 (3 children at depth 1, 6 at depth 2, 5 at depth 3).
+func Tree() Topology {
+	parent := map[int]int{
+		2: 1, 3: 1, 4: 1,
+		5: 2, 6: 2, 7: 3, 8: 3, 9: 4, 10: 4,
+		11: 5, 12: 6, 13: 7, 14: 8, 15: 9,
+	}
+	t := Topology{Name: "tree", Consumer: 1}
+	for child := 2; child <= 15; child++ {
+		t.Links = append(t.Links, Link{Coordinator: child, Subordinate: parent[child]})
+	}
+	return t
+}
+
+// Line returns the 15-node line of Fig. 6(c): the consumer at one end,
+// average producer hop count 7.5.
+func Line() Topology {
+	t := Topology{Name: "line", Consumer: 1}
+	for i := 2; i <= 15; i++ {
+		t.Links = append(t.Links, Link{Coordinator: i, Subordinate: i - 1})
+	}
+	return t
+}
+
+// Nodes returns the sorted IDs appearing in the topology.
+func (t Topology) Nodes() []int {
+	seen := map[int]bool{t.Consumer: true}
+	for _, l := range t.Links {
+		seen[l.Coordinator] = true
+		seen[l.Subordinate] = true
+	}
+	out := make([]int, 0, len(seen))
+	for id := 1; id <= 64; id++ {
+		if seen[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Producers returns every node except the consumer.
+func (t Topology) Producers() []int {
+	var out []int
+	for _, id := range t.Nodes() {
+		if id != t.Consumer {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// adjacency builds the neighbor sets.
+func (t Topology) adjacency() map[int][]int {
+	adj := make(map[int][]int)
+	for _, l := range t.Links {
+		adj[l.Coordinator] = append(adj[l.Coordinator], l.Subordinate)
+		adj[l.Subordinate] = append(adj[l.Subordinate], l.Coordinator)
+	}
+	return adj
+}
+
+// NextHops returns, for the given source, the next hop toward every other
+// node (BFS over the link graph; paths are unique in trees and lines).
+func (t Topology) NextHops(from int) map[int]int {
+	adj := t.adjacency()
+	// BFS from `from`, remembering each node's predecessor.
+	pred := map[int]int{from: from}
+	queue := []int{from}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if _, seen := pred[nb]; !seen {
+				pred[nb] = cur
+				queue = append(queue, nb)
+			}
+		}
+	}
+	// The next hop toward dst is the first step on the path, i.e. walk
+	// back from dst until the predecessor is `from`.
+	next := make(map[int]int)
+	for dst := range pred {
+		if dst == from {
+			continue
+		}
+		hop := dst
+		for pred[hop] != from {
+			hop = pred[hop]
+		}
+		next[dst] = hop
+	}
+	return next
+}
+
+// HopCount returns the path length between two nodes.
+func (t Topology) HopCount(a, b int) int {
+	if a == b {
+		return 0
+	}
+	adj := t.adjacency()
+	dist := map[int]int{a: 0}
+	queue := []int{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if _, seen := dist[nb]; !seen {
+				dist[nb] = dist[cur] + 1
+				if nb == b {
+					return dist[nb]
+				}
+				queue = append(queue, nb)
+			}
+		}
+	}
+	return -1
+}
+
+// AvgHopCount returns the mean producer→consumer path length (the paper
+// quotes 2.14 for the tree and 7.5 for the line).
+func (t Topology) AvgHopCount() float64 {
+	sum := 0
+	prods := t.Producers()
+	for _, p := range prods {
+		sum += t.HopCount(p, t.Consumer)
+	}
+	return float64(sum) / float64(len(prods))
+}
+
+// MaxDepth returns the maximum producer→consumer path length.
+func (t Topology) MaxDepth() int {
+	max := 0
+	for _, p := range t.Producers() {
+		if h := t.HopCount(p, t.Consumer); h > max {
+			max = h
+		}
+	}
+	return max
+}
+
+// SubordinateCount returns how many links each node terminates in the
+// subordinate role — the precondition for connection shading.
+func (t Topology) SubordinateCount() map[int]int {
+	out := make(map[int]int)
+	for _, l := range t.Links {
+		out[l.Subordinate]++
+	}
+	return out
+}
+
+// ClockPPM deterministically assigns each node a clock error drawn
+// uniformly from ±maxPPM, seeded for reproducibility. The paper measured at
+// most 6µs/s relative drift between boards, i.e. ±3ppm per board.
+func ClockPPM(seed int64, ids []int, maxPPM float64) map[int]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(map[int]float64, len(ids))
+	for _, id := range ids {
+		out[id] = (rng.Float64()*2 - 1) * maxPPM
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+// Package trace is the platform's event logging facility, the analogue of
+// the paper's §4.2 instrumentation: RIOT dumped carefully ordered,
+// size-limited event records to each node's STDIO, and the experiment
+// framework parsed those logs into every figure. Here, subsystems emit
+// typed events into per-node bounded ring buffers; experiments and tools
+// can filter, render, and export them.
+//
+// Recording is off by default and costs one branch per event when disabled.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"blemesh/internal/sim"
+)
+
+// Kind classifies events, mirroring the paper's log record types.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindConnOpen Kind = iota
+	KindConnLoss
+	KindConnEvent
+	KindEventSkipped
+	KindPacketTX
+	KindPacketRX
+	KindPacketDrop
+	KindCoAPRequest
+	KindCoAPResponse
+	KindReconnect
+	KindParamUpdate
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"conn-open", "conn-loss", "conn-event", "event-skipped",
+	"pkt-tx", "pkt-rx", "pkt-drop", "coap-req", "coap-rsp",
+	"reconnect", "param-update",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one log record. Detail is kept to a short preformatted string,
+// like the paper's character-budgeted STDIO records.
+type Event struct {
+	At     sim.Time
+	Node   string
+	Kind   Kind
+	Detail string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%12.6f %-12s %-13s %s", e.At.Seconds(), e.Node, e.Kind, e.Detail)
+}
+
+// Log is a bounded ring buffer of events for one simulation. The zero Log
+// is disabled; Enable arms it.
+type Log struct {
+	s       *sim.Sim
+	cap     int
+	buf     []Event
+	next    int
+	wrapped bool
+	filter  uint32 // bitmask of enabled kinds; 0 = all
+	total   uint64
+}
+
+// New creates a log bound to a simulation with the given capacity
+// (default 65536 events).
+func New(s *sim.Sim, capacity int) *Log {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	return &Log{s: s, cap: capacity}
+}
+
+// Enabled reports whether the log records anything.
+func (l *Log) Enabled() bool { return l != nil && l.buf != nil }
+
+// Enable starts recording. Idempotent.
+func (l *Log) Enable() {
+	if l.buf == nil {
+		l.buf = make([]Event, l.cap)
+	}
+}
+
+// SetFilter restricts recording to the given kinds (none = all).
+func (l *Log) SetFilter(kinds ...Kind) {
+	l.filter = 0
+	for _, k := range kinds {
+		l.filter |= 1 << uint(k)
+	}
+}
+
+// Emit records an event. A disabled or filtered log drops it cheaply.
+// Detail formatting is deferred until after the filter check.
+func (l *Log) Emit(node string, kind Kind, format string, args ...any) {
+	if !l.Enabled() {
+		return
+	}
+	if l.filter != 0 && l.filter&(1<<uint(kind)) == 0 {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	l.buf[l.next] = Event{At: l.s.Now(), Node: node, Kind: kind, Detail: detail}
+	l.next++
+	l.total++
+	if l.next == l.cap {
+		l.next = 0
+		l.wrapped = true
+	}
+}
+
+// Total returns the number of events ever recorded (including evicted ones).
+func (l *Log) Total() uint64 { return l.total }
+
+// Events returns the retained events in chronological order, optionally
+// filtered by kind and node (empty selectors match everything).
+func (l *Log) Events(node string, kinds ...Kind) []Event {
+	if !l.Enabled() {
+		return nil
+	}
+	var mask uint32
+	for _, k := range kinds {
+		mask |= 1 << uint(k)
+	}
+	match := func(e Event) bool {
+		if e.Node == "" && e.Detail == "" && e.At == 0 {
+			return false // unfilled slot
+		}
+		if node != "" && e.Node != node {
+			return false
+		}
+		if mask != 0 && mask&(1<<uint(e.Kind)) == 0 {
+			return false
+		}
+		return true
+	}
+	var out []Event
+	if l.wrapped {
+		for _, e := range l.buf[l.next:] {
+			if match(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	for _, e := range l.buf[:l.next] {
+		if match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Render formats the selected events, one per line.
+func (l *Log) Render(node string, kinds ...Kind) string {
+	var b strings.Builder
+	for _, e := range l.Events(node, kinds...) {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// CountByKind tallies retained events per kind.
+func (l *Log) CountByKind() map[Kind]int {
+	out := make(map[Kind]int)
+	for _, e := range l.Events("") {
+		out[e.Kind]++
+	}
+	return out
+}

@@ -44,6 +44,7 @@ import (
 	"blemesh/internal/core"
 	"blemesh/internal/energy"
 	"blemesh/internal/exp"
+	"blemesh/internal/fault"
 	"blemesh/internal/ip6"
 	"blemesh/internal/metrics"
 	"blemesh/internal/phy"
@@ -93,6 +94,13 @@ type (
 
 	// CDF is the quantile accumulator used throughout the harness.
 	CDF = metrics.CDF
+
+	// FaultPlan and FaultEvent script deterministic fault timelines (node
+	// churn, radio blackouts, jammer duty cycles, link kills) against a
+	// Network; FaultInjector executes them and logs what happened.
+	FaultPlan     = fault.Plan
+	FaultEvent    = fault.Event
+	FaultInjector = fault.Injector
 
 	// EnergyParams is the calibrated energy model.
 	EnergyParams = energy.Params
@@ -190,3 +198,20 @@ const (
 	ArbitrationSkip      = ble.ArbitrateSkip
 	ArbitrationAlternate = ble.ArbitrateAlternate
 )
+
+// Fault event kinds, re-exported for building fault plans.
+const (
+	FaultCrash     = fault.Crash
+	FaultReboot    = fault.Reboot
+	FaultRestart   = fault.Restart
+	FaultBlackout  = fault.Blackout
+	FaultJammerOn  = fault.JammerOn
+	FaultJammerOff = fault.JammerOff
+	FaultLinkKill  = fault.LinkKill
+)
+
+// AttachFaults schedules a fault plan against a network's simulation clock;
+// event times are relative to the current moment.
+func AttachFaults(nw *Network, p *FaultPlan) (*FaultInjector, error) {
+	return fault.Attach(nw.Sim, nw, p)
+}

@@ -19,7 +19,7 @@ func TestWorldTwoNodeQuickstart(t *testing.T) {
 	var got string
 	req := &Message{Type: CoapNON, Code: CoapGET}
 	req.SetPath("temp")
-	if err := b.Coap.Request(a.Addr(), req, func(m *Message, rtt Duration) {
+	if err := b.Coap.Request(a.Addr(), req, func(m *Message, rtt Duration, _ error) {
 		if m != nil {
 			got = string(m.Payload)
 		}

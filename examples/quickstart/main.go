@@ -42,7 +42,7 @@ func main() {
 		req := &blemesh.Message{Type: blemesh.CoapNON, Code: blemesh.CoapGET}
 		req.SetPath("temp")
 		err := gateway.Coap.Request(sensor.Addr(), req,
-			func(m *blemesh.Message, rtt blemesh.Duration) {
+			func(m *blemesh.Message, rtt blemesh.Duration, _ error) {
 				if m == nil {
 					fmt.Println("request timed out")
 					return

@@ -182,6 +182,10 @@ func (c *Conn) Stats() ConnStats { return c.stats }
 // Closed reports whether the connection has been torn down.
 func (c *Conn) Closed() bool { return c.closed }
 
+// Usable reports whether the connection still accepts outbound data: it is
+// neither closed nor in the middle of a graceful termination.
+func (c *Conn) Usable() bool { return !c.closed && !c.closing }
+
 // QueueLen returns the number of LL payloads waiting for transmission.
 func (c *Conn) QueueLen() int { return len(c.txq) }
 
@@ -844,6 +848,14 @@ func (c *Conn) Close() {
 	})
 }
 
+// Kill tears the connection down immediately and silently — no
+// LL_TERMINATE_IND reaches the peer, which discovers the loss through its
+// supervision timeout. Fault injection uses this to model abrupt link death
+// (a crashed node does not say goodbye).
+func (c *Conn) Kill() {
+	c.terminate(LossHostTerminated)
+}
+
 // terminate tears the connection down and notifies the host.
 func (c *Conn) terminate(reason LossReason) {
 	if c.closed {
@@ -872,10 +884,12 @@ func (c *Conn) terminate(reason LossReason) {
 		c.sim().Cancel(c.supEvent)
 	}
 	c.nextStart = 0
-	// Return pooled bytes of undelivered payloads.
+	// Complete undelivered payloads: the enqueued onAck chain returns the
+	// pooled bytes and releases upper-layer resources (L2CAP SDU state,
+	// pktbuf charges) that would otherwise leak with the link.
 	for _, it := range c.txq {
-		if it.ctrl == nil {
-			c.ctrl.pool.free(len(it.payload))
+		if it.ctrl == nil && it.onAck != nil {
+			it.onAck()
 		}
 	}
 	c.txq = nil

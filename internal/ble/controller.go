@@ -3,6 +3,7 @@ package ble
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"blemesh/internal/phy"
 	"blemesh/internal/sim"
@@ -141,10 +142,16 @@ type Controller struct {
 	scanCh      phy.Channel
 	scanRotate  *sim.Event
 	connecting  bool
+	initAct     *Activity // radio claim of an in-progress CONNECT_IND
 
 	// Receive dispatch: whoever currently listens installs its handler.
 	rxHandler      phy.Receiver
 	carrierHandler phy.CarrierFunc
+
+	// epoch invalidates in-flight advertising/initiating continuations
+	// across a Shutdown: closures capture it at schedule time and bail if
+	// the controller has been reset since.
+	epoch int
 
 	events ControllerEvents
 
@@ -326,11 +333,12 @@ func (ctrl *Controller) advChannelStep(ch phy.Channel) {
 		ctrl.finishAdvEvent(false)
 		return
 	}
+	epoch := ctrl.epoch
 	pdu := &AdvPDU{Type: PDUAdvInd, Adv: ctrl.addr, DataLen: ctrl.advParams.DataLen}
 	air := pdu.AdvAirtime()
 	ctrl.radio.Transmit(ch, phy.Packet{Bits: int(air / ByteTime * 8), Payload: pdu}, air, func() {
-		if !ctrl.sched.Owns(ctrl.advAct) {
-			return // preempted mid-event
+		if ctrl.epoch != epoch || !ctrl.sched.Owns(ctrl.advAct) {
+			return // preempted mid-event or controller reset
 		}
 		// Listen one IFS + CONNECT_IND airtime for an initiator.
 		ctrl.radio.StartListen(ch)
@@ -350,9 +358,17 @@ func (ctrl *Controller) advChannelStep(ch phy.Channel) {
 			ctrl.acceptConnection(ci)
 		}, func(_ phy.Channel, end sim.Time) {
 			ctrl.s.Cancel(timeout)
-			timeout = ctrl.s.At(end+sim.Microsecond, func() { ctrl.advStepDone(ch) })
+			timeout = ctrl.s.At(end+sim.Microsecond, func() {
+				if ctrl.epoch == epoch {
+					ctrl.advStepDone(ch)
+				}
+			})
 		})
-		timeout = ctrl.s.At(deadline, func() { ctrl.advStepDone(ch) })
+		timeout = ctrl.s.At(deadline, func() {
+			if ctrl.epoch == epoch {
+				ctrl.advStepDone(ch)
+			}
+		})
 	})
 }
 
@@ -535,6 +551,7 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 	if _, granted := ctrl.sched.Acquire(initAct, ctrl.s.Now()+5*sim.Millisecond); !granted {
 		return
 	}
+	ctrl.initAct = initAct
 	ctrl.connecting = true
 	// Window offset randomises where the first connection event lands —
 	// from the subordinate's perspective the relative timing against its
@@ -550,11 +567,19 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 		Hop:       RandomHopIncrement(ctrl.rng),
 	}
 	air := ci.AdvAirtime()
+	epoch := ctrl.epoch
 	ctrl.s.After(IFS, func() {
+		if ctrl.epoch != epoch {
+			return // controller reset while the CONNECT_IND was pending
+		}
 		ctrl.radio.Transmit(ch, phy.Packet{Bits: int(air / ByteTime * 8), Payload: ci}, air, func() {
+			if ctrl.epoch != epoch {
+				return
+			}
 			ctrl.events.ConnectsTX++
 			ctrl.connecting = false
 			ctrl.sched.Release(initAct)
+			ctrl.initAct = nil
 			delete(ctrl.scanTargets, adv.Adv)
 			if len(ctrl.scanTargets) == 0 {
 				ctrl.stopScanning()
@@ -569,6 +594,48 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 			}
 		})
 	})
+}
+
+// Shutdown force-kills every link-layer activity, as a node crash would:
+// all connections terminate silently (peers discover the loss through their
+// supervision timeouts), advertising and scanning stop, pending connection
+// targets are forgotten, and any in-flight advertising or initiating
+// continuation is invalidated via the epoch counter. The controller object
+// itself stays usable — a rebooted host starts from a clean slate.
+func (ctrl *Controller) Shutdown() {
+	ctrl.epoch++
+	// Terminate connections in handle order so teardown side effects
+	// consume the simulation RNG deterministically.
+	handles := make([]int, 0, len(ctrl.conns))
+	for h := range ctrl.conns {
+		handles = append(handles, h)
+	}
+	sort.Ints(handles)
+	for _, h := range handles {
+		if c, ok := ctrl.conns[h]; ok {
+			c.terminate(LossHostTerminated)
+		}
+	}
+	ctrl.StopAdvertising()
+	ctrl.connecting = false
+	ctrl.scanTargets = nil
+	ctrl.stopScanning()
+	if ctrl.initAct != nil {
+		ctrl.sched.Release(ctrl.initAct)
+		ctrl.initAct = nil
+	}
+	if ctrl.advAct != nil {
+		ctrl.sched.Release(ctrl.advAct)
+		ctrl.sched.Unregister(ctrl.advAct)
+		ctrl.advAct = nil
+	}
+	ctrl.clearRx()
+	switch ctrl.radio.State() {
+	case phy.RadioRX:
+		ctrl.radio.StopListen()
+	case phy.RadioTX:
+		ctrl.radio.AbortTX()
+	}
 }
 
 // accessFromAddrs derives a deterministic 32-bit access address for a

@@ -171,7 +171,7 @@ func TestNONRequestResponse(t *testing.T) {
 	var rtt sim.Duration
 	req := &Message{Type: NON, Code: CodeGET, Payload: make([]byte, 39)}
 	req.SetPath("data")
-	if err := client.Request(b.GlobalAddr(), req, func(m *Message, d sim.Duration) {
+	if err := client.Request(b.GlobalAddr(), req, func(m *Message, d sim.Duration, _ error) {
 		resp, rtt = m, d
 	}); err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestCONRetransmitsUntilAnswered(t *testing.T) {
 	var resp *Message
 	req := &Message{Type: CON, Code: CodeGET}
 	req.SetPath("r")
-	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration) { resp = m })
+	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration, _ error) { resp = m })
 	s.Run(30 * sim.Second)
 	if resp == nil || resp.Code != CodeContent {
 		t.Fatalf("CON exchange failed: %+v", resp)
@@ -224,19 +224,25 @@ func TestCONGivesUpAfterMaxRetransmit(t *testing.T) {
 	wa.drop = func() bool { return true } // black hole
 	client := NewEndpoint(s, a, 0)
 	NewEndpoint(s, b, 0)
-	timedOut := false
+	var failure error
 	req := &Message{Type: CON, Code: CodeGET}
-	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration) {
+	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration, err error) {
 		if m == nil {
-			timedOut = true
+			failure = err
 		}
 	})
 	s.Run(200 * sim.Second)
-	if !timedOut {
+	if failure == nil {
 		t.Fatal("CON request never timed out")
+	}
+	if failure != ErrGaveUp {
+		t.Fatalf("failure = %v, want ErrGaveUp", failure)
 	}
 	if got := client.Stats().Retransmissions; got != MaxRetransmit {
 		t.Fatalf("retransmissions = %d, want %d", got, MaxRetransmit)
+	}
+	if client.Stats().GiveUps != 1 || client.Stats().Timeouts != 0 {
+		t.Fatalf("give-up misclassified: %+v", client.Stats())
 	}
 }
 
@@ -246,15 +252,25 @@ func TestNONTimesOutWithoutRetransmit(t *testing.T) {
 	wa.drop = func() bool { return true }
 	client := NewEndpoint(s, a, 0)
 	NewEndpoint(s, b, 0)
-	timedOut := false
+	var failure error
 	req := &Message{Type: NON, Code: CodeGET}
-	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration) { timedOut = m == nil })
+	client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration, err error) {
+		if m == nil {
+			failure = err
+		}
+	})
 	s.Run(200 * sim.Second)
-	if !timedOut {
+	if failure == nil {
 		t.Fatal("NON request never expired")
+	}
+	if failure != ErrTimeout {
+		t.Fatalf("failure = %v, want ErrTimeout", failure)
 	}
 	if client.Stats().Retransmissions != 0 {
 		t.Fatal("NON request was retransmitted")
+	}
+	if client.Stats().Timeouts != 1 || client.Stats().GiveUps != 0 {
+		t.Fatalf("timeout misclassified: %+v", client.Stats())
 	}
 }
 
@@ -303,7 +319,7 @@ func TestTokensDistinguishConcurrentRequests(t *testing.T) {
 		path := path
 		req := &Message{Type: NON, Code: CodeGET}
 		req.SetPath(path)
-		client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration) {
+		client.Request(b.GlobalAddr(), req, func(m *Message, _ sim.Duration, _ error) {
 			if m != nil {
 				got[path] = string(m.Payload)
 			}

@@ -2,6 +2,7 @@ package coap
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"blemesh/internal/ip6"
@@ -23,13 +24,24 @@ const (
 	ResponseTimeout = 120 * sim.Second
 )
 
+// ErrGaveUp reports a confirmable exchange abandoned after MAX_RETRANSMIT
+// retransmissions (RFC 7252 §4.2). Experiments count abandoned requests
+// separately from responses that were merely lost in transit.
+var ErrGaveUp = errors.New("coap: gave up after MAX_RETRANSMIT retransmissions")
+
+// ErrTimeout reports an exchange whose response never arrived within
+// ResponseTimeout (the NON path, or a CON whose retransmissions were
+// still pending when the overall deadline hit).
+var ErrTimeout = errors.New("coap: response timeout")
+
 // Stats counts endpoint-level events; the experiment harness derives the
 // CoAP PDR from RequestsSent and ResponsesMatched.
 type Stats struct {
 	RequestsSent     uint64
 	Retransmissions  uint64
 	ResponsesMatched uint64
-	Timeouts         uint64
+	Timeouts         uint64 // exchanges expired waiting for a response
+	GiveUps          uint64 // CON exchanges abandoned at MAX_RETRANSMIT
 	RequestsServed   uint64
 	Duplicates       uint64
 	SendErrors       uint64
@@ -40,9 +52,11 @@ type Stats struct {
 // no response (the request is silently absorbed).
 type Handler func(from ip6.Addr, req *Message) *Message
 
-// ResponseFunc receives the matched response for a request, or nil when the
-// exchange timed out (CON retransmissions exhausted or response lost).
-type ResponseFunc func(resp *Message, rtt sim.Duration)
+// ResponseFunc receives the matched response for a request. On failure resp
+// is nil and err distinguishes the outcome: ErrGaveUp when a confirmable
+// request exhausted MAX_RETRANSMIT, ErrTimeout when the response never
+// arrived within ResponseTimeout.
+type ResponseFunc func(resp *Message, rtt sim.Duration, err error)
 
 // pendingReq is one outstanding request exchange.
 type pendingReq struct {
@@ -125,7 +139,7 @@ func (ep *Endpoint) Request(dst ip6.Addr, m *Message, cb ResponseFunc) error {
 		ep.armRetry(pr, ep.initialTimeout())
 	}
 	pr.expire = ep.s.After(ResponseTimeout, func() {
-		ep.abort(pr, key)
+		ep.fail(pr, key, ErrTimeout)
 	})
 	return nil
 }
@@ -138,7 +152,9 @@ func (ep *Endpoint) initialTimeout() sim.Duration {
 func (ep *Endpoint) armRetry(pr *pendingReq, timeout sim.Duration) {
 	pr.retryEvt = ep.s.After(timeout, func() {
 		if pr.retries >= MaxRetransmit {
-			ep.abort(pr, string(pr.msg.Token))
+			// RFC 7252 §4.2: MAX_RETRANSMIT attempts exhausted — the
+			// exchange is abandoned, distinctly from a lost response.
+			ep.fail(pr, string(pr.msg.Token), ErrGaveUp)
 			return
 		}
 		pr.retries++
@@ -150,7 +166,7 @@ func (ep *Endpoint) armRetry(pr *pendingReq, timeout sim.Duration) {
 	})
 }
 
-func (ep *Endpoint) abort(pr *pendingReq, key string) {
+func (ep *Endpoint) fail(pr *pendingReq, key string, cause error) {
 	if _, live := ep.pending[key]; !live {
 		return
 	}
@@ -161,10 +177,31 @@ func (ep *Endpoint) abort(pr *pendingReq, key string) {
 	if pr.expire != nil {
 		ep.s.Cancel(pr.expire)
 	}
-	ep.stats.Timeouts++
-	if pr.cb != nil {
-		pr.cb(nil, 0)
+	if errors.Is(cause, ErrGaveUp) {
+		ep.stats.GiveUps++
+	} else {
+		ep.stats.Timeouts++
 	}
+	if pr.cb != nil {
+		pr.cb(nil, 0, cause)
+	}
+}
+
+// Reset drops all volatile endpoint state, as a node reboot would: pending
+// exchanges vanish without callbacks (the requester's RAM is gone) and the
+// dedup cache empties. Cumulative statistics and the port binding survive —
+// they model the observer, not the device.
+func (ep *Endpoint) Reset() {
+	for key, pr := range ep.pending {
+		if pr.retryEvt != nil {
+			ep.s.Cancel(pr.retryEvt)
+		}
+		if pr.expire != nil {
+			ep.s.Cancel(pr.expire)
+		}
+		delete(ep.pending, key)
+	}
+	ep.seen = make(map[string]sim.Time)
 }
 
 // send encodes and emits a message over UDP.
@@ -201,7 +238,7 @@ func (ep *Endpoint) onUDP(src ip6.Addr, srcPort uint16, data []byte) {
 	}
 	ep.stats.ResponsesMatched++
 	if pr.cb != nil {
-		pr.cb(m, ep.s.Now()-pr.sentAt)
+		pr.cb(m, ep.s.Now()-pr.sentAt, nil)
 	}
 }
 

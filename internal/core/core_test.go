@@ -80,7 +80,7 @@ func TestTwoNodeCoAPExchange(t *testing.T) {
 	ok := false
 	req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
 	req.SetPath("sensor")
-	if err := client.Coap.Request(server.Addr(), req, func(m *coap.Message, d sim.Duration) {
+	if err := client.Coap.Request(server.Addr(), req, func(m *coap.Message, d sim.Duration, _ error) {
 		ok = m != nil
 		rtt = d
 	}); err != nil {
@@ -119,7 +119,7 @@ func TestMultiHopForwarding(t *testing.T) {
 		s.After(sim.Duration(i)*500*sim.Millisecond, func() {
 			req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
 			req.SetPath("sensor")
-			client.Coap.Request(server.Addr(), req, func(m *coap.Message, d sim.Duration) {
+			client.Coap.Request(server.Addr(), req, func(m *coap.Message, d sim.Duration, _ error) {
 				if m != nil {
 					delivered++
 					rtts = append(rtts, d)
@@ -295,5 +295,71 @@ func TestNodeAddressing(t *testing.T) {
 	}
 	if uint64(n.DevAddr()) != 0xABCDEF {
 		t.Fatalf("dev addr mismatch")
+	}
+}
+
+func TestStopRestartRebootsCleanly(t *testing.T) {
+	// A three-node line: A — B — C, with B forwarding. Reboot B mid-run
+	// and verify (a) all volatile state drops on Stop, (b) the links
+	// re-establish and end-to-end traffic flows again after Restart.
+	s := sim.New(7)
+	nodes := buildLine(t, s, 3, statconn.Static{Interval: 75 * sim.Millisecond},
+		func(i int) float64 { return []float64{3, -5, 10}[i] })
+	waitLinks(t, s, nodes, 2)
+	a, b, c := nodes[0], nodes[1], nodes[2]
+	a.Coap.Handler = func(ip6.Addr, *coap.Message) *coap.Message {
+		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	}
+
+	exchange := func() bool {
+		got := false
+		req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
+		req.SetPath("sensor")
+		c.Coap.Request(a.Addr(), req, func(m *coap.Message, _ sim.Duration, _ error) {
+			got = m != nil
+		})
+		s.Run(s.Now() + 5*sim.Second)
+		return got
+	}
+	if !exchange() {
+		t.Fatal("no end-to-end exchange before the reboot")
+	}
+
+	b.Stop()
+	if b.Running() {
+		t.Fatal("Stop left the node running")
+	}
+	if got := len(b.NetIf.Links()); got != 0 {
+		t.Fatalf("stopped node still has %d links", got)
+	}
+	if got := b.Stack.Pktbuf.Used(); got != 0 {
+		t.Fatalf("stopped node still holds %d pktbuf bytes", got)
+	}
+	if got := len(b.Ctrl.Conns()); got != 0 {
+		t.Fatalf("stopped node still has %d BLE connections", got)
+	}
+	// While B is down, the end-to-end path must be broken.
+	if exchange() {
+		t.Fatal("exchange succeeded through a crashed router")
+	}
+	// Let the neighbors notice the loss (supervision timeouts) and churn.
+	s.Run(s.Now() + 10*sim.Second)
+
+	b.Restart()
+	if !b.Running() {
+		t.Fatal("Restart left the node stopped")
+	}
+	// The static links must re-establish and traffic must flow again.
+	recovered := false
+	deadline := s.Now() + 60*sim.Second
+	for s.Now() < deadline {
+		if len(b.NetIf.Links()) == 2 && exchange() {
+			recovered = true
+			break
+		}
+		s.Run(s.Now() + 500*sim.Millisecond)
+	}
+	if !recovered {
+		t.Fatal("network did not recover after the reboot")
 	}
 }

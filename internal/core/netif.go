@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"blemesh/internal/ble"
 	"blemesh/internal/gatt"
@@ -130,6 +131,27 @@ func (n *NetIf) RemoveLink(conn *ble.Conn) {
 		n.stats.LinkDrops++
 	}
 	l.queue = nil
+}
+
+// Reset tears down every link, as a reboot dropping the adapter's RAM:
+// queued frames release their pktbuf charges and all L2CAP/ATT state goes.
+// Links are removed in MAC order so teardown side effects are deterministic.
+func (n *NetIf) Reset() {
+	macs := make([]uint64, 0, len(n.links))
+	for mac := range n.links {
+		macs = append(macs, mac)
+	}
+	sort.Slice(macs, func(i, j int) bool { return macs[i] < macs[j] })
+	for _, mac := range macs {
+		l := n.links[mac]
+		delete(n.links, mac)
+		l.ep.Teardown()
+		for _, f := range l.queue {
+			n.stack.Pktbuf.Free(len(f))
+			n.stats.LinkDrops++
+		}
+		l.queue = nil
+	}
 }
 
 // channelUp installs the IPSP channel on a link and starts draining.

@@ -51,6 +51,17 @@ type Node struct {
 	NetIf    *NetIf
 	Stack    *ip6.Stack
 	Coap     *coap.Endpoint
+
+	running bool
+	prov    provisioned
+}
+
+// provisioned is the node's non-volatile configuration — the topology and
+// routes its firmware image carries — replayed verbatim on Restart.
+type provisioned struct {
+	outbound []ble.DevAddr
+	inbound  int
+	routes   []ip6.Route
 }
 
 // NewNode builds a node on the given medium.
@@ -96,6 +107,7 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 		NetIf:    netif,
 		Stack:    stack,
 		Coap:     ep,
+		running:  true,
 	}
 }
 
@@ -106,14 +118,76 @@ func (n *Node) Addr() ip6.Addr { return n.Stack.GlobalAddr() }
 func (n *Node) DevAddr() ble.DevAddr { return n.Ctrl.Addr() }
 
 // ConnectTo declares a coordinator-role BLE connection toward peer, managed
-// (and re-established on loss) by statconn.
-func (n *Node) ConnectTo(peer *Node) { n.Statconn.Connect(peer.DevAddr()) }
+// (and re-established on loss) by statconn. The declaration is part of the
+// node's non-volatile configuration and survives Stop/Restart.
+func (n *Node) ConnectTo(peer *Node) {
+	addr := peer.DevAddr()
+	for _, p := range n.prov.outbound {
+		if p == addr {
+			n.Statconn.Connect(addr)
+			return
+		}
+	}
+	n.prov.outbound = append(n.prov.outbound, addr)
+	n.Statconn.Connect(addr)
+}
 
 // AcceptInbound declares how many subordinate-role connections this node
 // accepts; it advertises until that many are up and re-advertises on loss.
-func (n *Node) AcceptInbound(k int) { n.Statconn.ExpectInbound(k) }
+// The declaration survives Stop/Restart.
+func (n *Node) AcceptInbound(k int) {
+	n.prov.inbound = k
+	n.Statconn.ExpectInbound(k)
+}
 
-// AddHostRoute installs a host route to dst via the neighbor nextHop.
+// AddHostRoute installs a host route to dst via the neighbor nextHop. The
+// route is part of the provisioned configuration and survives Stop/Restart.
 func (n *Node) AddHostRoute(dst, nextHop *Node) {
-	_ = n.Stack.AddRoute(ip6.Route{Dst: dst.Addr(), PrefixLen: 128, NextHop: nextHop.Addr()})
+	r := ip6.Route{Dst: dst.Addr(), PrefixLen: 128, NextHop: nextHop.Addr()}
+	n.prov.routes = append(n.prov.routes, r)
+	_ = n.Stack.AddRoute(r)
+}
+
+// Running reports whether the node is powered on.
+func (n *Node) Running() bool { return n.running }
+
+// Stop crashes the node: every layer drops its volatile state — BLE
+// connections die silently (peers discover the loss via their supervision
+// timeouts), advertising/scanning stop, L2CAP channels and their queued
+// frames go, the neighbor base, routes, 6LoWPAN reassembly buffers, and
+// pending CoAP exchanges vanish. Cumulative statistics survive: they model
+// the experiment's observer, not the device's RAM.
+func (n *Node) Stop() {
+	if !n.running {
+		return
+	}
+	n.running = false
+	// Order matters: the manager must stop restoring topology before the
+	// controller kills the links, and interface queues must release their
+	// pktbuf charges before the stack zeroes the pool.
+	n.Statconn.Shutdown()
+	n.Ctrl.Shutdown()
+	n.NetIf.Reset()
+	n.Coap.Reset()
+	n.Stack.Reset()
+}
+
+// Restart boots a stopped node from its provisioned configuration: routes
+// are reinstalled and statconn re-declares the node's static links, which
+// then re-establish through the normal advertise/scan machinery.
+func (n *Node) Restart() {
+	if n.running {
+		return
+	}
+	n.running = true
+	n.Statconn.Restart()
+	for _, r := range n.prov.routes {
+		_ = n.Stack.AddRoute(r)
+	}
+	if n.prov.inbound > 0 {
+		n.Statconn.ExpectInbound(n.prov.inbound)
+	}
+	for _, p := range n.prov.outbound {
+		n.Statconn.Connect(p)
+	}
 }

@@ -172,7 +172,7 @@ func TestIPOverDot15d4SingleHop(t *testing.T) {
 	var rtt sim.Duration
 	req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
 	req.SetPath("sensor")
-	if err := a.Coap.Request(b.Addr(), req, func(mm *coap.Message, d sim.Duration) {
+	if err := a.Coap.Request(b.Addr(), req, func(mm *coap.Message, d sim.Duration, _ error) {
 		ok = mm != nil
 		rtt = d
 	}); err != nil {
@@ -207,7 +207,7 @@ func TestIPOverDot15d4MultiHopForwarding(t *testing.T) {
 		s.After(sim.Duration(i)*200*sim.Millisecond, func() {
 			req := &coap.Message{Type: coap.NON, Code: coap.CodeGET, Payload: make([]byte, 39)}
 			req.SetPath("x")
-			n1.Coap.Request(n3.Addr(), req, func(mm *coap.Message, _ sim.Duration) {
+			n1.Coap.Request(n3.Addr(), req, func(mm *coap.Message, _ sim.Duration, _ error) {
 				if mm != nil {
 					delivered++
 				}

@@ -88,7 +88,7 @@ func (nw *DotNetwork) startProducer(id int, t TrafficConfig) {
 		req.SetPath("s")
 		nw.Series.RecordSent(sent)
 		row.RecordSent(sent)
-		_ = node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration) {
+		_ = node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration, _ error) {
 			if m == nil {
 				return
 			}

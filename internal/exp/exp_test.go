@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"fmt"
 	"testing"
 
 	"blemesh/internal/sim"
@@ -14,7 +15,7 @@ func small(seed int64) Options { return Options{Seed: seed, Scale: 0.04, Runs: 1
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "fig10",
 		"sec54", "fig12", "sec62", "fig13", "fig14", "fig15", "table2",
-		"abl-arb", "abl-ww", "abl-renegotiate"}
+		"abl-arb", "abl-ww", "abl-renegotiate", "churn"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)
@@ -269,6 +270,51 @@ func TestFig9bSlowIntervalBursts(t *testing.T) {
 	// fig9a level).
 	if rep.Value("buffer_drops") == 0 && rep.Value("avg_pdr") > 0.999 {
 		t.Fatalf("no burst losses at CI 2s (pdr=%.4f)", rep.Value("avg_pdr"))
+	}
+}
+
+func TestChurnRecoversAndIsDeterministic(t *testing.T) {
+	rep := runChurn(small(2))
+	// Every rebooted router must get all of its static links back, within
+	// a bounded time after power-on.
+	for _, v := range []int{2, 3, 4} {
+		rs := rep.Value(fmt.Sprintf("recovery_s_node%d", v))
+		if rs < 0 {
+			t.Fatalf("node %d never recovered its links", v)
+		}
+		if rs > 30 {
+			t.Fatalf("node %d took %.1fs to recover, want ≤30s", v, rs)
+		}
+	}
+	// End-to-end delivery must return to the pre-fault level.
+	pre, post := rep.Value("pre_pdr"), rep.Value("post_pdr")
+	if pre < 0.95 {
+		t.Fatalf("pre-fault PDR %.4f — run unhealthy before any fault", pre)
+	}
+	if post < pre-0.02 {
+		t.Fatalf("post-recovery PDR %.4f did not return to pre-fault %.4f", post, pre)
+	}
+	// The fault window must actually hurt: reboots drop traffic crossing
+	// the victims.
+	if rep.Value("fault_pdr") >= 1 {
+		t.Fatal("reboots caused no loss at all — faults not taking effect")
+	}
+	if rep.Value("faults") != 6 { // 3 reboots = 3 crash + 3 restart records
+		t.Fatalf("fault log has %v records, want 6", rep.Value("faults"))
+	}
+	if rep.Value("reconnects") == 0 {
+		t.Fatal("no reconnect latencies recorded")
+	}
+
+	// Same seed ⇒ byte-identical metrics (the reproducibility contract).
+	rep2 := runChurn(small(2))
+	if len(rep.Values) != len(rep2.Values) {
+		t.Fatalf("value sets differ in size: %d vs %d", len(rep.Values), len(rep2.Values))
+	}
+	for k, v := range rep.Values {
+		if rep2.Values[k] != v {
+			t.Fatalf("value %q differs across identical runs: %v vs %v", k, v, rep2.Values[k])
+		}
 	}
 }
 

@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"fmt"
+
+	"blemesh/internal/fault"
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+	"blemesh/internal/statconn"
+	"blemesh/internal/testbed"
+)
+
+func init() {
+	register(Experiment{
+		ID:     "churn",
+		Title:  "Node churn: interior-router reboots and self-healing recovery",
+		Figure: "robustness extension (beyond the paper's testbed)",
+		Run:    runChurn,
+	})
+}
+
+// churnVictims are the tree's depth-1 routers: rebooting one takes down its
+// uplink to the consumer and both subtree links at once.
+var churnVictims = []int{2, 3, 4}
+
+// churnDwell is how long a rebooted node stays powered off.
+const churnDwell = 10 * sim.Second
+
+// runChurn reboots interior routers mid-run and measures how the stack
+// heals: per-reboot link-recovery latency, packets lost per outage, and
+// whether the end-to-end CoAP PDR returns to its pre-fault level. A second
+// short run demonstrates the Gilbert–Elliott bursty-loss channel.
+func runChurn(o Options) *Report {
+	o.defaults()
+	r := newReport("churn", "Node churn: interior-router reboots and self-healing recovery")
+	dur := hour(o)
+	warm := dur / 4
+	faultWin := dur / 2
+	tail := dur - warm - faultWin
+
+	nw := BuildNetwork(NetworkConfig{
+		Seed:         o.Seed,
+		Topology:     testbed.Tree(),
+		Policy:       statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22: true,
+		SeriesBucket: 10 * sim.Second,
+	})
+	if !nw.WaitTopology(60 * sim.Second) {
+		r.addf("topology did not form within 60s")
+		return r
+	}
+	nw.Run(10 * sim.Second) // settle
+	trafficStart := nw.Sim.Now()
+	nw.StartTraffic(TrafficConfig{})
+	nw.Run(warm)
+
+	// Script the reboots, evenly spaced through the fault window.
+	attachAt := nw.Sim.Now()
+	gap := faultWin / sim.Duration(len(churnVictims))
+	plan := &fault.Plan{}
+	for i, v := range churnVictims {
+		plan.Events = append(plan.Events, fault.Event{
+			At: sim.Duration(i) * gap, Kind: fault.Reboot, Node: v, Dwell: churnDwell,
+		})
+	}
+	inj, err := fault.Attach(nw.Sim, nw, plan)
+	if err != nil {
+		r.addf("fault plan rejected: %v", err)
+		return r
+	}
+	// Watch each victim after its restart: recovery is complete when every
+	// static link touching it has its IPSP channel open again.
+	recovery := make([]sim.Duration, len(churnVictims))
+	for i := range recovery {
+		recovery[i] = -1
+	}
+	for i, v := range churnVictims {
+		i, v := i, v
+		restartAt := attachAt + sim.Duration(i)*gap + churnDwell
+		var poll func()
+		poll = func() {
+			if nw.NodeLinksUp(v) {
+				recovery[i] = nw.Sim.Now() - restartAt
+				return
+			}
+			nw.Sim.After(250*sim.Millisecond, poll)
+		}
+		nw.Sim.After(restartAt-nw.Sim.Now(), poll)
+	}
+	nw.Run(faultWin)
+	nw.Run(tail)
+	end := nw.Sim.Now()
+
+	pre := nw.Series.Window(trafficStart, attachAt)
+	mid := nw.Series.Window(attachAt, attachAt+faultWin)
+	post := nw.Series.Window(attachAt+faultWin, end)
+	r.addf("phases: warm-up %v, fault window %v (%d reboots, dwell %v), tail %v",
+		warm, faultWin, len(churnVictims), churnDwell, tail)
+	r.addf("pre-fault     PDR %.4f (%d/%d)", pre.Rate(), pre.Delivered, pre.Sent)
+	r.addf("fault window  PDR %.4f (%d/%d)", mid.Rate(), mid.Delivered, mid.Sent)
+	r.addf("post-recovery PDR %.4f (%d/%d)", post.Rate(), post.Delivered, post.Sent)
+	r.addBlock(nw.Series.ASCII("  PDR/10s"))
+	r.set("pre_pdr", pre.Rate())
+	r.set("fault_pdr", mid.Rate())
+	r.set("post_pdr", post.Rate())
+	r.set("overall_pdr", nw.CoAPPDR().Rate())
+
+	var worst sim.Duration
+	for i, v := range churnVictims {
+		crashAt := attachAt + sim.Duration(i)*gap
+		recoveredAt := end
+		rs := -1.0
+		if recovery[i] >= 0 {
+			rs = recovery[i].Seconds()
+			recoveredAt = crashAt + churnDwell + recovery[i]
+			if recovery[i] > worst {
+				worst = recovery[i]
+			}
+		}
+		w := nw.Series.Window(crashAt, recoveredAt)
+		lost := w.Sent - w.Delivered
+		r.addf("node %d: down %v at t=%v, links recovered %.2fs after power-on, ≈%d packets lost in outage window",
+			v, churnDwell, crashAt, rs, lost)
+		r.set(fmt.Sprintf("recovery_s_node%d", v), rs)
+		r.set(fmt.Sprintf("lost_node%d", v), float64(lost))
+	}
+	r.set("recovery_max_s", worst.Seconds())
+
+	lat := nw.ReconnectLatencies()
+	r.addf("reconnect latency (all %d re-establishments): p50 %.2fs p95 %.2fs max %.2fs",
+		lat.N(), lat.Median(), lat.Quantile(0.95), lat.Max())
+	if lat.N() > 0 {
+		r.set("reconnect_p50_s", lat.Median())
+		r.set("reconnect_p95_s", lat.Quantile(0.95))
+		r.set("reconnect_max_s", lat.Max())
+	}
+	r.set("reconnects", float64(lat.N()))
+	r.set("conn_losses", float64(nw.ConnLosses()))
+	r.set("coap_giveups", float64(nw.CoAPGiveUps()))
+	r.set("faults", float64(len(inj.Log())))
+	r.addf("fault log:")
+	for _, rec := range inj.Log() {
+		r.addf("  %v", rec)
+	}
+
+	// Bursty-loss demonstration: the same tree under a Gilbert–Elliott
+	// two-state channel (≈200ms bursts of 90%% loss every ≈3s).
+	burst := BuildNetwork(NetworkConfig{
+		Seed:         o.Seed,
+		Topology:     testbed.Tree(),
+		Policy:       statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22: true,
+		Burst:        &phy.BurstParams{MeanGood: 3 * sim.Second},
+	})
+	if burst.WaitTopology(120 * sim.Second) {
+		burst.Run(10 * sim.Second)
+		burst.StartTraffic(TrafficConfig{})
+		burst.Run(dur / 2)
+		bp := burst.CoAPPDR()
+		r.addf("bursty-loss channel (GE, 200ms/90%% bursts, mean good 3s): PDR %.4f (%d/%d), %d connection losses",
+			bp.Rate(), bp.Delivered, bp.Sent, burst.ConnLosses())
+		r.set("burst_pdr", bp.Rate())
+		r.set("burst_losses", float64(burst.ConnLosses()))
+	} else {
+		r.addf("bursty-loss channel: topology did not form within 120s")
+		r.set("burst_pdr", -1)
+	}
+	return r
+}

@@ -48,6 +48,13 @@ type NetworkConfig struct {
 	PPMOverride map[int]float64
 	// Trace enables the per-node link event log (§4.2-style records).
 	Trace bool
+	// SeriesBucket overrides the PDR time-series bucket (default 60s; the
+	// churn experiment uses finer buckets to localise outage windows).
+	SeriesBucket sim.Duration
+	// Burst adds a Gilbert–Elliott bursty-loss process to the medium (nil =
+	// none). Bursts are what actually break links: a diffuse PER of the
+	// same average intensity is absorbed by per-event retransmission.
+	Burst *phy.BurstParams
 }
 
 func (c *NetworkConfig) defaults() {
@@ -112,6 +119,10 @@ type Network struct {
 	traffic  TrafficConfig
 	started  bool
 	lossBase uint64 // link losses before traffic start (setup collisions)
+
+	// Fault-injection hooks (Network implements fault.Target).
+	blackout *phy.Switched
+	jammers  map[phy.Channel]*phy.Switched
 }
 
 // BuildNetwork assembles the BLE network for cfg.
@@ -126,6 +137,13 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	if cfg.JamChannel22 {
 		medium.AddInterference(phy.Jammer{Ch: 22})
 		chanMap = chanMap.WithoutChannel(22)
+	}
+	if cfg.Burst != nil {
+		medium.AddInterference(phy.NewBurstNoise(s, *cfg.Burst))
+	}
+	seriesBucket := cfg.SeriesBucket
+	if seriesBucket <= 0 {
+		seriesBucket = 60 * sim.Second
 	}
 	ids := cfg.Topology.Nodes()
 	ppm := testbed.ClockPPM(cfg.Seed, ids, cfg.MaxPPM)
@@ -142,9 +160,12 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		consumerID: cfg.Topology.Consumer,
 		RTTs:       &metrics.CDF{},
 		PerProd:    metrics.NewHeatmap(60 * sim.Second),
-		Series:     metrics.NewTimeSeries(60 * sim.Second),
+		Series:     metrics.NewTimeSeries(seriesBucket),
 		Trace:      trace.New(s, 0),
+		blackout:   phy.NewSwitched(phy.Jammer{Ch: phy.AnyChannel}),
+		jammers:    make(map[phy.Channel]*phy.Switched),
 	}
+	medium.AddInterference(nw.blackout)
 	if cfg.Trace {
 		nw.Trace.Enable()
 	}
@@ -261,7 +282,7 @@ func (nw *Network) startProducer(id int, t TrafficConfig) {
 		req.SetPath("s")
 		nw.Series.RecordSent(sent)
 		row.RecordSent(sent)
-		err := node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration) {
+		err := node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration, _ error) {
 			if m == nil {
 				return
 			}
@@ -337,6 +358,82 @@ func (nw *Network) BufferDrops() uint64 {
 		total += n.NetIf.Stats().QueueDrops + n.NetIf.Stats().LinkDrops
 	}
 	return total
+}
+
+// CoAPGiveUps sums the CON exchanges abandoned at MAX_RETRANSMIT across all
+// endpoints (RFC 7252 give-ups, counted separately from plain losses).
+func (nw *Network) CoAPGiveUps() uint64 {
+	var total uint64
+	for _, n := range nw.Nodes {
+		total += n.Coap.Stats().GiveUps
+	}
+	return total
+}
+
+// ReconnectLatencies aggregates every node's completed loss→re-up latencies
+// into one CDF (seconds). Nodes are visited in ID order for determinism.
+func (nw *Network) ReconnectLatencies() *metrics.CDF {
+	cdf := &metrics.CDF{}
+	for _, id := range nw.Cfg.Topology.Nodes() {
+		for _, d := range nw.Nodes[id].Statconn.ReconnectLatencies() {
+			cdf.AddDuration(d)
+		}
+	}
+	return cdf
+}
+
+// NodeLinksUp reports whether every configured static link touching node id
+// has its IPSP channel open — the churn experiment's recovery criterion.
+func (nw *Network) NodeLinksUp(id int) bool {
+	for _, l := range nw.Cfg.Topology.Links {
+		if l.Coordinator != id && l.Subordinate != id {
+			continue
+		}
+		subMAC := uint64(nw.Nodes[l.Subordinate].DevAddr())
+		ch := nw.Nodes[l.Coordinator].NetIf.Channel(subMAC)
+		if ch == nil || !ch.Open() {
+			return false
+		}
+	}
+	return true
+}
+
+// ---- fault.Target ----------------------------------------------------------
+//
+// Network implements fault.Target, so scripted fault plans (internal/fault)
+// can be attached directly to an assembled testbed network.
+
+// CrashNode powers a node off; all volatile state drops.
+func (nw *Network) CrashNode(id int) { nw.Nodes[id].Stop() }
+
+// RestartNode powers a crashed node back on from its provisioned config.
+func (nw *Network) RestartNode(id int) { nw.Nodes[id].Restart() }
+
+// SetBlackout switches the radio-wide all-channel interference on or off.
+func (nw *Network) SetBlackout(on bool) { nw.blackout.Set(on) }
+
+// SetJammer switches a blocking carrier on one channel on or off. Jammers
+// are created on first use and stay attached (off) afterwards.
+func (nw *Network) SetJammer(ch phy.Channel, on bool) {
+	j, ok := nw.jammers[ch]
+	if !ok {
+		j = phy.NewSwitched(phy.Jammer{Ch: ch})
+		nw.Medium.AddInterference(j)
+		nw.jammers[ch] = j
+	}
+	j.Set(on)
+}
+
+// KillLink abruptly terminates the BLE connection between two nodes on both
+// ends — no graceful close handshake; statconn re-establishes the link.
+func (nw *Network) KillLink(a, b int) {
+	na, nb := nw.Nodes[a], nw.Nodes[b]
+	if c := na.Ctrl.FindConn(nb.DevAddr()); c != nil {
+		c.Kill()
+	}
+	if c := nb.Ctrl.FindConn(na.DevAddr()); c != nil {
+		c.Kill()
+	}
 }
 
 // UpstreamConn returns node id's connection toward its next hop to the

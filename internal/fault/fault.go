@@ -1,0 +1,235 @@
+// Package fault is a deterministic, seed-reproducible fault-injection
+// subsystem: scripted timelines of fault events (node crashes, reboots,
+// radio blackouts, jammer duty cycles, link kills) executed against the
+// simulation clock. The paper's testbed could only exhibit the fault
+// processes it happened to contain — clock drift, one jammed channel,
+// diffuse noise; this package lets experiments script the churn and bursty
+// interference that real deployments see, and verify the stack heals.
+package fault
+
+import (
+	"fmt"
+
+	"blemesh/internal/phy"
+	"blemesh/internal/sim"
+)
+
+// Kind enumerates fault event types.
+type Kind int
+
+// Fault event kinds.
+const (
+	// Crash powers Node off; it stays down until a later event restarts it.
+	Crash Kind = iota
+	// Reboot powers Node off at At and back on after Dwell (default 5s).
+	Reboot
+	// Restart powers a previously crashed Node back on.
+	Restart
+	// Blackout corrupts every transmission on every channel during
+	// [At, At+For) (default For 1s) — the RF environment equivalent of
+	// someone starting a microwave oven next to the testbed.
+	Blackout
+	// JammerOn starts a blocking carrier on channel Ch at At.
+	JammerOn
+	// JammerOff stops the carrier on channel Ch.
+	JammerOff
+	// LinkKill abruptly terminates the BLE connection between nodes Node
+	// and Peer — no graceful close handshake is exchanged; the managed-link
+	// machinery (statconn) discovers the loss and re-establishes the link.
+	LinkKill
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Crash:
+		return "crash"
+	case Reboot:
+		return "reboot"
+	case Restart:
+		return "restart"
+	case Blackout:
+		return "blackout"
+	case JammerOn:
+		return "jammer-on"
+	case JammerOff:
+		return "jammer-off"
+	case LinkKill:
+		return "link-kill"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one timestamped fault. Times are relative to the moment the plan
+// is attached (experiments attach after their warm-up).
+type Event struct {
+	// At is when the fault strikes, relative to Attach.
+	At sim.Duration
+	// Kind selects the fault type.
+	Kind Kind
+	// Node identifies the target node (Crash/Reboot/Restart/LinkKill).
+	Node int
+	// Peer is the other end of a LinkKill.
+	Peer int
+	// Dwell is a Reboot's off time (default 5s).
+	Dwell sim.Duration
+	// For is a Blackout's duration (default 1s).
+	For sim.Duration
+	// Ch is a jammer event's channel (may be phy.AnyChannel).
+	Ch phy.Channel
+}
+
+// Plan is a scripted fault timeline.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks the plan for obvious scripting mistakes.
+func (p *Plan) Validate() error {
+	for i, e := range p.Events {
+		if e.At < 0 {
+			return fmt.Errorf("fault: event %d (%v) at negative time %v", i, e.Kind, e.At)
+		}
+		switch e.Kind {
+		case Reboot:
+			if e.Dwell < 0 {
+				return fmt.Errorf("fault: event %d reboot with negative dwell", i)
+			}
+		case Blackout:
+			if e.For < 0 {
+				return fmt.Errorf("fault: event %d blackout with negative duration", i)
+			}
+		case LinkKill:
+			if e.Node == e.Peer {
+				return fmt.Errorf("fault: event %d link-kill with node == peer (%d)", i, e.Node)
+			}
+		}
+	}
+	return nil
+}
+
+// Target is what a plan executes against. internal/exp.Network implements
+// it; tests use a fake.
+type Target interface {
+	// CrashNode powers a node off (all volatile state drops).
+	CrashNode(id int)
+	// RestartNode powers a crashed node back on.
+	RestartNode(id int)
+	// SetBlackout switches radio-wide interference on or off.
+	SetBlackout(on bool)
+	// SetJammer switches a blocking carrier on ch on or off.
+	SetJammer(ch phy.Channel, on bool)
+	// KillLink silently terminates the BLE connection between two nodes.
+	KillLink(a, b int)
+}
+
+// Record is one executed fault, for the experiment report.
+type Record struct {
+	At   sim.Time
+	Kind Kind
+	Node int
+	Peer int
+	Ch   phy.Channel
+}
+
+func (r Record) String() string {
+	switch r.Kind {
+	case LinkKill:
+		return fmt.Sprintf("t=%v %v node%d-node%d", r.At, r.Kind, r.Node, r.Peer)
+	case JammerOn, JammerOff:
+		return fmt.Sprintf("t=%v %v ch%d", r.At, r.Kind, r.Ch)
+	case Blackout:
+		return fmt.Sprintf("t=%v %v", r.At, r.Kind)
+	}
+	return fmt.Sprintf("t=%v %v node%d", r.At, r.Kind, r.Node)
+}
+
+// Injector executes an attached plan and logs what it did.
+type Injector struct {
+	s   *sim.Sim
+	t   Target
+	log []Record
+}
+
+// Defaults for optional event fields.
+const (
+	DefaultDwell = 5 * sim.Second
+	DefaultFor   = sim.Second
+)
+
+// Attach schedules every event of the plan against the simulation clock,
+// relative to now, and returns the injector for log retrieval. Events are
+// scheduled in slice order, so same-timestamp events execute in the order
+// the plan lists them — scripts are deterministic by construction.
+func Attach(s *sim.Sim, t Target, p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	inj := &Injector{s: s, t: t}
+	for _, e := range p.Events {
+		e := e
+		switch e.Kind {
+		case Crash:
+			s.After(e.At, func() { inj.crash(e.Node) })
+		case Restart:
+			s.After(e.At, func() { inj.restart(e.Node) })
+		case Reboot:
+			dwell := e.Dwell
+			if dwell == 0 {
+				dwell = DefaultDwell
+			}
+			s.After(e.At, func() { inj.crash(e.Node) })
+			s.After(e.At+dwell, func() { inj.restart(e.Node) })
+		case Blackout:
+			dur := e.For
+			if dur == 0 {
+				dur = DefaultFor
+			}
+			s.After(e.At, func() { inj.blackout(true) })
+			s.After(e.At+dur, func() { inj.blackout(false) })
+		case JammerOn:
+			s.After(e.At, func() { inj.jammer(e.Ch, true) })
+		case JammerOff:
+			s.After(e.At, func() { inj.jammer(e.Ch, false) })
+		case LinkKill:
+			s.After(e.At, func() { inj.killLink(e.Node, e.Peer) })
+		default:
+			return nil, fmt.Errorf("fault: unknown event kind %v", e.Kind)
+		}
+	}
+	return inj, nil
+}
+
+// Log returns the executed faults in execution order.
+func (inj *Injector) Log() []Record {
+	return append([]Record(nil), inj.log...)
+}
+
+func (inj *Injector) crash(node int) {
+	inj.log = append(inj.log, Record{At: inj.s.Now(), Kind: Crash, Node: node})
+	inj.t.CrashNode(node)
+}
+
+func (inj *Injector) restart(node int) {
+	inj.log = append(inj.log, Record{At: inj.s.Now(), Kind: Restart, Node: node})
+	inj.t.RestartNode(node)
+}
+
+func (inj *Injector) blackout(on bool) {
+	// Both edges log as Blackout records; readers pair them by order.
+	inj.log = append(inj.log, Record{At: inj.s.Now(), Kind: Blackout})
+	inj.t.SetBlackout(on)
+}
+
+func (inj *Injector) jammer(ch phy.Channel, on bool) {
+	kind := JammerOn
+	if !on {
+		kind = JammerOff
+	}
+	inj.log = append(inj.log, Record{At: inj.s.Now(), Kind: kind, Ch: ch})
+	inj.t.SetJammer(ch, on)
+}
+
+func (inj *Injector) killLink(a, b int) {
+	inj.log = append(inj.log, Record{At: inj.s.Now(), Kind: LinkKill, Node: a, Peer: b})
+	inj.t.KillLink(a, b)
+}

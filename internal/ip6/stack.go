@@ -39,6 +39,12 @@ func (p *Pool) Free(n int) {
 	}
 }
 
+// Reset discards all outstanding allocations, as a device reboot clearing
+// its packet RAM. Peak and failure counters survive (observer state). Any
+// Free of a pre-reset allocation afterwards is a bug — the underflow panic
+// in Free is the leak detector for stale references.
+func (p *Pool) Reset() { p.used = 0 }
+
 // Used returns the bytes currently allocated.
 func (p *Pool) Used() int { return p.used }
 
@@ -166,6 +172,17 @@ func (st *Stack) AddRoute(r Route) error {
 
 // ClearRoutes removes all routes (topology reconfiguration).
 func (st *Stack) ClearRoutes() { st.routes = nil }
+
+// Reset drops all volatile stack state — routes, the neighbor base, and
+// every pktbuf allocation — as a node reboot would. Code-like wiring (UDP
+// handlers, interfaces, addresses) survives: it models the firmware, not
+// the RAM. Callers must have torn interface queues down first, or their
+// later frees will underflow the freshly emptied pktbuf.
+func (st *Stack) Reset() {
+	st.routes = nil
+	st.nib = nil
+	st.Pktbuf.Reset()
+}
 
 // AddNeighbor installs a NIB entry mapping an IPv6 address to a link-layer
 // address on an interface. The table is bounded; inserting beyond the limit

@@ -256,6 +256,15 @@ func (ch *Channel) teardown() {
 	}
 	ch.closed = true
 	ch.open = false
+	// Complete queued frames so SDU-level resources (pktbuf charges) held
+	// by their onDone callbacks are released. Frames already handed to the
+	// LL are completed by the connection's own teardown.
+	for _, f := range ch.txq {
+		if f.onDone != nil {
+			f.onDone()
+		}
+	}
+	ch.txq = nil
 	delete(ch.ep.channels, ch.scid)
 	if ch.OnClose != nil {
 		ch.OnClose()
@@ -400,6 +409,9 @@ func (ep *Endpoint) scheduleKick() {
 // sendPDU fragments an L2CAP PDU into LL data packets. It returns false
 // (sending nothing) when the LL pool cannot hold the whole PDU.
 func (ep *Endpoint) sendPDU(cid uint16, payload []byte, onDone func()) bool {
+	if !ep.conn.Usable() {
+		return false
+	}
 	full := encodePDU(cid, payload)
 	if ep.conn.PoolFree() < len(full) {
 		return false
@@ -426,7 +438,11 @@ func (ep *Endpoint) sendPDU(cid uint16, payload []byte, onDone func()) bool {
 
 func (ep *Endpoint) sendSignal(s signal) {
 	// Signaling is exempt from channel credits but still occupies the LL
-	// pool; if the pool is momentarily full, retry shortly.
+	// pool; if the pool is momentarily full, retry shortly. A dead link
+	// ends the retry loop — there is nobody left to signal.
+	if ep.conn == nil || !ep.conn.Usable() {
+		return
+	}
 	if !ep.sendPDU(CIDSignaling, encodeSignal(s), nil) {
 		ep.s.After(2*sim.Millisecond, func() { ep.sendSignal(s) })
 	}
@@ -571,6 +587,9 @@ func (ep *Endpoint) HandleFixed(cid uint16, h func(payload []byte)) {
 // SendFixed transmits a PDU on a fixed channel, retrying briefly when the
 // LL pool is momentarily full (like signaling PDUs).
 func (ep *Endpoint) SendFixed(cid uint16, payload []byte) {
+	if ep.conn == nil || !ep.conn.Usable() {
+		return
+	}
 	if !ep.sendPDU(cid, payload, nil) {
 		ep.s.After(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
 	}

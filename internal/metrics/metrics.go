@@ -198,6 +198,24 @@ func (ts *TimeSeries) Rates() []float64 {
 	return out
 }
 
+// Window sums the buckets overlapping [from, to) — the churn experiment's
+// view of traffic during a specific phase (pre-fault, outage, recovered).
+// Attribution is per-bucket: a bucket counts when any part of it overlaps
+// the window.
+func (ts *TimeSeries) Window(from, to sim.Time) Counter {
+	var total Counter
+	for i, b := range ts.buckets {
+		bStart := sim.Time(i) * ts.Bucket
+		bEnd := bStart + ts.Bucket
+		if bEnd <= from || bStart >= to {
+			continue
+		}
+		total.Sent += b.Sent
+		total.Delivered += b.Delivered
+	}
+	return total
+}
+
 // Overall returns the whole-run ratio.
 func (ts *TimeSeries) Overall() Counter {
 	var total Counter

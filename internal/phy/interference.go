@@ -1,0 +1,145 @@
+package phy
+
+import (
+	"blemesh/internal/sim"
+)
+
+// AnyChannel makes a Jammer (or other channel-matched interference) hit every
+// channel — a radio-wide blackout rather than a single blocked carrier.
+const AnyChannel Channel = -1
+
+// matches reports whether an interference source configured for want applies
+// to traffic on ch.
+func matches(want, ch Channel) bool { return want == AnyChannel || want == ch }
+
+// Switched gates another interference source behind an on/off flag, so fault
+// plans can schedule interference windows (jammer duty cycles, radio
+// blackouts) against the simulation clock. The zero value is off.
+type Switched struct {
+	inner Interference
+	on    bool
+}
+
+// NewSwitched wraps inner; the switch starts off.
+func NewSwitched(inner Interference) *Switched { return &Switched{inner: inner} }
+
+// Set turns the wrapped source on or off.
+func (w *Switched) Set(on bool) { w.on = on }
+
+// On reports the current switch state.
+func (w *Switched) On() bool { return w.on }
+
+// Corrupts implements Interference.
+func (w *Switched) Corrupts(s *sim.Sim, ch Channel, start, end sim.Time) bool {
+	return w.on && w.inner.Corrupts(s, ch, start, end)
+}
+
+// Busy implements Interference.
+func (w *Switched) Busy(ch Channel, t sim.Time) bool {
+	return w.on && w.inner.Busy(ch, t)
+}
+
+// BurstParams configures a Gilbert–Elliott two-state loss process: the
+// channel alternates between a good state (low loss) and a bad state (high
+// loss), with exponentially distributed dwell times. Bursty interference is
+// what actually trips BLE supervision timeouts — a diffuse uniform PER of the
+// same average intensity is shrugged off by per-event retransmission.
+type BurstParams struct {
+	// MeanGood and MeanBad are the mean dwell times of the two states
+	// (defaults 2s good, 200ms bad).
+	MeanGood sim.Duration
+	MeanBad  sim.Duration
+	// PERGood and PERBad are the per-packet corruption probabilities in
+	// each state (defaults 0 and 0.9).
+	PERGood float64
+	PERBad  float64
+	// CCABusy makes the bad state trip clear-channel assessment (the
+	// burst looks like a carrier to CSMA MACs).
+	CCABusy bool
+}
+
+func (p *BurstParams) defaults() {
+	if p.MeanGood == 0 {
+		p.MeanGood = 2 * sim.Second
+	}
+	if p.MeanBad == 0 {
+		p.MeanBad = 200 * sim.Millisecond
+	}
+	if p.PERBad == 0 {
+		p.PERBad = 0.9
+	}
+}
+
+// BurstNoise is the Gilbert–Elliott process. The state chain advances lazily:
+// state transitions are drawn from the simulation RNG as packet times query
+// the process, so an idle channel costs nothing and runs remain seed-exact.
+type BurstNoise struct {
+	s *sim.Sim
+	p BurstParams
+
+	started bool
+	bad     bool
+	until   sim.Time // current state holds until this time
+}
+
+// NewBurstNoise creates a burst-loss process on the given simulation.
+func NewBurstNoise(s *sim.Sim, p BurstParams) *BurstNoise {
+	p.defaults()
+	return &BurstNoise{s: s, p: p}
+}
+
+// Bad reports whether the process is in the bad state at time t.
+func (b *BurstNoise) Bad(t sim.Time) bool {
+	b.advance(t)
+	return b.bad
+}
+
+// advance walks the state chain forward to time t.
+func (b *BurstNoise) advance(t sim.Time) {
+	if !b.started {
+		b.started = true
+		b.until = t + b.dwell(false)
+	}
+	for t >= b.until {
+		b.bad = !b.bad
+		b.until += b.dwell(b.bad)
+	}
+}
+
+// dwell draws an exponential dwell time for the given state.
+func (b *BurstNoise) dwell(bad bool) sim.Duration {
+	mean := b.p.MeanGood
+	if bad {
+		mean = b.p.MeanBad
+	}
+	d := sim.Duration(float64(mean) * b.s.Rand().ExpFloat64())
+	if d < sim.Millisecond {
+		d = sim.Millisecond
+	}
+	return d
+}
+
+// Corrupts implements Interference.
+func (b *BurstNoise) Corrupts(s *sim.Sim, _ Channel, start, _ sim.Time) bool {
+	b.advance(start)
+	per := b.p.PERGood
+	if b.bad {
+		per = b.p.PERBad
+	}
+	if per <= 0 {
+		return false
+	}
+	if per >= 1 {
+		return true
+	}
+	return s.Rand().Float64() < per
+}
+
+// Busy implements Interference.
+func (b *BurstNoise) Busy(_ Channel, t sim.Time) bool {
+	if !b.p.CCABusy {
+		return false
+	}
+	b.advance(t)
+	return b.bad
+}

@@ -121,6 +121,11 @@ func NewReassembler(s *sim.Sim, maxSlots int) *Reassembler {
 // Stats returns a copy of the reassembler counters.
 func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
 
+// Reset drops every partial datagram, as a node reboot clearing its
+// reassembly buffers. Expiry timers of dropped entries find the fresh table
+// empty and do nothing. Counters survive (observer state).
+func (r *Reassembler) Reset() { r.table = make(map[uint64]*reassembly) }
+
 // Input processes one fragment from the given sender. When the fragment
 // completes a datagram, the full frame is returned; otherwise nil.
 func (r *Reassembler) Input(sender uint64, frag []byte) []byte {

@@ -9,6 +9,7 @@ package statconn
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"blemesh/internal/ble"
 	"blemesh/internal/sim"
@@ -144,6 +145,11 @@ type Config struct {
 	Latency      int
 	ChanMap      ble.ChannelMap
 	CSA          int
+	// BackoffCap bounds the exponential reconnect backoff window. The
+	// initiation delay is drawn uniformly from [0, span) where span starts
+	// at 3×AdvInterval and doubles per consecutive failed attempt up to
+	// this cap (default 16 × 3×AdvInterval).
+	BackoffCap sim.Duration
 }
 
 func (c *Config) defaults() {
@@ -162,6 +168,9 @@ func (c *Config) defaults() {
 	if c.Policy == nil {
 		c.Policy = Static{Interval: 75 * sim.Millisecond}
 	}
+	if c.BackoffCap == 0 {
+		c.BackoffCap = 16 * 3 * c.AdvInterval
+	}
 }
 
 // Stats counts manager-level events; Fig. 13/14 report the loss counts.
@@ -176,6 +185,13 @@ type Stats struct {
 	ParamRequests   uint64 // renegotiation attempts sent (Renegotiate policy)
 	ParamRejects    uint64 // renegotiations rejected by the coordinator
 	ParamAccepts    uint64 // renegotiations this coordinator accepted
+
+	// Recovery-latency percentiles over this node's coordinator-side link
+	// repairs (loss of an established link → link back up). Zero when no
+	// recovery has completed yet.
+	RecoveryP50 sim.Duration
+	RecoveryP95 sim.Duration
+	RecoveryMax sim.Duration
 }
 
 // Manager maintains a node's configured BLE connections.
@@ -195,6 +211,19 @@ type Manager struct {
 	lossTimes      []sim.Time
 	reconnectEnds  []sim.Time
 	pendingReopens int
+
+	// Self-healing state: per-peer consecutive failed initiation attempts
+	// (drives the exponential backoff), when each proven link went down
+	// (drives recovery-latency measurement), and the completed recovery
+	// latencies.
+	attempts  map[ble.DevAddr]int
+	downSince map[ble.DevAddr]sim.Time
+	recovery  []sim.Duration
+
+	// stopped gates all topology-restoring reactions while the host is
+	// down; gen invalidates backoff timers armed before a shutdown.
+	stopped bool
+	gen     int
 
 	stats Stats
 
@@ -216,6 +245,8 @@ func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
 		rng:       s.Rand(),
 		wantedOut: make(map[ble.DevAddr]bool),
 		up:        make(map[*ble.Conn]bool),
+		attempts:  make(map[ble.DevAddr]int),
+		downSince: make(map[ble.DevAddr]sim.Time),
 	}
 	ctrl.SetScanParams(ble.ScanParams{Interval: cfg.ScanInterval, Window: cfg.ScanWindow})
 	ctrl.OnConnect = m.handleConnect
@@ -223,8 +254,25 @@ func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
 	return m
 }
 
-// Stats returns a copy of the manager counters.
-func (m *Manager) Stats() Stats { return m.stats }
+// Stats returns a copy of the manager counters, with the recovery-latency
+// percentiles computed from the recoveries completed so far.
+func (m *Manager) Stats() Stats {
+	st := m.stats
+	if len(m.recovery) > 0 {
+		sorted := append([]sim.Duration(nil), m.recovery...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.RecoveryP50 = sorted[(len(sorted)-1)*50/100]
+		st.RecoveryP95 = sorted[(len(sorted)-1)*95/100]
+		st.RecoveryMax = sorted[len(sorted)-1]
+	}
+	return st
+}
+
+// ReconnectLatencies returns the completed loss→re-up latencies of this
+// node's coordinator-side links, in completion order.
+func (m *Manager) ReconnectLatencies() []sim.Duration {
+	return append([]sim.Duration(nil), m.recovery...)
+}
 
 // LossTimes returns when supervision losses happened (for loss-over-time
 // reporting).
@@ -251,10 +299,25 @@ func (m *Manager) Connect(peer ble.DevAddr) {
 
 // initiateAfterBackoff desynchronises initiators: two coordinators targeting
 // the same advertiser otherwise answer the same ADV_IND and their
-// CONNECT_INDs collide on the air — deterministically, forever.
+// CONNECT_INDs collide on the air — deterministically, forever. The jitter
+// window starts at 3×AdvInterval and doubles per consecutive failed attempt
+// (bounded by Config.BackoffCap), so repeated establishment failures —
+// e.g. during a peer's reboot or a jammed advertising channel — back off
+// instead of hammering the air. Success resets the window.
 func (m *Manager) initiateAfterBackoff(peer ble.DevAddr) {
-	delay := sim.Duration(m.rng.Int63n(int64(3 * m.cfg.AdvInterval)))
+	span := int64(3 * m.cfg.AdvInterval)
+	for i := m.attempts[peer]; i > 0 && span < int64(m.cfg.BackoffCap); i-- {
+		span <<= 1
+	}
+	if span > int64(m.cfg.BackoffCap) {
+		span = int64(m.cfg.BackoffCap)
+	}
+	delay := sim.Duration(m.rng.Int63n(span))
+	gen := m.gen
 	m.s.After(delay, func() {
+		if m.gen != gen || m.stopped {
+			return
+		}
 		if !m.wantedOut[peer] || m.ctrl.FindConn(peer) != nil {
 			return
 		}
@@ -294,9 +357,37 @@ func (m *Manager) ensureAdvertising() {
 	}
 }
 
+// Shutdown forgets the configured topology and stops reacting to link
+// events, as the host side of a crashing node: pending backoff timers are
+// invalidated, and losses reported while stopped (the controller tearing its
+// connections down) only propagate to OnLinkDown. Cumulative statistics and
+// recovery measurements survive — they model the observer, not the device.
+// Call before the controller's own Shutdown.
+func (m *Manager) Shutdown() {
+	m.stopped = true
+	m.gen++
+	m.wantedOut = make(map[ble.DevAddr]bool)
+	m.expectIn = 0
+	m.activeIn = 0
+	m.pendingReopens = 0
+	m.attempts = make(map[ble.DevAddr]int)
+	m.downSince = make(map[ble.DevAddr]sim.Time)
+}
+
+// Restart re-arms a stopped manager; the host re-declares its topology via
+// Connect/ExpectInbound afterwards.
+func (m *Manager) Restart() {
+	m.stopped = false
+}
+
 // handleConnect filters colliding intervals (subordinate side of §6.3) and
 // reports usable links.
 func (m *Manager) handleConnect(c *ble.Conn) {
+	if m.stopped {
+		// A connection completing against a down host: refuse it.
+		c.Close()
+		return
+	}
 	if c.Role() == ble.Subordinate {
 		if m.cfg.Policy.EnforceUnique() && m.intervalCollides(c) {
 			// Close immediately; the coordinator's manager retries
@@ -334,6 +425,15 @@ func (m *Manager) handleConnect(c *ble.Conn) {
 			}
 		}
 	}
+	if c.Role() == ble.Coordinator {
+		// Success resets the exponential backoff and completes any
+		// recovery measurement that started when the link went down.
+		delete(m.attempts, c.Peer())
+		if t0, ok := m.downSince[c.Peer()]; ok {
+			delete(m.downSince, c.Peer())
+			m.recovery = append(m.recovery, m.s.Now()-t0)
+		}
+	}
 	m.up[c] = true
 	m.stats.LinksOpened++
 	if m.pendingReopens > 0 {
@@ -359,6 +459,17 @@ func (m *Manager) intervalCollides(c *ble.Conn) bool {
 
 // handleDisconnect restores the configured topology after a loss.
 func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
+	if m.stopped {
+		// The host is down (Shutdown in progress): report the loss so the
+		// network layer detaches, but restore nothing.
+		if m.up[c] {
+			delete(m.up, c)
+			if m.OnLinkDown != nil {
+				m.OnLinkDown(c, reason)
+			}
+		}
+		return
+	}
 	if !m.up[c] {
 		// A connection we rejected (interval collision) finished its
 		// teardown: nothing to restore beyond advertising.
@@ -372,6 +483,9 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 		// lost (e.g. two initiators answered the same advertisement).
 		// Not a link loss — the link never existed.
 		m.stats.EstablishFails++
+		if c.Role() == ble.Coordinator && m.wantedOut[c.Peer()] {
+			m.attempts[c.Peer()]++
+		}
 	case reason == ble.LossSupervision:
 		m.stats.SupervisionLoss++
 		if c.Role() == ble.Coordinator {
@@ -385,6 +499,15 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 	switch c.Role() {
 	case ble.Coordinator:
 		if m.wantedOut[c.Peer()] {
+			// A proven link starting a repair: stamp the loss time for
+			// the recovery-latency measurement and reset the backoff (a
+			// fresh loss episode starts from the short window).
+			if c.Stats().EventsOK > 0 {
+				if _, measuring := m.downSince[c.Peer()]; !measuring {
+					m.downSince[c.Peer()] = m.s.Now()
+				}
+				delete(m.attempts, c.Peer())
+			}
 			m.pendingReopens++
 			m.initiateAfterBackoff(c.Peer())
 		}

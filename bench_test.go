@@ -186,3 +186,51 @@ func BenchmarkLinkThroughput(b *testing.B) {
 		b.ReportMetric(kbps, "sim-kbps")
 	}
 }
+
+// BenchmarkLatencyDecomposition regenerates the flight-recorder latency
+// report: every delivered packet's latency tiled into queue / interval /
+// airtime / retransmission components, exactly.
+func BenchmarkLatencyDecomposition(b *testing.B) {
+	runBench(b, "latency", benchScale, func(r *Report) bool {
+		return r.Value("delivered") > 0 && r.Value("tiling_max_err_us") <= 1
+	})
+}
+
+// denseTree drives the fig9a-style dense-tree workload (producer 100ms,
+// CI 75ms) with the flight recorder on or off, returning delivered count.
+func denseTree(seed int64, traced bool) uint64 {
+	nw := BuildNetwork(NetworkConfig{
+		Seed:          seed,
+		Topology:      Tree(),
+		JamChannel22:  true,
+		Trace:         traced,
+		TraceCapacity: 1 << 19,
+	})
+	nw.WaitTopology(60 * Second)
+	nw.Run(10 * Second)
+	nw.StartTraffic(TrafficConfig{Interval: 100 * Millisecond, Jitter: 50 * Millisecond})
+	nw.Run(2 * Minute)
+	return nw.CoAPPDR().Delivered
+}
+
+// BenchmarkDenseTreeTraceOff and BenchmarkDenseTreeTraceOn bracket the
+// flight recorder's cost on the densest workload. The disabled case pays
+// one branch per instrumentation site; compare ns/op between the two to
+// check the <5% disabled-overhead budget (run with -count to average).
+func BenchmarkDenseTreeTraceOff(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if denseTree(int64(i)+2, false) == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}
+
+func BenchmarkDenseTreeTraceOn(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if denseTree(int64(i)+2, true) == 0 {
+			b.Fatal("nothing delivered")
+		}
+	}
+}

@@ -51,6 +51,7 @@ import (
 	"blemesh/internal/sim"
 	"blemesh/internal/statconn"
 	"blemesh/internal/testbed"
+	"blemesh/internal/trace"
 )
 
 // Re-exported core types. The aliases make the internal packages' rich
@@ -94,6 +95,15 @@ type (
 
 	// CDF is the quantile accumulator used throughout the harness.
 	CDF = metrics.CDF
+	// MetricsRegistry is the unified metrics surface a Network exposes.
+	MetricsRegistry = metrics.Registry
+
+	// TraceLog is the flight recorder; Journey, HopSpan, and Decomposition
+	// are its per-packet provenance reconstructions.
+	TraceLog      = trace.Log
+	Journey       = trace.Journey
+	HopSpan       = trace.HopSpan
+	Decomposition = trace.Decomposition
 
 	// FaultPlan and FaultEvent script deterministic fault timelines (node
 	// churn, radio blackouts, jammer duty cycles, link kills) against a

@@ -5,6 +5,7 @@ import (
 
 	"blemesh/internal/phy"
 	"blemesh/internal/sim"
+	"blemesh/internal/trace"
 )
 
 // Role is a node's role on one connection. A node can be coordinator for
@@ -82,12 +83,14 @@ func (s *ConnStats) LLPDR() float64 {
 
 // txItem is one queued LL payload with its bookkeeping.
 type txItem struct {
-	llid    LLID
-	payload []byte
-	ctrl    *DataPDU // non-nil for control PDUs
-	sent    bool     // SN assigned (queued for its first transmission)
-	txCount int      // actual transmissions so far
-	onAck   func()   // release pool bytes / credits upcall
+	llid        LLID
+	payload     []byte
+	ctrl        *DataPDU // non-nil for control PDUs
+	pid         uint64   // provenance ID of the carried packet (0 = untagged)
+	sent        bool     // SN assigned (queued for its first transmission)
+	txCount     int      // actual transmissions so far
+	readyMarked bool     // ll-ready span emitted for this item
+	onAck       func()   // release pool bytes / credits upcall
 }
 
 func (it *txItem) size() int {
@@ -150,15 +153,12 @@ type Conn struct {
 	stats ConnStats
 
 	// OnData delivers received LL data payloads (LLID start/cont) upward
-	// to L2CAP.
-	OnData func(llid LLID, payload []byte)
+	// to L2CAP, with the carried packet's provenance ID (0 = untagged).
+	OnData func(llid LLID, payload []byte, pid uint64)
 	// OnParamRequest lets the coordinator's host decide on a
 	// subordinate's Connection Parameters Request. Returning true applies
 	// the proposed interval via the update procedure; false rejects it.
 	OnParamRequest func(interval sim.Duration) bool
-
-	// trace is a test-only hook observing protocol steps.
-	trace func(op string, pdu *DataPDU)
 }
 
 // Role returns the local role on this connection.
@@ -361,6 +361,9 @@ func (c *Conn) eventStart() {
 		// Radio busy: the whole event is skipped. Under connection
 		// shading this happens for hundreds of consecutive events.
 		c.stats.EventsSkipped++
+		if c.ctrl.tr.Enabled() {
+			c.ctrl.tr.Emit(c.ctrl.node, trace.KindEventSkipped, "conn#%d ev=%d qlen=%d", c.handle, idx, len(c.txq))
+		}
 		return
 	}
 	c.inEvent = true
@@ -442,7 +445,7 @@ func (c *Conn) buildPDU() *DataPDU {
 			pdu = it.ctrl
 			pdu.LLID = LLIDControl
 		} else {
-			pdu = &DataPDU{LLID: it.llid, Payload: it.payload}
+			pdu = &DataPDU{LLID: it.llid, Payload: it.payload, PID: it.pid}
 		}
 		if !it.sent {
 			it.sent = true
@@ -466,19 +469,22 @@ func (c *Conn) transmitPDU(pdu *DataPDU, done func()) {
 	if pdu.Len() == 0 {
 		c.stats.TXEmpty++
 	}
+	try := 1
 	if len(c.txq) > 0 && pdu.Len() > 0 && c.txq[0].sent {
 		if c.txq[0].txCount > 0 {
 			c.stats.Retrans++
 		}
 		c.txq[0].txCount++
+		try = c.txq[0].txCount
 	}
 	if pdu.Len() > 0 {
 		c.exData = true
 	} else if pdu.LLID != LLIDControl {
 		c.emptyInFlight = true
 	}
-	if c.trace != nil {
-		c.trace("tx", pdu)
+	if pdu.PID != 0 && c.ctrl.tr.Enabled() {
+		c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindLLTx, pdu.PID, air,
+			"conn#%d ch=%d try=%d len=%d", c.handle, c.evCh, try, pdu.Len())
 	}
 	c.stats.ChannelTX[c.evCh]++
 	c.radio().Transmit(c.evCh, phy.Packet{Bits: int(air / ByteTime * 8), Payload: pdu}, air, done)
@@ -503,9 +509,6 @@ func (c *Conn) processRx(pdu *DataPDU) {
 		c.emptyInFlight = false
 		if len(c.txq) > 0 && c.txq[0].sent {
 			it := c.txq[0]
-			if c.trace != nil {
-				c.trace("pop", pdu)
-			}
 			c.txq = c.txq[1:]
 			if it.size() > 0 || it.ctrl != nil {
 				c.stats.TXUnique++
@@ -517,19 +520,31 @@ func (c *Conn) processRx(pdu *DataPDU) {
 				c.terminate(LossHostTerminated)
 				return
 			}
+			c.markHeadReady()
 		}
 	}
 
 	// New data from the peer: its SN matches our NESN expectation.
 	if pdu.SN == c.nesn {
 		c.nesn ^= 1
-		if c.trace != nil {
-			c.trace("deliver", pdu)
-		}
 		c.deliver(pdu)
-	} else if c.trace != nil {
-		c.trace("dup", pdu)
 	}
+}
+
+// markHeadReady records the head of the transmit queue becoming eligible
+// for the next connection event — the boundary between queueing wait and
+// connection-interval wait in the latency decomposition. Emitted once per
+// tagged item.
+func (c *Conn) markHeadReady() {
+	if !c.ctrl.tr.Enabled() || len(c.txq) == 0 {
+		return
+	}
+	it := c.txq[0]
+	if it.readyMarked || it.pid == 0 {
+		return
+	}
+	it.readyMarked = true
+	c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindLLReady, it.pid, 0, "conn#%d qlen=%d", c.handle, len(c.txq))
 }
 
 // deliver hands a freshly received PDU to the host or executes the control
@@ -562,8 +577,12 @@ func (c *Conn) deliver(pdu *DataPDU) {
 			c.pendInstant = c.instantToIdx(pdu.Instant)
 		}
 	case len(pdu.Payload) > 0:
+		if pdu.PID != 0 && c.ctrl.tr.Enabled() {
+			c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindLLRx, pdu.PID, Airtime(pdu.Len()),
+				"conn#%d ch=%d len=%d", c.handle, c.evCh, pdu.Len())
+		}
 		if c.OnData != nil {
-			c.OnData(pdu.LLID, pdu.Payload)
+			c.OnData(pdu.LLID, pdu.Payload, pdu.PID)
 		}
 	}
 }
@@ -759,11 +778,12 @@ func (c *Conn) subReply() {
 
 // ---- Host interface -----------------------------------------------------
 
-// Send enqueues one LL data payload (≤ MaxDataLen bytes). onAck fires when
+// Send enqueues one LL data payload (≤ MaxDataLen bytes) tagged with the
+// provenance ID of the packet it carries (0 = untagged). onAck fires when
 // the peer acknowledges it. It returns false when the controller's shared
 // buffer pool is exhausted — the backpressure signal L2CAP translates into
 // credit stalling.
-func (c *Conn) Send(llid LLID, payload []byte, onAck func()) bool {
+func (c *Conn) Send(llid LLID, payload []byte, pid uint64, onAck func()) bool {
 	if c.closed || c.closing {
 		return false
 	}
@@ -775,12 +795,13 @@ func (c *Conn) Send(llid LLID, payload []byte, onAck func()) bool {
 		return false
 	}
 	n := len(payload)
-	c.txq = append(c.txq, &txItem{llid: llid, payload: payload, onAck: func() {
+	c.txq = append(c.txq, &txItem{llid: llid, payload: payload, pid: pid, onAck: func() {
 		c.ctrl.pool.free(n)
 		if onAck != nil {
 			onAck()
 		}
 	}})
+	c.markHeadReady()
 	return true
 }
 
@@ -888,12 +909,27 @@ func (c *Conn) terminate(reason LossReason) {
 	// pooled bytes and releases upper-layer resources (L2CAP SDU state,
 	// pktbuf charges) that would otherwise leak with the link.
 	for _, it := range c.txq {
-		if it.ctrl == nil && it.onAck != nil {
-			it.onAck()
+		if it.ctrl == nil {
+			if it.pid != 0 {
+				c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindPacketDrop, it.pid, 0,
+					"cause=link-reset conn#%d reason=%s", c.handle, reason)
+			}
+			if it.onAck != nil {
+				it.onAck()
+			}
 		}
 	}
 	c.txq = nil
 	c.ctrl.removeConn(c, reason)
+}
+
+// TraceDrop records a provenance-tagged packet dropped by an upper layer
+// that holds this connection (e.g. L2CAP frames flushed at channel
+// teardown). A zero pid or a disabled trace log makes it a no-op.
+func (c *Conn) TraceDrop(pid uint64, cause string) {
+	if pid != 0 {
+		c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindPacketDrop, pid, 0, "cause=%s conn#%d", cause, c.handle)
+	}
 }
 
 // PoolFree exposes the controller's free LL buffer bytes to upper layers.

@@ -86,11 +86,11 @@ func TestDataTransferCoordinatorToSubordinate(t *testing.T) {
 	s, _, nodes := newTestNet(2, 1.5, -1.5)
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	var got [][]byte
-	sub.OnData = func(_ LLID, p []byte) { got = append(got, p) }
+	sub.OnData = func(_ LLID, p []byte, _ uint64) { got = append(got, p) }
 	payloads := make([][]byte, 10)
 	for i := range payloads {
 		payloads[i] = []byte{byte(i), 1, 2, 3}
-		if !coord.Send(LLIDDataStart, payloads[i], nil) {
+		if !coord.Send(LLIDDataStart, payloads[i], 0, nil) {
 			t.Fatalf("Send %d rejected", i)
 		}
 	}
@@ -109,9 +109,9 @@ func TestDataTransferSubordinateToCoordinator(t *testing.T) {
 	s, _, nodes := newTestNet(3, 1.5, -1.5)
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	var got [][]byte
-	coord.OnData = func(_ LLID, p []byte) { got = append(got, p) }
+	coord.OnData = func(_ LLID, p []byte, _ uint64) { got = append(got, p) }
 	for i := 0; i < 10; i++ {
-		if !sub.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+		if !sub.Send(LLIDDataStart, []byte{byte(i)}, 0, nil) {
 			t.Fatalf("Send %d rejected", i)
 		}
 	}
@@ -133,7 +133,7 @@ func TestMoreDataBatchesInOneEvent(t *testing.T) {
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	delivered := 0
 	var doneAt sim.Time
-	sub.OnData = func(_ LLID, _ []byte) {
+	sub.OnData = func(_ LLID, _ []byte, _ uint64) {
 		delivered++
 		if delivered == 20 {
 			doneAt = s.Now()
@@ -141,7 +141,7 @@ func TestMoreDataBatchesInOneEvent(t *testing.T) {
 	}
 	start := s.Now()
 	for i := 0; i < 20; i++ {
-		if !coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+		if !coord.Send(LLIDDataStart, make([]byte, 100), 0, nil) {
 			t.Fatalf("Send %d rejected (pool)", i)
 		}
 	}
@@ -160,7 +160,7 @@ func TestOnAckFiresOncePerPayload(t *testing.T) {
 	_, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	acks := 0
 	for i := 0; i < 5; i++ {
-		coord.Send(LLIDDataStart, []byte{byte(i)}, func() { acks++ })
+		coord.Send(LLIDDataStart, []byte{byte(i)}, 0, func() { acks++ })
 	}
 	s.Run(s.Now() + 2*sim.Second)
 	if acks != 5 {
@@ -175,9 +175,9 @@ func TestReliabilityUnderNoise(t *testing.T) {
 	m.AddInterference(phy.RandomNoise{PER: 0.2})
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	var got []byte
-	sub.OnData = func(_ LLID, p []byte) { got = append(got, p[0]) }
+	sub.OnData = func(_ LLID, p []byte, _ uint64) { got = append(got, p[0]) }
 	for i := 0; i < 30; i++ {
-		if !coord.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+		if !coord.Send(LLIDDataStart, []byte{byte(i)}, 0, nil) {
 			t.Fatalf("Send %d rejected", i)
 		}
 	}
@@ -248,7 +248,7 @@ func TestPoolExhaustionRejectsSend(t *testing.T) {
 	// radio can't drain them that fast.
 	accepted := 0
 	for i := 0; i < 100; i++ {
-		if coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+		if coord.Send(LLIDDataStart, make([]byte, 100), 0, nil) {
 			accepted++
 		}
 	}
@@ -263,7 +263,7 @@ func TestPoolExhaustionRejectsSend(t *testing.T) {
 	}
 	// Draining the queue must free the pool again.
 	s.Run(s.Now() + 10*sim.Second)
-	if !coord.Send(LLIDDataStart, make([]byte, 100), nil) {
+	if !coord.Send(LLIDDataStart, make([]byte, 100), 0, nil) {
 		t.Fatal("pool not freed after drain")
 	}
 }
@@ -346,11 +346,11 @@ func TestJammedChannelDegradesButDoesNotKill(t *testing.T) {
 	m.AddInterference(phy.Jammer{Ch: 22})
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], params75())
 	delivered := 0
-	sub.OnData = func(_ LLID, _ []byte) { delivered++ }
+	sub.OnData = func(_ LLID, _ []byte, _ uint64) { delivered++ }
 	for i := 0; i < 50; i++ {
 		i := i
 		s.After(sim.Duration(i)*200*sim.Millisecond, func() {
-			coord.Send(LLIDDataStart, []byte{byte(i)}, nil)
+			coord.Send(LLIDDataStart, []byte{byte(i)}, 0, nil)
 		})
 	}
 	s.Run(s.Now() + 30*sim.Second)
@@ -391,9 +391,9 @@ func TestConnectionWithCSA1(t *testing.T) {
 	s, _, nodes := newTestNet(30, 1, -1)
 	sub, coord := connectPair(t, s, nodes[0], nodes[1], p)
 	delivered := 0
-	sub.OnData = func(_ LLID, _ []byte) { delivered++ }
+	sub.OnData = func(_ LLID, _ []byte, _ uint64) { delivered++ }
 	for i := 0; i < 10; i++ {
-		if !coord.Send(LLIDDataStart, []byte{byte(i)}, nil) {
+		if !coord.Send(LLIDDataStart, []byte{byte(i)}, 0, nil) {
 			t.Fatal("send rejected")
 		}
 	}

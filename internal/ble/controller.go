@@ -7,6 +7,7 @@ import (
 
 	"blemesh/internal/phy"
 	"blemesh/internal/sim"
+	"blemesh/internal/trace"
 )
 
 // ControllerConfig parameterises one node's BLE controller.
@@ -155,10 +156,22 @@ type Controller struct {
 
 	events ControllerEvents
 
+	// Flight-recorder wiring: connections emit LL span events (ll-tx,
+	// ll-rx, event-skipped, link-reset drops) into tr under the node name.
+	tr   *trace.Log
+	node string
+
 	// OnConnect fires when a connection is established (either role).
 	OnConnect ConnUpFunc
 	// OnDisconnect fires when a connection ends for any reason.
 	OnDisconnect ConnLossFunc
+}
+
+// SetTrace wires the controller (and every current and future connection)
+// to a shared trace log, emitting under the given node name.
+func (ctrl *Controller) SetTrace(l *trace.Log, node string) {
+	ctrl.tr = l
+	ctrl.node = node
 }
 
 // NewController creates a controller bound to a radio and a local clock.

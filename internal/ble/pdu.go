@@ -110,6 +110,11 @@ type DataPDU struct {
 	Update  ConnUpdate
 	ChanMap ChannelMap
 	Instant uint16
+
+	// PID is simulation metadata: the provenance ID of the application
+	// packet this PDU carries a fragment of (0 = untagged). It is not an
+	// on-air field and never counts toward Len().
+	PID uint64
 }
 
 // Len returns the LL payload length in bytes for airtime purposes.

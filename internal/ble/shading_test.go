@@ -249,7 +249,7 @@ func TestCapacitySplitMatchesRelativeAnchorPosition(t *testing.T) {
 		hub.ctrl.conns[connA.handle] = connA
 		subA := newConn(peerA.ctrl, Subordinate, hub.ctrl.Addr(), p, 0x1111, 7, t0)
 		peerA.ctrl.conns[subA.handle] = subA
-		subA.OnData = func(_ LLID, _ []byte) { delivered++ }
+		subA.OnData = func(_ LLID, _ []byte, _ uint64) { delivered++ }
 		if withB {
 			// Connection B: hub subordinate, peerB coordinates.
 			coordB := newConn(peerB.ctrl, Coordinator, hub.ctrl.Addr(), p, 0x2222, 9, t0+offset)
@@ -264,7 +264,7 @@ func TestCapacitySplitMatchesRelativeAnchorPosition(t *testing.T) {
 				return
 			}
 			for connA.QueueLen() < 32 {
-				if !connA.Send(LLIDDataStart, make([]byte, MaxDataLen), nil) {
+				if !connA.Send(LLIDDataStart, make([]byte, MaxDataLen), 0, nil) {
 					break
 				}
 			}
@@ -310,7 +310,7 @@ func TestThroughputBaselineNearPaperValue(t *testing.T) {
 	a, b := mk(0.5, 0xF1), mk(-0.5, 0xF2)
 	bytesRx := 0
 	a.ctrl.OnConnect = func(c *Conn) {
-		c.OnData = func(_ LLID, p []byte) { bytesRx += len(p) }
+		c.OnData = func(_ LLID, p []byte, _ uint64) { bytesRx += len(p) }
 	}
 	var coord *Conn
 	b.ctrl.OnConnect = func(c *Conn) { coord = c }
@@ -330,7 +330,7 @@ func TestThroughputBaselineNearPaperValue(t *testing.T) {
 			return
 		}
 		for coord.QueueLen() < 64 {
-			if !coord.Send(LLIDDataStart, make([]byte, MaxDataLen), nil) {
+			if !coord.Send(LLIDDataStart, make([]byte, MaxDataLen), 0, nil) {
 				break
 			}
 		}

@@ -56,8 +56,8 @@ func TestLLNeverLosesOrReordersUnderNoise(t *testing.T) {
 
 	// Bidirectional sequenced streams.
 	var rxAtPeer, rxAtHub []uint32
-	peerConn.OnData = func(_ LLID, p []byte) { rxAtPeer = append(rxAtPeer, binary.BigEndian.Uint32(p)) }
-	hubConn.OnData = func(_ LLID, p []byte) { rxAtHub = append(rxAtHub, binary.BigEndian.Uint32(p)) }
+	peerConn.OnData = func(_ LLID, p []byte, _ uint64) { rxAtPeer = append(rxAtPeer, binary.BigEndian.Uint32(p)) }
+	hubConn.OnData = func(_ LLID, p []byte, _ uint64) { rxAtHub = append(rxAtHub, binary.BigEndian.Uint32(p)) }
 	sentHub, ackedHub := uint32(0), 0
 	sentPeer, ackedPeer := uint32(0), 0
 	pump := func(c *Conn, seq *uint32, acked *int) func() {
@@ -69,7 +69,7 @@ func TestLLNeverLosesOrReordersUnderNoise(t *testing.T) {
 			for c.QueueLen() < 8 {
 				p := make([]byte, 40)
 				binary.BigEndian.PutUint32(p, *seq)
-				if !c.Send(LLIDDataStart, p, func() { *acked++ }) {
+				if !c.Send(LLIDDataStart, p, 0, func() { *acked++ }) {
 					break
 				}
 				*seq++

@@ -135,12 +135,12 @@ type wireIf struct {
 	drop    func() bool
 }
 
-func (w *wireIf) Output(mac uint64, pkt []byte) bool {
+func (w *wireIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 	if w.drop != nil && w.drop() {
 		return true // swallowed
 	}
 	cp := append([]byte(nil), pkt...)
-	w.s.After(w.delay, func() { w.peer.Input(cp) })
+	w.s.After(w.delay, func() { w.peer.Input(cp, pid) })
 	return true
 }
 func (w *wireIf) HasNeighbor(mac uint64) bool { return mac == w.peerMAC }
@@ -288,8 +288,8 @@ func TestDuplicateRequestSuppressed(t *testing.T) {
 	// arriving after the response was lost).
 	req := &Message{Type: CON, Code: CodeGET, MessageID: 77, Token: []byte{9}}
 	enc, _ := req.Encode()
-	b.Input(buildUDP(a, b, enc))
-	b.Input(buildUDP(a, b, enc))
+	b.Input(buildUDP(a, b, enc), 0)
+	b.Input(buildUDP(a, b, enc), 0)
 	s.Run(sim.Second)
 	if served != 1 {
 		t.Fatalf("handler ran %d times for duplicate MID", served)

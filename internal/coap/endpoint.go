@@ -7,6 +7,7 @@ import (
 
 	"blemesh/internal/ip6"
 	"blemesh/internal/sim"
+	"blemesh/internal/trace"
 )
 
 // Transmission parameters (RFC 7252 §4.8).
@@ -64,6 +65,7 @@ type pendingReq struct {
 	msg      *Message
 	cb       ResponseFunc
 	sentAt   sim.Time
+	pid      uint64 // provenance ID of the latest (re)transmission
 	retries  int
 	retryEvt *sim.Event
 	expire   *sim.Event
@@ -83,6 +85,16 @@ type Endpoint struct {
 	seen    map[string]sim.Time
 	stats   Stats
 	Handler Handler
+
+	tr   *trace.Log
+	node string
+}
+
+// SetTrace wires the endpoint to a shared trace log, emitting request and
+// response span events under the given node name.
+func (ep *Endpoint) SetTrace(l *trace.Log, node string) {
+	ep.tr = l
+	ep.node = node
 }
 
 // NewEndpoint binds a CoAP endpoint to the stack's CoAP port.
@@ -129,12 +141,17 @@ func (ep *Endpoint) Request(dst ip6.Addr, m *Message, cb ResponseFunc) error {
 	pr := &pendingReq{dst: dst, msg: m, cb: cb, sentAt: ep.s.Now()}
 	key := string(m.Token)
 	ep.pending[key] = pr
-	if err := ep.send(dst, m); err != nil {
+	pid, err := ep.send(dst, m)
+	if err != nil {
 		delete(ep.pending, key)
 		ep.stats.SendErrors++
 		return err
 	}
+	pr.pid = pid
 	ep.stats.RequestsSent++
+	if ep.tr.Enabled() {
+		ep.tr.EmitPkt(ep.node, trace.KindCoAPRequest, pid, 0, "dst=%v mid=%d try=1", dst, m.MessageID)
+	}
 	if m.Type == CON {
 		ep.armRetry(pr, ep.initialTimeout())
 	}
@@ -159,8 +176,15 @@ func (ep *Endpoint) armRetry(pr *pendingReq, timeout sim.Duration) {
 		}
 		pr.retries++
 		ep.stats.Retransmissions++
-		if err := ep.send(pr.dst, pr.msg); err != nil {
+		pid, err := ep.send(pr.dst, pr.msg)
+		if err != nil {
 			ep.stats.SendErrors++
+		} else {
+			pr.pid = pid
+			if ep.tr.Enabled() {
+				ep.tr.EmitPkt(ep.node, trace.KindCoAPRequest, pid, 0,
+					"dst=%v mid=%d try=%d", pr.dst, pr.msg.MessageID, pr.retries+1)
+			}
 		}
 		ep.armRetry(pr, timeout*2)
 	})
@@ -181,6 +205,9 @@ func (ep *Endpoint) fail(pr *pendingReq, key string, cause error) {
 		ep.stats.GiveUps++
 	} else {
 		ep.stats.Timeouts++
+	}
+	if ep.tr.Enabled() {
+		ep.tr.EmitPkt(ep.node, trace.KindCoAPResponse, pr.pid, ep.s.Now()-pr.sentAt, "err=%v", cause)
 	}
 	if pr.cb != nil {
 		pr.cb(nil, 0, cause)
@@ -204,13 +231,14 @@ func (ep *Endpoint) Reset() {
 	ep.seen = make(map[string]sim.Time)
 }
 
-// send encodes and emits a message over UDP.
-func (ep *Endpoint) send(dst ip6.Addr, m *Message) error {
+// send encodes and emits a message over UDP, returning the provenance ID
+// the stack assigned to the datagram.
+func (ep *Endpoint) send(dst ip6.Addr, m *Message) (uint64, error) {
 	b, err := m.Encode()
 	if err != nil {
-		return err
+		return 0, err
 	}
-	return ep.st.SendUDP(dst, ep.port, ep.port, b)
+	return ep.st.SendUDPPID(dst, ep.port, ep.port, b)
 }
 
 // onUDP dispatches incoming CoAP traffic.
@@ -237,8 +265,12 @@ func (ep *Endpoint) onUDP(src ip6.Addr, srcPort uint16, data []byte) {
 		ep.s.Cancel(pr.expire)
 	}
 	ep.stats.ResponsesMatched++
+	rtt := ep.s.Now() - pr.sentAt
+	if ep.tr.Enabled() {
+		ep.tr.EmitPkt(ep.node, trace.KindCoAPResponse, pr.pid, rtt, "src=%v mid=%d", src, m.MessageID)
+	}
 	if pr.cb != nil {
-		pr.cb(m, ep.s.Now()-pr.sentAt, nil)
+		pr.cb(m, rtt, nil)
 	}
 }
 
@@ -271,7 +303,7 @@ func (ep *Endpoint) handleRequest(src ip6.Addr, srcPort uint16, req *Message) {
 	} else {
 		resp.MessageID = ep.NewMessageID()
 	}
-	_ = ep.send(src, resp)
+	_, _ = ep.send(src, resp)
 }
 
 // gcSeen bounds the dedup cache.

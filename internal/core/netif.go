@@ -19,6 +19,7 @@ import (
 	"blemesh/internal/l2cap"
 	"blemesh/internal/sim"
 	"blemesh/internal/sixlo"
+	"blemesh/internal/trace"
 )
 
 // NetIfStats counts adapter-level events.
@@ -39,8 +40,15 @@ type link struct {
 	ep      *l2cap.Endpoint
 	att     *gatt.ATT
 	ch      *l2cap.Channel
-	queue   [][]byte // compressed frames awaiting the channel, pktbuf-charged
+	queue   []outFrame // compressed frames awaiting the channel, pktbuf-charged
 	peerMAC uint64
+}
+
+// outFrame is one queued compressed frame with the provenance ID of the
+// packet it carries.
+type outFrame struct {
+	data []byte
+	pid  uint64
 }
 
 // NetIf adapts BLE+L2CAP to the ip6.NetIf interface.
@@ -52,6 +60,15 @@ type NetIf struct {
 	links  map[uint64]*link
 	gattDB *gatt.Server
 	stats  NetIfStats
+	tr     *trace.Log
+	node   string
+}
+
+// SetTrace wires the adapter to a shared trace log (for link-down drop
+// records), emitting under the given node name.
+func (n *NetIf) SetTrace(l *trace.Log, node string) {
+	n.tr = l
+	n.node = node
 }
 
 // NewNetIf creates the adapter and attaches it to the stack.
@@ -126,9 +143,18 @@ func (n *NetIf) RemoveLink(conn *ble.Conn) {
 	}
 	delete(n.links, peerMAC)
 	l.ep.Teardown()
+	n.flushQueue(l)
+}
+
+// flushQueue drops a dead link's queued frames, releasing their pktbuf
+// charges and recording the drops.
+func (n *NetIf) flushQueue(l *link) {
 	for _, f := range l.queue {
-		n.stack.Pktbuf.Free(len(f))
+		n.stack.Pktbuf.Free(len(f.data))
 		n.stats.LinkDrops++
+		if f.pid != 0 && n.tr.Enabled() {
+			n.tr.EmitPkt(n.node, trace.KindPacketDrop, f.pid, 0, "cause=link-down peer=%012x", l.peerMAC)
+		}
 	}
 	l.queue = nil
 }
@@ -146,24 +172,20 @@ func (n *NetIf) Reset() {
 		l := n.links[mac]
 		delete(n.links, mac)
 		l.ep.Teardown()
-		for _, f := range l.queue {
-			n.stack.Pktbuf.Free(len(f))
-			n.stats.LinkDrops++
-		}
-		l.queue = nil
+		n.flushQueue(l)
 	}
 }
 
 // channelUp installs the IPSP channel on a link and starts draining.
 func (n *NetIf) channelUp(l *link, ch *l2cap.Channel) {
 	l.ch = ch
-	ch.OnSDU = func(sdu []byte) { n.input(l, sdu) }
+	ch.OnSDU = func(sdu []byte, pid uint64) { n.input(l, sdu, pid) }
 	ch.OnWritable = func() { n.drain(l) }
 	n.drain(l)
 }
 
 // Output implements ip6.NetIf: compress, charge the pktbuf, queue, drain.
-func (n *NetIf) Output(mac uint64, pkt []byte) bool {
+func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 	l, ok := n.links[mac]
 	if !ok {
 		return false
@@ -178,7 +200,7 @@ func (n *NetIf) Output(mac uint64, pkt []byte) bool {
 		n.stats.QueueDrops++
 		return false
 	}
-	l.queue = append(l.queue, frame)
+	l.queue = append(l.queue, outFrame{data: frame, pid: pid})
 	n.drain(l)
 	return true
 }
@@ -186,10 +208,10 @@ func (n *NetIf) Output(mac uint64, pkt []byte) bool {
 // drain pushes queued frames into the IPSP channel while it accepts them.
 func (n *NetIf) drain(l *link) {
 	for len(l.queue) > 0 && l.ch != nil && l.ch.Writable() {
-		frame := l.queue[0]
+		f := l.queue[0]
 		l.queue = l.queue[1:]
-		size := len(frame)
-		err := l.ch.SendSDU(frame, func() {
+		size := len(f.data)
+		err := l.ch.SendSDU(f.data, f.pid, func() {
 			n.stack.Pktbuf.Free(size)
 		})
 		if err != nil {
@@ -202,14 +224,14 @@ func (n *NetIf) drain(l *link) {
 }
 
 // input decompresses a received frame and hands it to the IP stack.
-func (n *NetIf) input(l *link, sdu []byte) {
+func (n *NetIf) input(l *link, sdu []byte, pid uint64) {
 	pkt, err := sixlo.Decompress(sdu, l.peerMAC, n.mac, n.ctxs)
 	if err != nil {
 		n.stats.DecompressErr++
 		return
 	}
 	n.stats.RXPackets++
-	n.stack.Input(pkt)
+	n.stack.Input(pkt, pid)
 }
 
 // QueueDepth returns the number of frames queued toward a neighbor.

@@ -88,6 +88,9 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 	mgr := statconn.New(s, ctrl, cfg.Statconn)
 	tr := cfg.Trace
 	name := cfg.Name
+	ctrl.SetTrace(tr, name)
+	stack.SetTrace(tr, name)
+	netif.SetTrace(tr, name)
 	mgr.OnLinkUp = func(c *ble.Conn) {
 		tr.Emit(name, trace.KindConnOpen, "peer=%v role=%v itvl=%v", c.Peer(), c.Role(), c.Interval())
 		netif.AddLink(c)
@@ -97,6 +100,7 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 		netif.RemoveLink(c)
 	}
 	ep := coap.NewEndpoint(s, stack, 0)
+	ep.SetTrace(tr, name)
 	return &Node{
 		Name:     cfg.Name,
 		Sim:      s,

@@ -26,13 +26,13 @@ func TestUnicastWithAck(t *testing.T) {
 	a := NewMAC(s, m, 0x0A)
 	b := NewMAC(s, m, 0x0B)
 	var got []byte
-	b.SetReceiver(func(src uint64, p []byte) {
+	b.SetReceiver(func(src uint64, p []byte, _ uint64) {
 		if src == 0x0A {
 			got = p
 		}
 	})
 	okResult := false
-	if !a.Send(0x0B, []byte("frame"), func(ok bool) { okResult = ok }) {
+	if !a.Send(0x0B, []byte("frame"), 0, func(ok bool) { okResult = ok }) {
 		t.Fatal("send rejected")
 	}
 	s.Run(sim.Second)
@@ -54,9 +54,9 @@ func TestBroadcastNoAck(t *testing.T) {
 	b := NewMAC(s, m, 0x0B)
 	c := NewMAC(s, m, 0x0C)
 	rx := 0
-	b.SetReceiver(func(uint64, []byte) { rx++ })
-	c.SetReceiver(func(uint64, []byte) { rx++ })
-	a.Send(BroadcastAddr, []byte("hello"), nil)
+	b.SetReceiver(func(uint64, []byte, uint64) { rx++ })
+	c.SetReceiver(func(uint64, []byte, uint64) { rx++ })
+	a.Send(BroadcastAddr, []byte("hello"), 0, nil)
 	s.Run(sim.Second)
 	if rx != 2 {
 		t.Fatalf("broadcast reached %d receivers", rx)
@@ -74,7 +74,7 @@ func TestRetryAfterCollisionThenDrop(t *testing.T) {
 	m.AddInterference(phy.Jammer{Ch: Channel})
 	a := NewMAC(s, m, 0x0A)
 	failed := false
-	a.Send(0x0B, []byte("x"), func(ok bool) { failed = !ok })
+	a.Send(0x0B, []byte("x"), 0, func(ok bool) { failed = !ok })
 	s.Run(10 * sim.Second)
 	if !failed {
 		t.Fatal("send into jammed channel succeeded")
@@ -91,7 +91,7 @@ func TestNoAckDropsAfterMaxRetries(t *testing.T) {
 	a := NewMAC(s, m, 0x0A)
 	NewMAC(s, m, 0x0C) // bystander, not the destination
 	failed := false
-	a.Send(0x0B, []byte("x"), func(ok bool) { failed = !ok })
+	a.Send(0x0B, []byte("x"), 0, func(ok bool) { failed = !ok })
 	s.Run(10 * sim.Second)
 	if !failed {
 		t.Fatal("unacked frame reported success")
@@ -109,7 +109,7 @@ func TestQueueBound(t *testing.T) {
 	a := NewMAC(s, m, 0x0A)
 	accepted := 0
 	for i := 0; i < 50; i++ {
-		if a.Send(0x0B, []byte{byte(i)}, nil) {
+		if a.Send(0x0B, []byte{byte(i)}, 0, nil) {
 			accepted++
 		}
 	}
@@ -131,14 +131,14 @@ func TestContentionManySenders(t *testing.T) {
 	m := phy.NewMedium(s)
 	sink := NewMAC(s, m, 0xFF0)
 	rx := 0
-	sink.SetReceiver(func(uint64, []byte) { rx++ })
+	sink.SetReceiver(func(uint64, []byte, uint64) { rx++ })
 	okCount, failCount := 0, 0
 	for i := 0; i < 8; i++ {
 		mac := NewMAC(s, m, uint64(0x100+i))
 		for j := 0; j < 20; j++ {
 			j := j
 			s.At(sim.Time(j)*100*sim.Millisecond+sim.Time(i)*7*sim.Millisecond, func() {
-				mac.Send(0xFF0, make([]byte, 50), func(ok bool) {
+				mac.Send(0xFF0, make([]byte, 50), 0, func(ok bool) {
 					if ok {
 						okCount++
 					} else {

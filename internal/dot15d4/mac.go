@@ -69,6 +69,9 @@ type Frame struct {
 	Src     uint64
 	Dst     uint64
 	Payload []byte
+	// PID is the provenance ID of the IP packet this frame carries.
+	// Simulation metadata only — never on the air, never in MACLen.
+	PID uint64
 }
 
 // MACLen returns the frame's MAC-layer length in bytes.
@@ -94,8 +97,9 @@ type MACStats struct {
 	QueueDrops uint64
 }
 
-// RxFunc delivers a received data frame's payload.
-type RxFunc func(src uint64, payload []byte)
+// RxFunc delivers a received data frame's payload along with the
+// provenance ID of the IP packet it carries (0 when untagged).
+type RxFunc func(src uint64, payload []byte, pid uint64)
 
 // MAC is one node's 802.15.4 medium-access controller. The receiver idles
 // in RX permanently (the m3 nodes do idle listening; the paper's energy
@@ -155,7 +159,7 @@ func (m *MAC) SetReceiver(fn RxFunc) { m.onRx = fn }
 // Send queues a payload toward dst (BroadcastAddr for broadcast). onDone
 // reports delivery (ack received / broadcast sent) or failure. It returns
 // false when the queue is full.
-func (m *MAC) Send(dst uint64, payload []byte, onDone func(ok bool)) bool {
+func (m *MAC) Send(dst uint64, payload []byte, pid uint64, onDone func(ok bool)) bool {
 	if len(payload) > MaxPayload {
 		panic(fmt.Sprintf("dot15d4: payload %d exceeds frame budget %d", len(payload), MaxPayload))
 	}
@@ -164,7 +168,7 @@ func (m *MAC) Send(dst uint64, payload []byte, onDone func(ok bool)) bool {
 		return false
 	}
 	m.seq++
-	f := &Frame{AR: dst != BroadcastAddr, Seq: m.seq, Src: m.addr, Dst: dst, Payload: payload}
+	f := &Frame{AR: dst != BroadcastAddr, Seq: m.seq, Src: m.addr, Dst: dst, Payload: payload, PID: pid}
 	m.txq = append(m.txq, &txEntry{frame: f, be: MinBE, onDone: onDone})
 	m.stats.TXUnique++
 	m.kick()
@@ -305,7 +309,7 @@ func (m *MAC) receive(pkt phy.Packet, _ phy.Channel, ok bool) {
 		})
 	}
 	if m.onRx != nil {
-		m.onRx(f.Src, append([]byte(nil), f.Payload...))
+		m.onRx(f.Src, append([]byte(nil), f.Payload...), f.PID)
 	}
 }
 

@@ -57,7 +57,7 @@ func (n *NetIf) MTU() int { return 1280 }
 func (n *NetIf) HasNeighbor(uint64) bool { return true }
 
 // Output implements ip6.NetIf.
-func (n *NetIf) Output(mac uint64, pkt []byte) bool {
+func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 	frame, err := sixlo.Compress(pkt, n.mac.Addr(), mac, n.ctxs)
 	if err != nil {
 		n.stats.CompressErr++
@@ -92,7 +92,7 @@ func (n *NetIf) Output(mac uint64, pkt []byte) bool {
 		}
 	}
 	for _, f := range frags {
-		if !n.mac.Send(mac, f, release) {
+		if !n.mac.Send(mac, f, pid, release) {
 			n.stats.QueueDrops++
 			release(false)
 		}
@@ -101,10 +101,11 @@ func (n *NetIf) Output(mac uint64, pkt []byte) bool {
 	return true
 }
 
-// input reassembles (if fragmented), decompresses, and delivers.
-func (n *NetIf) input(src uint64, frame []byte) {
+// input reassembles (if fragmented), decompresses, and delivers. The
+// provenance ID of the first fragment survives reassembly.
+func (n *NetIf) input(src uint64, frame []byte, pid uint64) {
 	if sixlo.IsFragment(frame) {
-		frame = n.reasm.Input(src, frame)
+		frame, pid = n.reasm.InputPID(src, frame, pid)
 		if frame == nil {
 			return
 		}
@@ -115,7 +116,7 @@ func (n *NetIf) input(src uint64, frame []byte) {
 		return
 	}
 	n.stats.RXPackets++
-	n.stack.Input(pkt)
+	n.stack.Input(pkt, pid)
 }
 
 // Node is a complete 802.15.4 node: MAC, IP stack, CoAP endpoint — the m3

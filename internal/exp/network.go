@@ -48,6 +48,9 @@ type NetworkConfig struct {
 	PPMOverride map[int]float64
 	// Trace enables the per-node link event log (§4.2-style records).
 	Trace bool
+	// TraceCapacity overrides the trace ring capacity in events (default
+	// 65536). Provenance-heavy runs (latency decomposition) need more.
+	TraceCapacity int
 	// SeriesBucket overrides the PDR time-series bucket (default 60s; the
 	// churn experiment uses finer buckets to localise outage windows).
 	SeriesBucket sim.Duration
@@ -111,6 +114,10 @@ type Network struct {
 	// Trace is the network-wide event log (enabled via NetworkConfig).
 	Trace *trace.Log
 
+	// Registry is the unified metrics surface: every node's Stats() sources
+	// and the network-level aggregates register named collectors here.
+	Registry *metrics.Registry
+
 	// Metrics.
 	RTTs     *metrics.CDF
 	PerProd  *metrics.Heatmap
@@ -161,7 +168,8 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		RTTs:       &metrics.CDF{},
 		PerProd:    metrics.NewHeatmap(60 * sim.Second),
 		Series:     metrics.NewTimeSeries(seriesBucket),
-		Trace:      trace.New(s, 0),
+		Trace:      trace.New(s, cfg.TraceCapacity),
+		Registry:   metrics.NewRegistry(),
 		blackout:   phy.NewSwitched(phy.Jammer{Ch: phy.AnyChannel}),
 		jammers:    make(map[phy.Channel]*phy.Switched),
 	}
@@ -211,7 +219,85 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		}
 	}
 	nw.llSeries = newLLSampler(nw, 60*sim.Second)
+	nw.registerMetrics(ids)
 	return nw
+}
+
+// registerMetrics wires every node's Stats() sources and the network-level
+// aggregates into the unified registry. Nodes register in ID order; Gather
+// sorts by name anyway, but registration order stays deterministic.
+func (nw *Network) registerMetrics(ids []int) {
+	for _, id := range ids {
+		n := nw.Nodes[id]
+		name := n.Name
+		if name == "" {
+			name = fmt.Sprintf("node-%d", id)
+		}
+		coapEP, netif, stack, mgr := n.Coap, n.NetIf, n.Stack, n.Statconn
+		nw.Registry.Register(name+".coap", func() []metrics.Sample {
+			st := coapEP.Stats()
+			return counterSamples(name+".coap",
+				"requests_sent", st.RequestsSent,
+				"retransmissions", st.Retransmissions,
+				"responses_matched", st.ResponsesMatched,
+				"timeouts", st.Timeouts,
+				"give_ups", st.GiveUps,
+				"requests_served", st.RequestsServed)
+		})
+		nw.Registry.Register(name+".netif", func() []metrics.Sample {
+			st := netif.Stats()
+			return counterSamples(name+".netif",
+				"tx_packets", st.TXPackets,
+				"rx_packets", st.RXPackets,
+				"queue_drops", st.QueueDrops,
+				"link_drops", st.LinkDrops)
+		})
+		nw.Registry.Register(name+".ip6", func() []metrics.Sample {
+			st := stack.Stats()
+			return counterSamples(name+".ip6",
+				"sent", st.Sent,
+				"received", st.Received,
+				"forwarded", st.Forwarded,
+				"no_route", st.NoRoute,
+				"no_neighbor", st.NoNeighbor,
+				"hop_limit", st.HopLimit,
+				"queue_drops", st.QueueDrops)
+		})
+		nw.Registry.Register(name+".statconn", func() []metrics.Sample {
+			st := mgr.Stats()
+			return counterSamples(name+".statconn",
+				"links_opened", st.LinksOpened,
+				"link_losses", st.LinkLosses,
+				"interval_rejects", st.IntervalRejects,
+				"reconnects", st.Reconnects)
+		})
+	}
+	nw.Registry.RegisterGauge("net.coap_pdr", func() float64 { return nw.CoAPPDR().Rate() })
+	nw.Registry.RegisterGauge("net.ll_pdr", nw.LLPDR)
+	nw.Registry.RegisterCounter("net.conn_losses", func() float64 { return float64(nw.ConnLosses()) })
+	nw.Registry.RegisterCounter("net.buffer_drops", func() float64 { return float64(nw.BufferDrops()) })
+	nw.Registry.RegisterCDF("net.rtt_seconds", nw.RTTs)
+	nw.Registry.Register("net.trace", func() []metrics.Sample {
+		return []metrics.Sample{{Name: "net.trace", Label: "events_total",
+			Kind: metrics.KindCounter, Value: float64(nw.Trace.Total())}}
+	})
+}
+
+// counterSamples builds counter samples for one collector from
+// (label, value) pairs.
+func counterSamples(name string, pairs ...any) []metrics.Sample {
+	out := make([]metrics.Sample, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		out = append(out, metrics.Sample{Name: name, Label: pairs[i].(string),
+			Kind: metrics.KindCounter, Value: float64(pairs[i+1].(uint64))})
+	}
+	return out
+}
+
+// Journeys reassembles the retained provenance spans into per-packet,
+// per-hop journeys (latency decomposition source).
+func (nw *Network) Journeys() []*trace.Journey {
+	return trace.Journeys(nw.Trace)
 }
 
 // Consumer returns the consumer node.

@@ -207,7 +207,7 @@ type fakeIf struct {
 	reject bool
 }
 
-func (f *fakeIf) Output(mac uint64, pkt []byte) bool {
+func (f *fakeIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 	if f.reject {
 		return false
 	}
@@ -299,7 +299,7 @@ func TestForwardingDecrementsHopLimit(t *testing.T) {
 	dst := ULA(DefaultPrefix, 0x99)
 	st.AddRoute(Route{Dst: dst, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
 	h := Header{NextHeader: ProtoUDP, HopLimit: 5, Src: ULA(DefaultPrefix, 0x01), Dst: dst}
-	st.Input(h.Encode(EncodeUDP(h.Src, h.Dst, 1, 2, nil)))
+	st.Input(h.Encode(EncodeUDP(h.Src, h.Dst, 1, 2, nil)), 0)
 	if len(ifc.sent) != 1 {
 		t.Fatalf("not forwarded")
 	}
@@ -320,7 +320,7 @@ func TestHopLimitExhaustionDrops(t *testing.T) {
 	dst := ULA(DefaultPrefix, 0x99)
 	st.AddRoute(Route{Dst: dst, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
 	h := Header{NextHeader: ProtoUDP, HopLimit: 1, Src: ULA(DefaultPrefix, 0x01), Dst: dst}
-	st.Input(h.Encode(nil))
+	st.Input(h.Encode(nil), 0)
 	if len(ifc.sent) != 0 || st.Stats().HopLimit != 1 {
 		t.Fatalf("hop-limit-1 packet forwarded (sent=%d)", len(ifc.sent))
 	}
@@ -337,7 +337,7 @@ func TestUDPDelivery(t *testing.T) {
 	})
 	src := ULA(DefaultPrefix, 0x01)
 	h := Header{NextHeader: ProtoUDP, HopLimit: 64, Src: src, Dst: st.GlobalAddr()}
-	st.Input(h.Encode(EncodeUDP(src, st.GlobalAddr(), 4444, 5683, []byte("coap"))))
+	st.Input(h.Encode(EncodeUDP(src, st.GlobalAddr(), 4444, 5683, []byte("coap"))), 0)
 	if gotSrc != src || gotPort != 4444 || string(gotData) != "coap" {
 		t.Fatalf("UDP delivery: src=%v port=%d data=%q", gotSrc, gotPort, gotData)
 	}
@@ -367,7 +367,7 @@ func TestEchoRequestGeneratesReply(t *testing.T) {
 	src := ULA(DefaultPrefix, 0x01)
 	icmp := EncodeICMPEcho(src, st.GlobalAddr(), ICMPEcho{Type: ICMPEchoRequest, ID: 3, Seq: 4})
 	h := Header{NextHeader: ProtoICMPv6, HopLimit: 64, Src: src, Dst: st.GlobalAddr()}
-	st.Input(h.Encode(icmp))
+	st.Input(h.Encode(icmp), 0)
 	if len(ifc.sent) != 1 {
 		t.Fatal("no echo reply emitted")
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blemesh/internal/sim"
+	"blemesh/internal/trace"
 )
 
 // Pool is a byte-budget packet buffer, the moral equivalent of GNRC's
@@ -58,10 +59,11 @@ func (p *Pool) Fails() uint64 { return p.fails }
 // (internal/core) or the IEEE 802.15.4 adapter (internal/dot15d4).
 type NetIf interface {
 	// Output queues pkt (a full IPv6 packet) for transmission to the
-	// neighbor with link-layer address nextHopMAC. It returns false when
-	// the interface has no link to that neighbor or no queue space; the
+	// neighbor with link-layer address nextHopMAC, tagged with the
+	// packet's provenance ID (0 = untagged). It returns false when the
+	// interface has no link to that neighbor or no queue space; the
 	// stack counts the drop.
-	Output(nextHopMAC uint64, pkt []byte) bool
+	Output(nextHopMAC uint64, pkt []byte, pid uint64) bool
 	// HasNeighbor reports whether a usable link to the neighbor exists.
 	HasNeighbor(nextHopMAC uint64) bool
 	// MTU returns the interface MTU (1280 for both our link types).
@@ -124,6 +126,28 @@ type Stack struct {
 	ifaces []NetIf
 	// HopLimitDefault is used for locally originated packets.
 	HopLimitDefault byte
+
+	// Flight-recorder wiring. pidSeq advances for every locally
+	// originated packet whether or not tracing records anything, so a
+	// traced run and an untraced run of the same seed stay byte-identical.
+	tr     *trace.Log
+	node   string
+	pidSeq uint64
+}
+
+// SetTrace wires the stack to a shared trace log, emitting under the given
+// node name.
+func (st *Stack) SetTrace(l *trace.Log, node string) {
+	st.tr = l
+	st.node = node
+}
+
+// mintPID assigns the next provenance ID for a locally originated packet:
+// the low 16 bits of the node's MAC in the high word, a per-stack sequence
+// below — unique across the network and stable across traced/untraced runs.
+func (st *Stack) mintPID() uint64 {
+	st.pidSeq++
+	return (st.mac&0xFFFF)<<48 | st.pidSeq
 }
 
 // NewStack builds a stack for a node with the given 48-bit link-layer
@@ -263,10 +287,19 @@ func (st *Stack) OnEchoReply(h EchoHandler) { st.onEcho = h }
 
 // SendUDP emits a UDP datagram from this node.
 func (st *Stack) SendUDP(dst Addr, srcPort, dstPort uint16, payload []byte) error {
+	_, err := st.SendUDPPID(dst, srcPort, dstPort, payload)
+	return err
+}
+
+// SendUDPPID emits a UDP datagram and returns the provenance ID assigned
+// to it, letting application layers (CoAP) correlate their own span events
+// with the packet's journey through the network.
+func (st *Stack) SendUDPPID(dst Addr, srcPort, dstPort uint16, payload []byte) (uint64, error) {
 	src := st.srcFor(dst)
 	dgram := EncodeUDP(src, dst, srcPort, dstPort, payload)
 	h := Header{NextHeader: ProtoUDP, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
-	return st.output(h.Encode(dgram))
+	pid := st.mintPID()
+	return pid, st.output(h.Encode(dgram), pid)
 }
 
 // SendEcho emits an ICMPv6 echo request.
@@ -274,7 +307,7 @@ func (st *Stack) SendEcho(dst Addr, id, seq uint16, data []byte) error {
 	src := st.srcFor(dst)
 	icmp := EncodeICMPEcho(src, dst, ICMPEcho{Type: ICMPEchoRequest, ID: id, Seq: seq, Data: data})
 	h := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
-	return st.output(h.Encode(icmp))
+	return st.output(h.Encode(icmp), st.mintPID())
 }
 
 // srcFor selects the source address for a destination (link-local stays
@@ -287,18 +320,24 @@ func (st *Stack) srcFor(dst Addr) Addr {
 }
 
 // output routes and transmits a locally originated packet.
-func (st *Stack) output(pkt []byte) error {
+func (st *Stack) output(pkt []byte, pid uint64) error {
 	h, payload, err := Decode(pkt)
 	if err != nil {
 		st.stats.HdrErrors++
 		return err
 	}
+	if st.tr.Enabled() {
+		st.tr.EmitPkt(st.node, trace.KindPacketTX, pid, 0, "dst=%v len=%d", h.Dst, len(pkt))
+	}
 	if st.isLocal(h.Dst) {
 		// Loopback delivery.
-		st.deliver(h, payload)
+		if st.tr.Enabled() {
+			st.tr.EmitPkt(st.node, trace.KindPacketRX, pid, 0, "src=%v loopback", h.Src)
+		}
+		st.deliver(h, payload, pid)
 		return nil
 	}
-	if err := st.transmit(h.Dst, pkt); err != nil {
+	if err := st.transmit(h.Dst, pkt, pid); err != nil {
 		return err
 	}
 	st.stats.Sent++
@@ -306,7 +345,7 @@ func (st *Stack) output(pkt []byte) error {
 }
 
 // transmit resolves the next hop for dst and hands pkt to the right netif.
-func (st *Stack) transmit(dst Addr, pkt []byte) error {
+func (st *Stack) transmit(dst Addr, pkt []byte, pid uint64) error {
 	nh := dst
 	var viaIf NetIf
 	if r, ok := st.lookupRoute(dst); ok {
@@ -319,16 +358,25 @@ func (st *Stack) transmit(dst Addr, pkt []byte) error {
 	if !ok {
 		if viaIf == nil {
 			st.stats.NoRoute++
+			if st.tr.Enabled() {
+				st.tr.EmitPkt(st.node, trace.KindPacketDrop, pid, 0, "cause=no-route dst=%v", dst)
+			}
 			return fmt.Errorf("ip6: no route to %v", dst)
 		}
 		st.stats.NoNeighbor++
+		if st.tr.Enabled() {
+			st.tr.EmitPkt(st.node, trace.KindPacketDrop, pid, 0, "cause=no-neighbor nh=%v", nh)
+		}
 		return fmt.Errorf("ip6: no neighbor for %v", nh)
 	}
 	if viaIf != nil {
 		ifc = viaIf
 	}
-	if !ifc.Output(mac, pkt) {
+	if !ifc.Output(mac, pkt, pid) {
 		st.stats.QueueDrops++
+		if st.tr.Enabled() {
+			st.tr.EmitPkt(st.node, trace.KindPacketDrop, pid, 0, "cause=queue-full nh=%v", nh)
+		}
 		return fmt.Errorf("ip6: interface queue full toward %v", nh)
 	}
 	return nil
@@ -339,9 +387,10 @@ func (st *Stack) isLocal(dst Addr) bool {
 	return dst == st.linkLocal || dst == st.global || dst == AllNodes
 }
 
-// Input accepts an IPv6 packet from a netif (already decompressed). This is
-// the forwarding plane: local delivery, hop-limit handling, and routing.
-func (st *Stack) Input(pkt []byte) {
+// Input accepts an IPv6 packet from a netif (already decompressed), tagged
+// with the provenance ID it arrived under (0 = untagged). This is the
+// forwarding plane: local delivery, hop-limit handling, and routing.
+func (st *Stack) Input(pkt []byte, pid uint64) {
 	h, payload, err := Decode(pkt)
 	if err != nil {
 		st.stats.HdrErrors++
@@ -349,22 +398,31 @@ func (st *Stack) Input(pkt []byte) {
 	}
 	if st.isLocal(h.Dst) {
 		st.stats.Received++
-		st.deliver(h, payload)
+		if st.tr.Enabled() {
+			st.tr.EmitPkt(st.node, trace.KindPacketRX, pid, 0, "src=%v len=%d", h.Src, len(pkt))
+		}
+		st.deliver(h, payload, pid)
 		return
 	}
 	// Forwarding.
 	if h.HopLimit <= 1 {
 		st.stats.HopLimit++
+		if st.tr.Enabled() {
+			st.tr.EmitPkt(st.node, trace.KindPacketDrop, pid, 0, "cause=hop-limit dst=%v", h.Dst)
+		}
 		return
 	}
 	pkt[7] = h.HopLimit - 1
-	if err := st.transmit(h.Dst, pkt); err == nil {
+	if st.tr.Enabled() {
+		st.tr.EmitPkt(st.node, trace.KindPacketFwd, pid, 0, "dst=%v hl=%d", h.Dst, h.HopLimit-1)
+	}
+	if err := st.transmit(h.Dst, pkt, pid); err == nil {
 		st.stats.Forwarded++
 	}
 }
 
 // deliver hands a local packet's payload to the upper layers.
-func (st *Stack) deliver(h Header, payload []byte) {
+func (st *Stack) deliver(h Header, payload []byte, pid uint64) {
 	switch h.NextHeader {
 	case ProtoUDP:
 		uh, data, err := DecodeUDP(h.Src, h.Dst, payload)
@@ -387,7 +445,7 @@ func (st *Stack) deliver(h Header, payload []byte) {
 				ICMPEcho{Type: ICMPEchoReply, ID: e.ID, Seq: e.Seq, Data: e.Data})
 			rh := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault,
 				Src: st.srcFor(h.Src), Dst: h.Src}
-			_ = st.output(rh.Encode(reply))
+			_ = st.output(rh.Encode(reply), st.mintPID())
 		case ICMPEchoReply:
 			if st.onEcho != nil {
 				st.onEcho(h.Src, e)

@@ -72,11 +72,13 @@ type Channel struct {
 	// Reassembly state.
 	sduBuf []byte
 	sduLen int
+	sduPID uint64 // provenance ID of the SDU being reassembled
 
 	stats ChannelStats
 
-	// OnSDU delivers a complete received SDU (an IPv6 packet, for IPSP).
-	OnSDU func([]byte)
+	// OnSDU delivers a complete received SDU (an IPv6 packet, for IPSP)
+	// with the provenance ID carried by its first K-frame (0 = untagged).
+	OnSDU func(sdu []byte, pid uint64)
 	// OnWritable fires when the channel transitions from blocked to
 	// accepting more SDUs.
 	OnWritable func()
@@ -87,6 +89,7 @@ type Channel struct {
 
 type txFrame struct {
 	data   []byte
+	pid    uint64
 	onDone func()
 }
 
@@ -112,12 +115,13 @@ func (ch *Channel) Writable() bool {
 	return ch.Open() && len(ch.txq) == 0 && ch.txCredits > 0
 }
 
-// SendSDU segments data into K-frames and queues them for transmission.
-// onDone fires when the LL has delivered (and the peer acknowledged) the
-// final frame. SendSDU returns an error when the channel is not open or the
-// SDU exceeds the peer's MTU; it accepts data even when currently blocked
-// (the frames wait for credits), so callers should gate on Writable.
-func (ch *Channel) SendSDU(data []byte, onDone func()) error {
+// SendSDU segments data into K-frames tagged with the packet's provenance
+// ID (0 = untagged) and queues them for transmission. onDone fires when
+// the LL has delivered (and the peer acknowledged) the final frame.
+// SendSDU returns an error when the channel is not open or the SDU exceeds
+// the peer's MTU; it accepts data even when currently blocked (the frames
+// wait for credits), so callers should gate on Writable.
+func (ch *Channel) SendSDU(data []byte, pid uint64, onDone func()) error {
 	if !ch.Open() {
 		return fmt.Errorf("l2cap: channel %d not open", ch.scid)
 	}
@@ -126,7 +130,7 @@ func (ch *Channel) SendSDU(data []byte, onDone func()) error {
 	}
 	frames := segment(data, ch.peerMPS)
 	for i, f := range frames {
-		tf := txFrame{data: f}
+		tf := txFrame{data: f, pid: pid}
 		if i == len(frames)-1 {
 			tf.onDone = onDone
 		}
@@ -163,7 +167,7 @@ func (ch *Channel) drain() {
 			return
 		}
 		f := ch.txq[0]
-		if !ch.ep.sendPDU(ch.dcid, f.data, f.onDone) {
+		if !ch.ep.sendPDU(ch.dcid, f.data, f.pid, f.onDone) {
 			// LL pool exhausted: retry when the link drains.
 			ch.stats.Stalls++
 			ch.ep.scheduleKick()
@@ -183,8 +187,9 @@ func (ch *Channel) notifyWritable(wasBlocked bool) {
 	}
 }
 
-// receiveFrame handles one K-frame from the peer.
-func (ch *Channel) receiveFrame(payload []byte) {
+// receiveFrame handles one K-frame from the peer; pid is the provenance ID
+// the frame's PDU arrived under.
+func (ch *Channel) receiveFrame(payload []byte, pid uint64) {
 	if ch.rxCredits <= 0 {
 		// Peer sent beyond its grant: a real stack would disconnect
 		// the channel; we count and drop.
@@ -206,15 +211,18 @@ func (ch *Channel) receiveFrame(payload []byte) {
 			return
 		}
 		ch.sduBuf = make([]byte, 0, ch.sduLen)
+		ch.sduPID = pid
 		payload = payload[sduHeaderLen:]
 	}
 	ch.sduBuf = append(ch.sduBuf, payload...)
 	if len(ch.sduBuf) >= ch.sduLen {
 		sdu := ch.sduBuf[:ch.sduLen]
+		pid := ch.sduPID
 		ch.sduBuf = nil
+		ch.sduPID = 0
 		ch.stats.SDUsReceived++
 		if ch.OnSDU != nil {
-			ch.OnSDU(sdu)
+			ch.OnSDU(sdu, pid)
 		}
 	}
 	ch.maybeReplenish()
@@ -259,7 +267,12 @@ func (ch *Channel) teardown() {
 	// Complete queued frames so SDU-level resources (pktbuf charges) held
 	// by their onDone callbacks are released. Frames already handed to the
 	// LL are completed by the connection's own teardown.
+	var lastPID uint64
 	for _, f := range ch.txq {
+		if f.pid != lastPID { // frames of one SDU share a pid: emit once
+			ch.ep.conn.TraceDrop(f.pid, "link-reset")
+			lastPID = f.pid
+		}
 		if f.onDone != nil {
 			f.onDone()
 		}
@@ -284,6 +297,7 @@ type Endpoint struct {
 
 	// LL-level PDU reassembly (a PDU may span several LL fragments).
 	rxBuf []byte
+	rxPID uint64 // provenance ID of the PDU being reassembled
 
 	// Fixed-channel handlers (ATT rides the fixed CID 0x0004).
 	fixed map[uint16]func(payload []byte)
@@ -406,9 +420,10 @@ func (ep *Endpoint) scheduleKick() {
 	})
 }
 
-// sendPDU fragments an L2CAP PDU into LL data packets. It returns false
+// sendPDU fragments an L2CAP PDU into LL data packets, tagging each
+// fragment with the carried packet's provenance ID. It returns false
 // (sending nothing) when the LL pool cannot hold the whole PDU.
-func (ep *Endpoint) sendPDU(cid uint16, payload []byte, onDone func()) bool {
+func (ep *Endpoint) sendPDU(cid uint16, payload []byte, pid uint64, onDone func()) bool {
 	if !ep.conn.Usable() {
 		return false
 	}
@@ -425,7 +440,7 @@ func (ep *Endpoint) sendPDU(cid uint16, payload []byte, onDone func()) bool {
 		if len(full) == 0 {
 			cb = onDone
 		}
-		if !ep.conn.Send(llid, frag, cb) {
+		if !ep.conn.Send(llid, frag, pid, cb) {
 			// Cannot happen after the PoolFree check in a
 			// single-threaded simulation, but fail loudly if the
 			// invariant breaks.
@@ -443,19 +458,22 @@ func (ep *Endpoint) sendSignal(s signal) {
 	if ep.conn == nil || !ep.conn.Usable() {
 		return
 	}
-	if !ep.sendPDU(CIDSignaling, encodeSignal(s), nil) {
+	if !ep.sendPDU(CIDSignaling, encodeSignal(s), 0, nil) {
 		ep.s.After(2*sim.Millisecond, func() { ep.sendSignal(s) })
 	}
 }
 
-// onLL reassembles LL fragments into L2CAP PDUs and routes them.
-func (ep *Endpoint) onLL(llid ble.LLID, payload []byte) {
+// onLL reassembles LL fragments into L2CAP PDUs and routes them. pid is
+// the provenance ID the fragment arrived under (the PDU's ID is the one of
+// its start fragment).
+func (ep *Endpoint) onLL(llid ble.LLID, payload []byte, pid uint64) {
 	switch llid {
 	case ble.LLIDDataStart:
 		if len(ep.rxBuf) > 0 {
 			ep.stats.StartMidPDU++
 		}
 		ep.rxBuf = append(ep.rxBuf[:0], payload...)
+		ep.rxPID = pid
 	case ble.LLIDDataCont:
 		if ep.rxBuf == nil {
 			ep.stats.ContWithoutStart++
@@ -469,7 +487,9 @@ func (ep *Endpoint) onLL(llid ble.LLID, payload []byte) {
 		return // PDU incomplete, await continuation
 	}
 	p, err := decodePDU(ep.rxBuf)
+	pduPID := ep.rxPID
 	ep.rxBuf = nil
+	ep.rxPID = 0
 	if err != nil {
 		ep.stats.DecodeErrors++
 		return
@@ -491,7 +511,7 @@ func (ep *Endpoint) onLL(llid ble.LLID, payload []byte) {
 	case !ch.Open():
 		ep.stats.ClosedCID++
 	default:
-		ch.receiveFrame(p.payload)
+		ch.receiveFrame(p.payload, pduPID)
 	}
 }
 
@@ -590,7 +610,7 @@ func (ep *Endpoint) SendFixed(cid uint16, payload []byte) {
 	if ep.conn == nil || !ep.conn.Usable() {
 		return
 	}
-	if !ep.sendPDU(cid, payload, nil) {
+	if !ep.sendPDU(cid, payload, 0, nil) {
 		ep.s.After(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
 	}
 }

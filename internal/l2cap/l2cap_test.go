@@ -216,16 +216,16 @@ func TestSDUTransferBothDirections(t *testing.T) {
 	p := newPair(t, 3)
 	coordCh, subCh := p.openIPSP(t)
 	var gotSub, gotCoord [][]byte
-	subCh.OnSDU = func(b []byte) { gotSub = append(gotSub, b) }
-	coordCh.OnSDU = func(b []byte) { gotCoord = append(gotCoord, b) }
+	subCh.OnSDU = func(b []byte, _ uint64) { gotSub = append(gotSub, b) }
+	coordCh.OnSDU = func(b []byte, _ uint64) { gotCoord = append(gotCoord, b) }
 	msg := make([]byte, 100)
 	for i := range msg {
 		msg[i] = byte(i * 3)
 	}
-	if err := coordCh.SendSDU(msg, nil); err != nil {
+	if err := coordCh.SendSDU(msg, 0, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := subCh.SendSDU(msg[:50], nil); err != nil {
+	if err := subCh.SendSDU(msg[:50], 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	p.s.Run(p.s.Now() + 2*sim.Second)
@@ -241,12 +241,12 @@ func TestLargeSDUSpansManyFramesAndLLFragments(t *testing.T) {
 	p := newPair(t, 4)
 	coordCh, subCh := p.openIPSP(t)
 	var got []byte
-	subCh.OnSDU = func(b []byte) { got = b }
+	subCh.OnSDU = func(b []byte, _ uint64) { got = b }
 	sdu := make([]byte, 1280)
 	for i := range sdu {
 		sdu[i] = byte(i % 251)
 	}
-	if err := coordCh.SendSDU(sdu, nil); err != nil {
+	if err := coordCh.SendSDU(sdu, 0, nil); err != nil {
 		t.Fatal(err)
 	}
 	p.s.Run(p.s.Now() + 10*sim.Second)
@@ -258,7 +258,7 @@ func TestLargeSDUSpansManyFramesAndLLFragments(t *testing.T) {
 func TestSDUExceedingMTURejected(t *testing.T) {
 	p := newPair(t, 5)
 	coordCh, _ := p.openIPSP(t)
-	if err := coordCh.SendSDU(make([]byte, 1281), nil); err == nil {
+	if err := coordCh.SendSDU(make([]byte, 1281), 0, nil); err == nil {
 		t.Fatal("SDU above peer MTU accepted")
 	}
 }
@@ -269,12 +269,12 @@ func TestCreditFlowSustainsManySDUs(t *testing.T) {
 	p := newPair(t, 6)
 	coordCh, subCh := p.openIPSP(t)
 	received := 0
-	subCh.OnSDU = func([]byte) { received++ }
+	subCh.OnSDU = func([]byte, uint64) { received++ }
 	sent := 0
 	var feed func()
 	feed = func() {
 		for sent < 50 && coordCh.Writable() {
-			if err := coordCh.SendSDU(make([]byte, 100), nil); err != nil {
+			if err := coordCh.SendSDU(make([]byte, 100), 0, nil); err != nil {
 				t.Errorf("send %d: %v", sent, err)
 				return
 			}
@@ -302,7 +302,7 @@ func TestOnDoneFiresAfterDelivery(t *testing.T) {
 	coordCh, _ := p.openIPSP(t)
 	done := 0
 	for i := 0; i < 5; i++ {
-		if err := coordCh.SendSDU(make([]byte, 60), func() { done++ }); err != nil {
+		if err := coordCh.SendSDU(make([]byte, 60), 0, func() { done++ }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -326,7 +326,7 @@ func TestChannelCloseHandshake(t *testing.T) {
 	if coordCh.Open() || subCh.Open() {
 		t.Fatal("channels still open after close")
 	}
-	if err := coordCh.SendSDU([]byte{1}, nil); err == nil {
+	if err := coordCh.SendSDU([]byte{1}, 0, nil); err == nil {
 		t.Fatal("send on closed channel accepted")
 	}
 }
@@ -358,7 +358,7 @@ func TestWritableBackpressure(t *testing.T) {
 			blocked = true
 			break
 		}
-		if err := coordCh.SendSDU(make([]byte, 100), nil); err != nil {
+		if err := coordCh.SendSDU(make([]byte, 100), 0, nil); err != nil {
 			t.Fatal(err)
 		}
 	}

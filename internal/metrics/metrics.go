@@ -14,15 +14,20 @@ import (
 )
 
 // CDF accumulates samples and answers quantile queries.
+//
+// Sorting is incremental: samples[:nSorted] stays sorted across queries and
+// only the appendix added since the last query is sorted and merged in. The
+// harness interleaves Add with Quantile/ASCII (per-phase reports over a
+// growing run), where re-sorting the whole slice on every query is the
+// dominant cost.
 type CDF struct {
 	samples []float64
-	sorted  bool
+	nSorted int // samples[:nSorted] is sorted
 }
 
 // Add inserts a sample.
 func (c *CDF) Add(v float64) {
 	c.samples = append(c.samples, v)
-	c.sorted = false
 }
 
 // AddDuration inserts a sim duration as seconds.
@@ -31,11 +36,33 @@ func (c *CDF) AddDuration(d sim.Duration) { c.Add(d.Seconds()) }
 // N returns the sample count.
 func (c *CDF) N() int { return len(c.samples) }
 
+// sort establishes the sorted invariant over all samples. Cost is
+// O(k log k + n) for k samples added since the last query — a no-op when
+// nothing was added.
 func (c *CDF) sort() {
-	if !c.sorted {
-		sort.Float64s(c.samples)
-		c.sorted = true
+	if c.nSorted == len(c.samples) {
+		return
 	}
+	appendix := c.samples[c.nSorted:]
+	sort.Float64s(appendix)
+	if c.nSorted > 0 {
+		merged := make([]float64, 0, len(c.samples))
+		i, j := 0, 0
+		prefix := c.samples[:c.nSorted]
+		for i < len(prefix) && j < len(appendix) {
+			if prefix[i] <= appendix[j] {
+				merged = append(merged, prefix[i])
+				i++
+			} else {
+				merged = append(merged, appendix[j])
+				j++
+			}
+		}
+		merged = append(merged, prefix[i:]...)
+		merged = append(merged, appendix[j:]...)
+		c.samples = merged
+	}
+	c.nSorted = len(c.samples)
 }
 
 // Quantile returns the q-quantile (0..1) by linear interpolation.

@@ -1,0 +1,172 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SampleKind distinguishes registry sample flavours.
+type SampleKind uint8
+
+// Sample kinds.
+const (
+	KindCounter SampleKind = iota
+	KindGauge
+	KindQuantile
+)
+
+func (k SampleKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindQuantile:
+		return "quantile"
+	}
+	return fmt.Sprintf("SampleKind(%d)", uint8(k))
+}
+
+// Sample is one exported metric value. Name is the full metric name
+// (typically "node.subsystem.metric"); Label carries a sub-key for
+// multi-valued sources (a quantile like "p95", a drop cause).
+type Sample struct {
+	Name  string
+	Label string
+	Kind  SampleKind
+	Value float64
+}
+
+// Registry is the unified metrics surface: every subsystem's Stats()
+// source registers named collectors, and Gather snapshots them all in a
+// deterministic order. Collectors are closures over the live stats
+// structs, so registration costs nothing on the hot path.
+type Registry struct {
+	names      []string
+	collectors map[string]func() []Sample
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{collectors: make(map[string]func() []Sample)}
+}
+
+// Register adds a collector under a unique name. Registering a duplicate
+// name panics: metric names are an API and collisions hide data.
+func (r *Registry) Register(name string, collect func() []Sample) {
+	if _, dup := r.collectors[name]; dup {
+		panic("metrics: duplicate collector " + name)
+	}
+	r.names = append(r.names, name)
+	r.collectors[name] = collect
+}
+
+// RegisterCounter registers a single monotonically increasing value.
+func (r *Registry) RegisterCounter(name string, fn func() float64) {
+	r.Register(name, func() []Sample {
+		return []Sample{{Name: name, Kind: KindCounter, Value: fn()}}
+	})
+}
+
+// RegisterGauge registers a single point-in-time value.
+func (r *Registry) RegisterGauge(name string, fn func() float64) {
+	r.Register(name, func() []Sample {
+		return []Sample{{Name: name, Kind: KindGauge, Value: fn()}}
+	})
+}
+
+// RegisterCDF registers a histogram-style source exporting count, mean,
+// and standard quantiles of a CDF.
+func (r *Registry) RegisterCDF(name string, c *CDF) {
+	r.Register(name, func() []Sample {
+		out := []Sample{
+			{Name: name, Label: "count", Kind: KindGauge, Value: float64(c.N())},
+			{Name: name, Label: "mean", Kind: KindQuantile, Value: c.Mean()},
+		}
+		for _, q := range [...]struct {
+			label string
+			q     float64
+		}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1}} {
+			out = append(out, Sample{Name: name, Label: q.label, Kind: KindQuantile, Value: c.Quantile(q.q)})
+		}
+		return out
+	})
+}
+
+// Names returns the registered collector names, sorted.
+func (r *Registry) Names() []string {
+	out := append([]string(nil), r.names...)
+	sort.Strings(out)
+	return out
+}
+
+// Gather snapshots every collector. Output order is deterministic:
+// collectors sorted by name, samples in collector order.
+func (r *Registry) Gather() []Sample {
+	var out []Sample
+	for _, name := range r.Names() {
+		out = append(out, r.collectors[name]()...)
+	}
+	return out
+}
+
+// WriteNDJSON writes a Gather snapshot as newline-delimited JSON with a
+// fixed key order; NaN exports as null.
+func (r *Registry) WriteNDJSON(w io.Writer) error {
+	for _, s := range r.Gather() {
+		_, err := fmt.Fprintf(w, "{\"name\":%s,\"label\":%s,\"kind\":%s,\"value\":%s}\n",
+			strconv.Quote(s.Name), strconv.Quote(s.Label),
+			strconv.Quote(s.Kind.String()), jsonFloat(s.Value))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes a Gather snapshot as CSV with a header row.
+func (r *Registry) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "name,label,kind,value\n"); err != nil {
+		return err
+	}
+	for _, s := range r.Gather() {
+		_, err := fmt.Fprintf(w, "%s,%s,%s,%s\n",
+			s.Name, s.Label, s.Kind, csvNum(s.Value))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Render formats a Gather snapshot as aligned "name{label} value" lines.
+func (r *Registry) Render() string {
+	samples := r.Gather()
+	var b strings.Builder
+	for _, s := range samples {
+		key := s.Name
+		if s.Label != "" {
+			key += "{" + s.Label + "}"
+		}
+		fmt.Fprintf(&b, "%-56s %s\n", key, csvNum(s.Value))
+	}
+	return b.String()
+}
+
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func csvNum(v float64) string {
+	if math.IsNaN(v) {
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -85,6 +85,7 @@ type reassembly struct {
 	have    map[int]bool // offsets received (8-byte units)
 	gotLen  int
 	expires sim.Time
+	pid     uint64 // provenance ID carried by the datagram's fragments
 }
 
 // ReassemblerStats counts reassembly outcomes.
@@ -129,9 +130,17 @@ func (r *Reassembler) Reset() { r.table = make(map[uint64]*reassembly) }
 // Input processes one fragment from the given sender. When the fragment
 // completes a datagram, the full frame is returned; otherwise nil.
 func (r *Reassembler) Input(sender uint64, frag []byte) []byte {
+	frame, _ := r.InputPID(sender, frag, 0)
+	return frame
+}
+
+// InputPID is Input with provenance: the pid of the fragment that opens a
+// reassembly is remembered and returned with the completed datagram, so a
+// packet's provenance ID survives 6LoWPAN fragmentation.
+func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, uint64) {
 	if len(frag) < frag1HeaderLen {
 		r.stats.Dropped++
-		return nil
+		return nil, 0
 	}
 	size := int(frag[0]&0x07)<<8 | int(frag[1])
 	tag := binary.BigEndian.Uint16(frag[2:])
@@ -144,13 +153,13 @@ func (r *Reassembler) Input(sender uint64, frag []byte) []byte {
 	case dispatchFragN:
 		if len(frag) < fragNHeaderLen {
 			r.stats.Dropped++
-			return nil
+			return nil, 0
 		}
 		off = int(frag[4]) * 8
 		hdrLen = fragNHeaderLen
 	default:
 		r.stats.Dropped++
-		return nil
+		return nil, 0
 	}
 	payload := frag[hdrLen:]
 
@@ -166,20 +175,20 @@ func (r *Reassembler) Input(sender uint64, frag []byte) []byte {
 			r.gc(now)
 			if len(r.table) >= r.maxSlot {
 				r.stats.Dropped++
-				return nil
+				return nil, 0
 			}
 		}
-		re = &reassembly{size: size, buf: make([]byte, size), have: make(map[int]bool)}
+		re = &reassembly{size: size, buf: make([]byte, size), have: make(map[int]bool), pid: pid}
 		r.table[key] = re
 	}
 	re.expires = now + r.Timeout
 	if off+len(payload) > re.size || re.have[off] {
 		if re.have[off] {
-			return nil // duplicate fragment
+			return nil, 0 // duplicate fragment
 		}
 		r.stats.Dropped++
 		delete(r.table, key)
-		return nil
+		return nil, 0
 	}
 	copy(re.buf[off:], payload)
 	re.have[off] = true
@@ -187,9 +196,9 @@ func (r *Reassembler) Input(sender uint64, frag []byte) []byte {
 	if re.gotLen >= re.size {
 		delete(r.table, key)
 		r.stats.Completed++
-		return re.buf
+		return re.buf, re.pid
 	}
-	return nil
+	return nil, 0
 }
 
 // gc evicts expired reassemblies.

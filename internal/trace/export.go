@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteNDJSON writes the retained events as newline-delimited JSON, one
+// object per event, in chronological order. The encoding is fully
+// deterministic (fixed key order, integer timestamps), so two runs of the
+// same seed produce byte-identical exports.
+func (l *Log) WriteNDJSON(w io.Writer) error {
+	return WriteNDJSON(w, l.Events(""))
+}
+
+// WriteCSV writes the retained events as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	return WriteCSV(w, l.Events(""))
+}
+
+// WriteNDJSON writes an event slice as newline-delimited JSON.
+func WriteNDJSON(w io.Writer, events []Event) error {
+	for _, e := range events {
+		_, err := fmt.Fprintf(w, "{\"at\":%d,\"node\":%s,\"kind\":%s,\"id\":%d,\"dur\":%d,\"detail\":%s}\n",
+			int64(e.At), strconv.Quote(e.Node), strconv.Quote(e.Kind.String()),
+			e.ID, int64(e.Dur), strconv.Quote(e.Detail))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes an event slice as CSV with a header row.
+func WriteCSV(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, "at_ns,node,kind,id,dur_ns,detail\n"); err != nil {
+		return err
+	}
+	for _, e := range events {
+		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%s\n",
+			int64(e.At), csvField(e.Node), csvField(e.Kind.String()),
+			e.ID, int64(e.Dur), csvField(e.Detail))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvField quotes a value when it contains CSV metacharacters (RFC 4180:
+// wrap in double quotes, double any embedded quotes).
+func csvField(s string) string {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case ',', '"', '\n', '\r':
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+	}
+	return s
+}

@@ -5,6 +5,13 @@
 // typed events into per-node bounded ring buffers; experiments and tools
 // can filter, render, and export them.
 //
+// Beyond plain events, the log is the platform's flight recorder: every
+// application packet carries a provenance ID (minted at its UDP/ICMP
+// origin) through 6LoWPAN compression, L2CAP segmentation, and the BLE
+// link layer, and the layers emit ID-tagged span events (pkt-tx, ll-ready,
+// ll-tx, ll-rx, pkt-fwd, pkt-rx, pkt-drop). Journeys() reassembles those
+// into per-hop latency decompositions.
+//
 // Recording is off by default and costs one branch per event when disabled.
 package trace
 
@@ -31,6 +38,18 @@ const (
 	KindCoAPResponse
 	KindReconnect
 	KindParamUpdate
+	// KindPacketFwd marks a packet routed onward by an intermediate node;
+	// it closes one hop of a provenance journey and opens the next.
+	KindPacketFwd
+	// KindLLReady marks a tagged payload reaching the head of a BLE
+	// connection's LL transmit queue (eligible for the next event).
+	KindLLReady
+	// KindLLTx marks one LL transmission attempt of a tagged payload
+	// (Dur = airtime); retransmissions emit it again with a higher try.
+	KindLLTx
+	// KindLLRx marks the receiver-side delivery of a tagged LL payload
+	// (Dur = airtime of the delivering PDU).
+	KindLLRx
 	numKinds
 )
 
@@ -38,6 +57,7 @@ var kindNames = [numKinds]string{
 	"conn-open", "conn-loss", "conn-event", "event-skipped",
 	"pkt-tx", "pkt-rx", "pkt-drop", "coap-req", "coap-rsp",
 	"reconnect", "param-update",
+	"pkt-fwd", "ll-ready", "ll-tx", "ll-rx",
 }
 
 func (k Kind) String() string {
@@ -47,16 +67,37 @@ func (k Kind) String() string {
 	return fmt.Sprintf("Kind(%d)", uint8(k))
 }
 
+// KindByName resolves a kind name ("ll-tx") back to its Kind; ok is false
+// for unknown names. CLI filters use this.
+func KindByName(name string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == name {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// KindNames lists every kind name in kind order.
+func KindNames() []string { return append([]string(nil), kindNames[:]...) }
+
 // Event is one log record. Detail is kept to a short preformatted string,
-// like the paper's character-budgeted STDIO records.
+// like the paper's character-budgeted STDIO records. ID is the packet
+// provenance ID for span events (0 = untagged); Dur carries a span length
+// where one applies (airtime for ll-tx/ll-rx, RTT for coap-rsp).
 type Event struct {
 	At     sim.Time
 	Node   string
 	Kind   Kind
+	ID     uint64
+	Dur    sim.Duration
 	Detail string
 }
 
 func (e Event) String() string {
+	if e.ID != 0 {
+		return fmt.Sprintf("%12.6f %-12s %-13s %016x %s", e.At.Seconds(), e.Node, e.Kind, e.ID, e.Detail)
+	}
 	return fmt.Sprintf("%12.6f %-12s %-13s %s", e.At.Seconds(), e.Node, e.Kind, e.Detail)
 }
 
@@ -70,6 +111,7 @@ type Log struct {
 	wrapped bool
 	filter  uint32 // bitmask of enabled kinds; 0 = all
 	total   uint64
+	armed   bool
 }
 
 // New creates a log bound to a simulation with the given capacity
@@ -81,13 +123,24 @@ func New(s *sim.Sim, capacity int) *Log {
 	return &Log{s: s, cap: capacity}
 }
 
-// Enabled reports whether the log records anything.
-func (l *Log) Enabled() bool { return l != nil && l.buf != nil }
+// Enabled reports whether the log records anything. This is the one branch
+// every instrumentation site pays when recording is off.
+func (l *Log) Enabled() bool { return l != nil && l.armed }
 
-// Enable starts recording. Idempotent.
+// Enable starts recording. Idempotent. Events retained from before a
+// Disable survive.
 func (l *Log) Enable() {
 	if l.buf == nil {
 		l.buf = make([]Event, l.cap)
+	}
+	l.armed = true
+}
+
+// Disable pauses recording without discarding retained events; Enable
+// resumes. A nil log tolerates the call.
+func (l *Log) Disable() {
+	if l != nil {
+		l.armed = false
 	}
 }
 
@@ -99,12 +152,25 @@ func (l *Log) SetFilter(kinds ...Kind) {
 	}
 }
 
-// Emit records an event. A disabled or filtered log drops it cheaply.
-// Detail formatting is deferred until after the filter check.
+// Emit records an untagged event. A disabled or filtered log drops it
+// cheaply. Detail formatting is deferred until after the filter check.
 func (l *Log) Emit(node string, kind Kind, format string, args ...any) {
 	if !l.Enabled() {
 		return
 	}
+	l.record(node, kind, 0, 0, format, args)
+}
+
+// EmitPkt records a provenance-tagged span event with an optional duration.
+// A disabled or filtered log drops it cheaply.
+func (l *Log) EmitPkt(node string, kind Kind, id uint64, dur sim.Duration, format string, args ...any) {
+	if !l.Enabled() {
+		return
+	}
+	l.record(node, kind, id, dur, format, args)
+}
+
+func (l *Log) record(node string, kind Kind, id uint64, dur sim.Duration, format string, args []any) {
 	if l.filter != 0 && l.filter&(1<<uint(kind)) == 0 {
 		return
 	}
@@ -112,7 +178,7 @@ func (l *Log) Emit(node string, kind Kind, format string, args ...any) {
 	if len(args) > 0 {
 		detail = fmt.Sprintf(format, args...)
 	}
-	l.buf[l.next] = Event{At: l.s.Now(), Node: node, Kind: kind, Detail: detail}
+	l.buf[l.next] = Event{At: l.s.Now(), Node: node, Kind: kind, ID: id, Dur: dur, Detail: detail}
 	l.next++
 	l.total++
 	if l.next == l.cap {
@@ -127,7 +193,7 @@ func (l *Log) Total() uint64 { return l.total }
 // Events returns the retained events in chronological order, optionally
 // filtered by kind and node (empty selectors match everything).
 func (l *Log) Events(node string, kinds ...Kind) []Event {
-	if !l.Enabled() {
+	if l == nil || l.buf == nil {
 		return nil
 	}
 	var mask uint32
@@ -162,6 +228,18 @@ func (l *Log) Events(node string, kinds ...Kind) []Event {
 	return out
 }
 
+// EventsByID returns the retained events carrying the provenance ID, in
+// chronological order.
+func (l *Log) EventsByID(id uint64) []Event {
+	var out []Event
+	for _, e := range l.Events("") {
+		if e.ID == id {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // Render formats the selected events, one per line.
 func (l *Log) Render(node string, kinds ...Kind) string {
 	var b strings.Builder
@@ -179,4 +257,28 @@ func (l *Log) CountByKind() map[Kind]int {
 		out[e.Kind]++
 	}
 	return out
+}
+
+// DropCauses tallies retained pkt-drop events by their cause token (the
+// leading "cause=..." of the detail), keyed by cause — the drop-cause table
+// of the trace tooling.
+func (l *Log) DropCauses() map[string]int {
+	out := make(map[string]int)
+	for _, e := range l.Events("", KindPacketDrop) {
+		out[dropCause(e)]++
+	}
+	return out
+}
+
+// dropCause extracts the cause token of a pkt-drop event's detail.
+func dropCause(e Event) string {
+	d := e.Detail
+	if !strings.HasPrefix(d, "cause=") {
+		return "unknown"
+	}
+	d = d[len("cause="):]
+	if i := strings.IndexByte(d, ' '); i >= 0 {
+		d = d[:i]
+	}
+	return d
 }

@@ -87,6 +87,16 @@ type (
 	Options = exp.Options
 	Report  = exp.Report
 
+	// Engine selects the sim event-queue implementation (timer wheel by
+	// default, binary heap as the reference).
+	Engine = sim.Engine
+
+	// SweepConfig, CellResult, and IntervalConfig drive the parallel
+	// producer×interval sweep engine.
+	SweepConfig    = exp.SweepConfig
+	CellResult     = exp.CellResult
+	IntervalConfig = exp.IntervalConfig
+
 	// NetworkConfig/TrafficConfig/Network expose the experiment harness
 	// for custom studies.
 	NetworkConfig = exp.NetworkConfig
@@ -124,6 +134,33 @@ const (
 	Minute      = sim.Minute
 	Hour        = sim.Hour
 )
+
+// Event-queue engines for Options.Engine / NetworkConfig.Engine.
+const (
+	EngineWheel = sim.EngineWheel
+	EngineHeap  = sim.EngineHeap
+)
+
+// ParseEngine maps a flag value ("wheel" or "heap") to an Engine.
+func ParseEngine(name string) (Engine, error) { return sim.ParseEngine(name) }
+
+// RunSweep executes a producer×interval sweep across a work-stealing worker
+// pool; results are byte-identical for any worker count.
+func RunSweep(sc SweepConfig) ([]CellResult, error) { return exp.RunSweep(sc) }
+
+// Fig14Configs and Fig15Producers span the paper's sweep grid.
+func Fig14Configs() []IntervalConfig     { return exp.Fig14Configs() }
+func Fig15Producers() []Duration         { return exp.Fig15Producers() }
+
+// MeanCI95 returns the sample mean and 95% Student-t confidence half-width.
+func MeanCI95(vals []float64) (mean, half float64) { return exp.MeanCI95(vals) }
+
+// SweepText renders a sweep result exactly as blemesh-sweep prints it.
+func SweepText(cells []CellResult) string { return exp.SweepText(cells) }
+
+// NewMetricsRegistry creates an empty metrics registry (for sweep progress
+// gauges and custom studies).
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // CoAP message constants, re-exported for building requests.
 const (

@@ -1,0 +1,141 @@
+// Command blemesh-bench measures the event-loop hot path and gates
+// regressions. It benchmarks both event-queue engines on the timer-storm and
+// cancel-heavy workloads and derives machine-independent speedup ratios
+// (heap ns per event / wheel ns per event). With -write it records the
+// result as a baseline (BENCH_sim.json); with -check it verifies the wheel's
+// dense-workload advantage holds (≥1.2×) and that no speedup ratio regressed
+// more than -tolerance against the committed baseline. Ratios, not absolute
+// nanoseconds, are compared, so the gate is stable across CI machines.
+//
+// Usage:
+//
+//	blemesh-bench -write [-out BENCH_sim.json]
+//	blemesh-bench -check [-baseline BENCH_sim.json] [-tolerance 0.20]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"testing"
+
+	"blemesh/internal/sim"
+)
+
+const (
+	stormEvents  = 200_000
+	cancelEvents = 100_000
+	// minDenseSpeedup is the acceptance bar of the timer-wheel engine: at
+	// least 20% faster than the reference heap on the dense timer storm.
+	minDenseSpeedup = 1.2
+)
+
+func stormNsPerEvent(engine sim.Engine, timers int) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sim.NewWithEngine(42, engine)
+			sim.TimerStorm(s, timers, stormEvents)
+		}
+	})
+	return float64(r.NsPerOp()) / stormEvents
+}
+
+func cancelNsPerEvent(engine sim.Engine) float64 {
+	r := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s := sim.NewWithEngine(7, engine)
+			sim.CancelStorm(s, cancelEvents)
+		}
+	})
+	return float64(r.NsPerOp()) / cancelEvents
+}
+
+func main() {
+	write := flag.Bool("write", false, "write the measured baseline")
+	check := flag.Bool("check", false, "check against the committed baseline")
+	out := flag.String("out", "BENCH_sim.json", "baseline path for -write")
+	baseline := flag.String("baseline", "BENCH_sim.json", "baseline path for -check")
+	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional speedup regression")
+	flag.Parse()
+	if !*write && !*check {
+		fmt.Fprintln(os.Stderr, "blemesh-bench: pass -write and/or -check")
+		os.Exit(2)
+	}
+
+	m := map[string]float64{}
+	for _, w := range []struct {
+		key    string
+		timers int
+	}{{"storm64", 64}, {"storm1024", 1024}} {
+		heap := stormNsPerEvent(sim.EngineHeap, w.timers)
+		wheel := stormNsPerEvent(sim.EngineWheel, w.timers)
+		m[w.key+"_heap_ns_per_event"] = heap
+		m[w.key+"_wheel_ns_per_event"] = wheel
+		m["speedup_"+w.key] = heap / wheel
+	}
+	heap := cancelNsPerEvent(sim.EngineHeap)
+	wheel := cancelNsPerEvent(sim.EngineWheel)
+	m["cancel_heap_ns_per_event"] = heap
+	m["cancel_wheel_ns_per_event"] = wheel
+	m["speedup_cancel"] = heap / wheel
+
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("%-32s %10.2f\n", k, m[k])
+	}
+
+	if *write {
+		buf, err := json.MarshalIndent(m, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+
+	if *check {
+		failed := false
+		for _, k := range []string{"speedup_storm64", "speedup_storm1024"} {
+			if m[k] < minDenseSpeedup {
+				fmt.Fprintf(os.Stderr, "FAIL: %s = %.2f, want ≥ %.2f (wheel must beat heap on dense workloads)\n",
+					k, m[k], minDenseSpeedup)
+				failed = true
+			}
+		}
+		buf, err := os.ReadFile(*baseline)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		base := map[string]float64{}
+		if err := json.Unmarshal(buf, &base); err != nil {
+			fmt.Fprintf(os.Stderr, "blemesh-bench: bad baseline %s: %v\n", *baseline, err)
+			os.Exit(1)
+		}
+		for k, want := range base {
+			if len(k) < 8 || k[:8] != "speedup_" {
+				continue // absolute ns values are informational, not gated
+			}
+			floor := want * (1 - *tolerance)
+			if m[k] < floor {
+				fmt.Fprintf(os.Stderr, "FAIL: %s = %.2f regressed below %.2f (baseline %.2f − %d%%)\n",
+					k, m[k], floor, want, int(*tolerance*100))
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+		fmt.Println("bench check passed")
+	}
+}

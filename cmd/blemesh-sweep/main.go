@@ -1,19 +1,24 @@
 // Command blemesh-sweep runs the Appendix-B parameter sweep (Fig. 15): six
 // producer intervals × ten connection-interval configurations, each
-// repeated, and prints the aggregated grid as CSV for plotting.
+// repeated, fanned across a work-stealing worker pool, and prints the
+// aggregated grid as CSV for plotting.
 //
 // Usage:
 //
-//	blemesh-sweep [-scale F] [-runs N] [-seed N]
+//	blemesh-sweep [-scale F] [-runs N] [-seed N] [-workers N]
+//	              [-producers 100,1000] [-intervals "25,75,[65:85]"]
+//	              [-engine wheel|heap] [-progress]
 //
-// At -scale 1 -runs 5 this is the paper's full 300 simulated hours.
+// At -scale 1 -runs 5 this is the paper's full 300 simulated hours. The
+// output is byte-identical for every -workers value; only wall-clock time
+// changes.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
+	"strconv"
 	"strings"
 
 	"blemesh"
@@ -23,26 +28,104 @@ func main() {
 	seed := flag.Int64("seed", 1, "simulation seed")
 	scale := flag.Float64("scale", 0.1, "duration scale (1.0 = 1h per run)")
 	runs := flag.Int("runs", 1, "repetitions per configuration (paper: 5)")
+	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+	engineName := flag.String("engine", "wheel", "sim event-queue engine: wheel or heap")
+	producersFlag := flag.String("producers", "", "comma-separated producer intervals in ms (default: full Fig. 15 grid)")
+	intervalsFlag := flag.String("intervals", "", "comma-separated interval config names, e.g. 25,75,[65:85] (default: all ten)")
+	progress := flag.Bool("progress", false, "report per-run progress on stderr")
 	flag.Parse()
 
-	rep, err := blemesh.RunExperiment("fig15", blemesh.Options{
-		Seed: *seed, Scale: *scale, Runs: *runs,
-	})
+	engine, err := blemesh.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	producers, err := parseProducers(*producersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	configs, err := parseIntervals(*intervalsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	sc := blemesh.SweepConfig{
+		Options: blemesh.Options{
+			Seed: *seed, Scale: *scale, Runs: *runs,
+			Workers: *workers, Engine: engine,
+		},
+		Producers: producers,
+		Configs:   configs,
+		Registry:  blemesh.NewMetricsRegistry(),
+	}
+	if *progress {
+		sc.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	cells, err := blemesh.RunSweep(sc)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Print(rep.String())
+	if *progress {
+		fmt.Fprint(os.Stderr, sc.Registry.Render())
+	}
 
-	// CSV of the grid for external plotting.
-	fmt.Println("\ncell,metric,value")
-	keys := make([]string, 0, len(rep.Values))
-	for k := range rep.Values {
-		keys = append(keys, k)
+	// Per-cell summary lines, then a CSV of the grid for external
+	// plotting. SweepText emits keys in sorted order, so the bytes are
+	// reproducible run-to-run and worker-count-to-worker-count.
+	fmt.Print(blemesh.SweepText(cells))
+}
+
+// parseProducers parses "100,1000" (milliseconds) into durations; an empty
+// flag selects the full Fig. 15 producer set.
+func parseProducers(s string) ([]blemesh.Duration, error) {
+	if s == "" {
+		return nil, nil
 	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		idx := strings.LastIndex(k, "_")
-		fmt.Printf("%s,%s,%g\n", k[:idx], k[idx+1:], rep.Values[k])
+	var out []blemesh.Duration
+	for _, f := range strings.Split(s, ",") {
+		ms, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || ms <= 0 {
+			return nil, fmt.Errorf("blemesh-sweep: bad producer interval %q (want ms)", f)
+		}
+		out = append(out, blemesh.Duration(ms)*blemesh.Millisecond)
 	}
+	return out, nil
+}
+
+// parseIntervals selects interval configurations from the Fig. 14 set by
+// name; an empty flag selects all ten.
+func parseIntervals(s string) ([]blemesh.IntervalConfig, error) {
+	if s == "" {
+		return nil, nil
+	}
+	all := blemesh.Fig14Configs()
+	var out []blemesh.IntervalConfig
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, c := range all {
+			if c.Name == name {
+				out = append(out, c)
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, len(all))
+			for i, c := range all {
+				names[i] = c.Name
+			}
+			return nil, fmt.Errorf("blemesh-sweep: unknown interval config %q (have: %s)",
+				name, strings.Join(names, " "))
+		}
+	}
+	return out, nil
 }

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	blemesh list
-//	blemesh run <experiment-id> [-seed N] [-scale F] [-runs N] [-values]
+//	blemesh run <experiment-id> [-seed N] [-scale F] [-runs N] [-workers N]
+//	            [-engine wheel|heap] [-values]
 //	blemesh all [-scale F]
 //
 // Scale 1.0 regenerates the paper-length runs (1h per configuration, 24h
@@ -43,8 +44,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   blemesh list                                   list experiments
-  blemesh run <id> [-seed N] [-scale F] [-runs N] [-values]
-  blemesh all [-scale F] [-seed N]               run everything
+  blemesh run <id> [-seed N] [-scale F] [-runs N] [-workers N] [-engine wheel|heap] [-values]
+  blemesh all [-scale F] [-seed N] [-workers N]  run everything
   blemesh trace [-topo tree|line] [-minutes N] [-seed N] [-node NAME]
                                                  dump the link event log of a run`)
 }
@@ -61,6 +62,8 @@ func run(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "duration scale (1.0 = paper length)")
 	runs := fs.Int("runs", 1, "repetitions (paper: 5)")
+	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
+	engineName := fs.String("engine", "wheel", "sim event-queue engine: wheel or heap")
 	values := fs.Bool("values", false, "also print the key-number table")
 	if len(args) < 1 {
 		usage()
@@ -68,7 +71,14 @@ func run(args []string) {
 	}
 	id := args[0]
 	_ = fs.Parse(args[1:])
-	rep, err := blemesh.RunExperiment(id, blemesh.Options{Seed: *seed, Scale: *scale, Runs: *runs})
+	engine, err := blemesh.ParseEngine(*engineName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	rep, err := blemesh.RunExperiment(id, blemesh.Options{
+		Seed: *seed, Scale: *scale, Runs: *runs, Workers: *workers, Engine: engine,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -110,9 +120,10 @@ func all(args []string) {
 	fs := flag.NewFlagSet("all", flag.ExitOnError)
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "duration scale")
+	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
 	_ = fs.Parse(args)
 	for _, e := range blemesh.Experiments() {
-		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale})
+		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale, Workers: *workers})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -715,7 +715,7 @@ func (c *Conn) coordAfterRx() {
 		next := c.buildPDUPreview()
 		need := wait + Airtime(next) + IFS + Airtime(0)
 		if c.sim().Now()+need <= c.evLimit {
-			c.sim().After(wait, func() {
+			c.sim().Post(wait, func() {
 				if c.inEvent && c.ctrl.sched.Owns(c.act) {
 					c.coordTX()
 				}
@@ -746,7 +746,7 @@ func (c *Conn) subReply() {
 		return
 	}
 	pdu := c.buildPDU()
-	c.sim().After(IFS, func() {
+	c.sim().Post(IFS, func() {
 		if !c.inEvent || !c.ctrl.sched.Owns(c.act) {
 			c.closeEvent()
 			return
@@ -862,7 +862,7 @@ func (c *Conn) Close() {
 	}
 	c.closing = true
 	c.sendControl(&DataPDU{Opcode: OpTerminateInd})
-	c.sim().After(sim.Second, func() {
+	c.sim().Post(sim.Second, func() {
 		if !c.closed {
 			c.terminate(LossHostTerminated)
 		}

@@ -581,7 +581,7 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 	}
 	air := ci.AdvAirtime()
 	epoch := ctrl.epoch
-	ctrl.s.After(IFS, func() {
+	ctrl.s.Post(IFS, func() {
 		if ctrl.epoch != epoch {
 			return // controller reset while the CONNECT_IND was pending
 		}

@@ -201,12 +201,12 @@ func (m *MAC) kick() {
 func (m *MAC) backoff() {
 	e := m.pending
 	units := m.s.Rand().Intn(1 << e.be)
-	m.s.After(sim.Duration(units)*UnitBackoff, m.cca)
+	m.s.Post(sim.Duration(units)*UnitBackoff, m.cca)
 }
 
 // cca performs clear channel assessment (8 symbols of listening).
 func (m *MAC) cca() {
-	m.s.After(8*SymbolTime, func() {
+	m.s.Post(8*SymbolTime, func() {
 		e := m.pending
 		if e == nil {
 			return
@@ -297,7 +297,7 @@ func (m *MAC) receive(pkt phy.Packet, _ phy.Channel, ok bool) {
 		// mid-backoff for its own frame; the ACK takes priority and the
 		// transceiver handles it in hardware.
 		ack := &Frame{Ack: true, Seq: f.Seq, Src: m.addr, Dst: f.Src}
-		m.s.After(TurnaroundTime, func() {
+		m.s.Post(TurnaroundTime, func() {
 			if m.radio.State() == phy.RadioTX {
 				return // own transmission started; ack lost
 			}

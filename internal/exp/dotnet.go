@@ -100,9 +100,9 @@ func (nw *DotNetwork) startProducer(id int, t TrafficConfig) {
 		if t.Jitter > 0 {
 			delay += sim.Duration(nw.Sim.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
 		}
-		nw.Sim.After(delay, loop)
+		nw.Sim.Post(delay, loop)
 	}
-	nw.Sim.After(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
+	nw.Sim.Post(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
 }
 
 // Run advances the simulation by d.

@@ -83,9 +83,9 @@ func runChurn(o Options) *Report {
 				recovery[i] = nw.Sim.Now() - restartAt
 				return
 			}
-			nw.Sim.After(250*sim.Millisecond, poll)
+			nw.Sim.Post(250*sim.Millisecond, poll)
 		}
-		nw.Sim.After(restartAt-nw.Sim.Now(), poll)
+		nw.Sim.Post(restartAt-nw.Sim.Now(), poll)
 	}
 	nw.Run(faultWin)
 	nw.Run(tail)

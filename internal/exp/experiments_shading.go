@@ -6,6 +6,7 @@ import (
 	"blemesh/internal/ble"
 	"blemesh/internal/core"
 	"blemesh/internal/energy"
+	"blemesh/internal/runner"
 	"blemesh/internal/sim"
 	"blemesh/internal/statconn"
 	"blemesh/internal/testbed"
@@ -155,9 +156,9 @@ func runFig12(o Options) *Report {
 			prev[id] = [2]uint64{tx, ok}
 		}
 		perMin = append(perMin, row)
-		nw.Sim.After(sim.Minute, sample)
+		nw.Sim.Post(sim.Minute, sample)
 	}
-	nw.Sim.After(sim.Minute, sample)
+	nw.Sim.Post(sim.Minute, sample)
 	nw.Run(hour(o))
 
 	// Find the most degraded upstream link.
@@ -283,44 +284,40 @@ func runFig13(o Options) *Report {
 	return r
 }
 
-// fig14Configs are the interval configurations of Fig. 14/15.
-func fig14Configs() []struct {
-	Name   string
-	Policy statconn.IntervalPolicy
-} {
-	ms := sim.Millisecond
-	return []struct {
-		Name   string
-		Policy statconn.IntervalPolicy
-	}{
-		{"25", statconn.Static{Interval: 25 * ms}},
-		{"50", statconn.Static{Interval: 50 * ms}},
-		{"75", statconn.Static{Interval: 75 * ms}},
-		{"100", statconn.Static{Interval: 100 * ms}},
-		{"500", statconn.Static{Interval: 500 * ms}},
-		{"[15:35]", statconn.Random{Min: 15 * ms, Max: 35 * ms}},
-		{"[40:60]", statconn.Random{Min: 40 * ms, Max: 60 * ms}},
-		{"[65:85]", statconn.Random{Min: 65 * ms, Max: 85 * ms}},
-		{"[90:110]", statconn.Random{Min: 90 * ms, Max: 110 * ms}},
-		{"[490:510]", statconn.Random{Min: 490 * ms, Max: 510 * ms}},
-	}
-}
-
 func runFig14(o Options) *Report {
 	o.defaults()
 	r := newReport("fig14", "Connection losses per interval configuration (1s producer, 5×1h, drift 10×)")
 	dur := hour(o)
+	configs := Fig14Configs()
 	// As in sec62, drift is exaggerated ×10 so scaled runs still exercise
 	// shading; static configs show losses, randomized ones stay clean.
-	for _, cfg := range fig14Configs() {
-		total := uint64(0)
-		for run := 0; run < o.Runs; run++ {
+	// The config×run grid fans out across the worker pool; one hermetic
+	// network per job.
+	losses, err := runner.Map(len(configs)*o.Runs, runner.Options{Workers: o.Workers, Name: "fig14"},
+		func(job int) (uint64, error) {
+			cfg, run := configs[job/o.Runs], job%o.Runs
 			nw := runTopo(o, run, testbed.Tree(), cfg.Policy, TrafficConfig{}, dur,
 				func(c *NetworkConfig) { c.MaxPPM = 30 })
-			total += nw.ConnLosses()
+			return nw.ConnLosses(), nil
+		})
+	if err != nil {
+		panic(err) // a job panic is a programming error, not a result
+	}
+	for ci, cfg := range configs {
+		total := uint64(0)
+		perRun := make([]float64, o.Runs)
+		for run := 0; run < o.Runs; run++ {
+			v := losses[ci*o.Runs+run]
+			total += v
+			perRun[run] = float64(v)
 		}
 		r.addf("interval %-10s losses %3d over %d×%v", cfg.Name, total, o.Runs, dur)
 		r.set("losses_"+cfg.Name, float64(total))
+		if o.Runs > 1 {
+			mean, half := MeanCI95(perRun)
+			r.set("losses_"+cfg.Name+"_mean", mean)
+			r.set("losses_"+cfg.Name+"_ci95", half)
+		}
 	}
 	r.addf("(paper: static intervals lose connections, randomized windows largely do not)")
 	return r
@@ -329,30 +326,24 @@ func runFig14(o Options) *Report {
 func runFig15(o Options) *Report {
 	o.defaults()
 	r := newReport("fig15", "Appendix B: 60-configuration sweep (per cell: LL PDR / CoAP PDR / RTT / losses)")
-	dur := hour(o)
-	producers := []sim.Duration{100 * sim.Millisecond, 500 * sim.Millisecond,
-		sim.Second, 5 * sim.Second, 10 * sim.Second, 30 * sim.Second}
-	for _, pi := range producers {
-		for _, cfg := range fig14Configs() {
-			var pdrSum, llSum, rttSum float64
-			var losses uint64
-			for run := 0; run < o.Runs; run++ {
-				nw := runTopo(o, run, testbed.Tree(), cfg.Policy,
-					TrafficConfig{Interval: pi, Jitter: pi / 2}, dur,
-					func(c *NetworkConfig) { c.MaxPPM = 30 })
-				pdrSum += nw.CoAPPDR().Rate()
-				llSum += nw.LLPDR()
-				rttSum += nw.RTTs.Median()
-				losses += nw.ConnLosses()
-			}
-			n := float64(o.Runs)
-			cell := fmt.Sprintf("p%v_i%s", pi, cfg.Name)
-			r.addf("producer %6v interval %-10s: LLPDR %.4f  CoAP %.4f  RTTmed %7.3fs  losses %d",
-				pi, cfg.Name, llSum/n, pdrSum/n, rttSum/n, losses)
-			r.set(cell+"_coap", pdrSum/n)
-			r.set(cell+"_llpdr", llSum/n)
-			r.set(cell+"_rtt", rttSum/n)
-			r.set(cell+"_losses", float64(losses))
+	cells, err := RunSweep(SweepConfig{Options: o})
+	if err != nil {
+		panic(err) // a job panic is a programming error, not a result
+	}
+	for _, c := range cells {
+		cell := c.Key()
+		coap, _ := MeanCI95(c.CoAP)
+		ll, _ := MeanCI95(c.LL)
+		rtt, _ := MeanCI95(c.RTT)
+		r.addf("producer %6v interval %-10s: LLPDR %.4f  CoAP %.4f  RTTmed %7.3fs  losses %d",
+			c.Producer, c.Config, ll, coap, rtt, uint64(c.TotalLosses()))
+		r.setReplicated(cell+"_coap", c.CoAP)
+		r.setReplicated(cell+"_llpdr", c.LL)
+		r.setReplicated(cell+"_rtt", c.RTT)
+		r.set(cell+"_losses", c.TotalLosses())
+		if o.Runs > 1 {
+			_, half := MeanCI95(c.Losses)
+			r.set(cell+"_losses_ci95", half)
 		}
 	}
 	return r

@@ -25,6 +25,10 @@ import (
 type NetworkConfig struct {
 	Seed     int64
 	Topology testbed.Topology
+	// Engine selects the sim event-queue engine backing the run (default
+	// timer wheel; the heap reference engine exists for equivalence
+	// testing).
+	Engine sim.Engine
 	// Policy selects the connection interval strategy (static vs the
 	// paper's randomized mitigation).
 	Policy statconn.IntervalPolicy
@@ -135,7 +139,7 @@ type Network struct {
 // BuildNetwork assembles the BLE network for cfg.
 func BuildNetwork(cfg NetworkConfig) *Network {
 	cfg.defaults()
-	s := sim.New(cfg.Seed)
+	s := sim.NewWithEngine(cfg.Seed, cfg.Engine)
 	medium := phy.NewMedium(s)
 	if cfg.NoisePER > 0 {
 		medium.AddInterference(phy.RandomNoise{PER: cfg.NoisePER})
@@ -339,9 +343,13 @@ func (nw *Network) StartTraffic(t TrafficConfig) {
 	nw.traffic = t
 	nw.started = true
 	nw.lossBase = nw.rawConnLosses()
-	for id, m := range nw.Meters {
-		_ = id
-		m.Reset(nw.Sim.Now())
+	// Iterate node IDs in topology order, not map order: Reset is
+	// order-independent today, but output/scheduling paths must never
+	// depend on Go map iteration.
+	for _, id := range nw.Cfg.Topology.Nodes() {
+		if m := nw.Meters[id]; m != nil {
+			m.Reset(nw.Sim.Now())
+		}
 	}
 	consumer := nw.Consumer()
 	consumer.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
@@ -381,10 +389,10 @@ func (nw *Network) startProducer(id int, t TrafficConfig) {
 		if t.Jitter > 0 {
 			delay += sim.Duration(nw.Sim.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
 		}
-		nw.Sim.After(delay, loop)
+		nw.Sim.Post(delay, loop)
 	}
 	// Desynchronise producers at start.
-	nw.Sim.After(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
+	nw.Sim.Post(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
 }
 
 // Run advances the simulation by d.
@@ -569,8 +577,8 @@ func newLLSampler(nw *Network, interval sim.Duration) *llSampler {
 		}
 		ls.rates = append(ls.rates, rate)
 		ls.prevTX, ls.prevRt = tx, retr
-		nw.Sim.After(interval, tick)
+		nw.Sim.Post(interval, tick)
 	}
-	nw.Sim.After(interval, tick)
+	nw.Sim.Post(interval, tick)
 	return ls
 }

@@ -2,8 +2,11 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
+
+	"blemesh/internal/sim"
 )
 
 // Options tune an experiment run.
@@ -16,6 +19,13 @@ type Options struct {
 	Scale float64
 	// Runs overrides the repetition count (paper: 5×; default here 1).
 	Runs int
+	// Workers caps the parallel runner's worker count for repeated and
+	// swept experiments (0 = GOMAXPROCS). Results are byte-identical
+	// regardless of this setting.
+	Workers int
+	// Engine selects the sim event-queue engine (default timer wheel;
+	// the heap reference engine exists for differential testing).
+	Engine sim.Engine
 }
 
 func (o *Options) defaults() {
@@ -51,6 +61,54 @@ func (r *Report) addBlock(s string) {
 }
 
 func (r *Report) set(key string, v float64) { r.Values[key] = v }
+
+// setReplicated records the across-run mean under key and, when there are
+// at least two replicates, the 95% confidence half-width under key+"_ci95".
+func (r *Report) setReplicated(key string, runs []float64) {
+	mean, half := MeanCI95(runs)
+	r.set(key, mean)
+	if len(runs) > 1 {
+		r.set(key+"_ci95", half)
+	}
+}
+
+// tCrit95 holds two-sided 95% Student-t critical values for 1..30 degrees
+// of freedom; beyond that the normal approximation (1.96) is used.
+var tCrit95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// MeanCI95 returns the sample mean and the half-width of the 95% Student-t
+// confidence interval of the mean. With fewer than two samples the
+// half-width is 0 (and the mean NaN when there are none). Summation runs in
+// slice order, so a fixed replicate order yields bit-identical results.
+func MeanCI95(vals []float64) (mean, half float64) {
+	n := len(vals)
+	if n == 0 {
+		return math.NaN(), 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	mean = sum / float64(n)
+	if n == 1 {
+		return mean, 0
+	}
+	ss := 0.0
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / float64(n-1))
+	t := 1.96
+	if df := n - 1; df <= len(tCrit95) {
+		t = tCrit95[df-1]
+	}
+	return mean, t * sd / math.Sqrt(float64(n))
+}
 
 // Value returns a recorded key number (NaN-free access for tests).
 func (r *Report) Value(key string) float64 { return r.Values[key] }

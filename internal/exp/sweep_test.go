@@ -1,0 +1,71 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"blemesh/internal/sim"
+)
+
+// sweepGrid runs a small but non-trivial sweep (2 producers × 2 interval
+// configs × 2 replicate runs = 8 jobs) and returns the exact text
+// blemesh-sweep would print.
+func sweepGrid(t *testing.T, workers int) string {
+	t.Helper()
+	cells, err := RunSweep(SweepConfig{
+		Options:   Options{Seed: 7, Scale: 0.02, Runs: 2, Workers: workers},
+		Producers: []sim.Duration{sim.Second, 10 * sim.Second},
+		Configs:   Fig14Configs()[2:4], // "75" and "100"
+	})
+	if err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	return SweepText(cells)
+}
+
+// TestSweepByteIdenticalAcrossWorkers pins the parallel engine's output
+// contract: the rendered sweep — summary lines, CSV, CI95 columns, float
+// formatting and all — must be byte-identical whether the jobs run serially
+// or race across eight workers.
+func TestSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	serial := sweepGrid(t, 1)
+	if !strings.Contains(serial, "cell,metric,value") {
+		t.Fatalf("sweep text lacks CSV header:\n%s", serial)
+	}
+	if !strings.Contains(serial, "_ci95") {
+		t.Fatal("2-run sweep text lacks CI95 columns")
+	}
+	for _, workers := range []int{8, 3} {
+		if got := sweepGrid(t, workers); got != serial {
+			n, g, w := firstDiff(got, serial)
+			t.Fatalf("workers=%d output differs from serial at line %d:\n  got:  %s\n  want: %s",
+				workers, n, g, w)
+		}
+	}
+}
+
+// TestReportBytesIdenticalAcrossRuns locks the report surface itself: a
+// repeated invocation must render byte-identical lines and values tables
+// (no map-iteration order anywhere in the output path).
+func TestReportBytesIdenticalAcrossRuns(t *testing.T) {
+	a := runFig7(small(2))
+	b := runFig7(small(2))
+	if a.String() != b.String() {
+		t.Fatal("report lines differ across identical runs")
+	}
+	if a.ValuesTable() != b.ValuesTable() {
+		t.Fatal("values tables differ across identical runs")
+	}
+	// And the unified metrics registry export, which walks every node's
+	// collectors.
+	var ra, rb strings.Builder
+	if err := tracedRun(5, true).Registry.WriteNDJSON(&ra); err != nil {
+		t.Fatal(err)
+	}
+	if err := tracedRun(5, true).Registry.WriteNDJSON(&rb); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Len() == 0 || ra.String() != rb.String() {
+		t.Fatal("registry NDJSON differs across identical runs")
+	}
+}

@@ -169,29 +169,29 @@ func Attach(s *sim.Sim, t Target, p *Plan) (*Injector, error) {
 		e := e
 		switch e.Kind {
 		case Crash:
-			s.After(e.At, func() { inj.crash(e.Node) })
+			s.Post(e.At, func() { inj.crash(e.Node) })
 		case Restart:
-			s.After(e.At, func() { inj.restart(e.Node) })
+			s.Post(e.At, func() { inj.restart(e.Node) })
 		case Reboot:
 			dwell := e.Dwell
 			if dwell == 0 {
 				dwell = DefaultDwell
 			}
-			s.After(e.At, func() { inj.crash(e.Node) })
-			s.After(e.At+dwell, func() { inj.restart(e.Node) })
+			s.Post(e.At, func() { inj.crash(e.Node) })
+			s.Post(e.At+dwell, func() { inj.restart(e.Node) })
 		case Blackout:
 			dur := e.For
 			if dur == 0 {
 				dur = DefaultFor
 			}
-			s.After(e.At, func() { inj.blackout(true) })
-			s.After(e.At+dur, func() { inj.blackout(false) })
+			s.Post(e.At, func() { inj.blackout(true) })
+			s.Post(e.At+dur, func() { inj.blackout(false) })
 		case JammerOn:
-			s.After(e.At, func() { inj.jammer(e.Ch, true) })
+			s.Post(e.At, func() { inj.jammer(e.Ch, true) })
 		case JammerOff:
-			s.After(e.At, func() { inj.jammer(e.Ch, false) })
+			s.Post(e.At, func() { inj.jammer(e.Ch, false) })
 		case LinkKill:
-			s.After(e.At, func() { inj.killLink(e.Node, e.Peer) })
+			s.Post(e.At, func() { inj.killLink(e.Node, e.Peer) })
 		default:
 			return nil, fmt.Errorf("fault: unknown event kind %v", e.Kind)
 		}

@@ -410,7 +410,7 @@ func (ep *Endpoint) scheduleKick() {
 		return
 	}
 	ep.kickArmed = true
-	ep.s.After(2*sim.Millisecond, func() {
+	ep.s.Post(2*sim.Millisecond, func() {
 		ep.kickArmed = false
 		for _, ch := range ep.channels {
 			wasBlocked := !ch.Writable()
@@ -459,7 +459,7 @@ func (ep *Endpoint) sendSignal(s signal) {
 		return
 	}
 	if !ep.sendPDU(CIDSignaling, encodeSignal(s), 0, nil) {
-		ep.s.After(2*sim.Millisecond, func() { ep.sendSignal(s) })
+		ep.s.Post(2*sim.Millisecond, func() { ep.sendSignal(s) })
 	}
 }
 
@@ -611,6 +611,6 @@ func (ep *Endpoint) SendFixed(cid uint16, payload []byte) {
 		return
 	}
 	if !ep.sendPDU(cid, payload, 0, nil) {
-		ep.s.After(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
+		ep.s.Post(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
 	}
 }

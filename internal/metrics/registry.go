@@ -65,6 +65,17 @@ func (r *Registry) Register(name string, collect func() []Sample) {
 	r.collectors[name] = collect
 }
 
+// RegisterOrReplace adds a collector, replacing any existing collector of
+// the same name. Intended for sources that are re-created per run (the
+// sweep runner's progress gauges); regular subsystems should use Register
+// so collisions stay loud.
+func (r *Registry) RegisterOrReplace(name string, collect func() []Sample) {
+	if _, dup := r.collectors[name]; !dup {
+		r.names = append(r.names, name)
+	}
+	r.collectors[name] = collect
+}
+
 // RegisterCounter registers a single monotonically increasing value.
 func (r *Registry) RegisterCounter(name string, fn func() float64) {
 	r.Register(name, func() []Sample {

@@ -311,7 +311,7 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 		}
 	}
 
-	m.sim.At(tx.end, func() {
+	m.sim.PostAt(tx.end, func() {
 		m.finish(r, tx)
 		if done != nil {
 			done()

@@ -1,0 +1,190 @@
+// Package runner provides a work-stealing parallel execution engine for
+// independent simulation replicas. Each job builds and runs its own
+// sim.Sim, so jobs share no state and the only synchronisation is around
+// the job queues and the result slots.
+//
+// The contract that makes parallel sweeps safe to trust:
+//
+//   - deterministic results: results are indexed by job number, so the
+//     output is identical regardless of worker count or interleaving;
+//   - deterministic errors: job failures are reported in job order, not
+//     completion order;
+//   - panic isolation: a panicking job is captured as a *PanicError with
+//     its stack and does not take down the other workers.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+
+	"blemesh/internal/metrics"
+)
+
+// Options configures a Map call.
+type Options struct {
+	// Workers is the number of worker goroutines; <= 0 means
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// Name labels this run in progress metrics ("" disables them).
+	Name string
+	// Registry, when non-nil, receives live progress gauges under
+	// "runner.<Name>": jobs total, done, and panicked.
+	Registry *metrics.Registry
+	// OnProgress, when non-nil, is called after every completed job with
+	// the number done so far and the total. Calls are serialised.
+	OnProgress func(done, total int)
+}
+
+// PanicError wraps a panic recovered from a job.
+type PanicError struct {
+	Job   int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", e.Job, e.Value)
+}
+
+// workers resolves the worker count.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// deque is one worker's job queue. The owner pops from the front; thieves
+// steal from the back, so an owner working through its own deal keeps
+// cache-friendly job order while idle workers drain the far end.
+type deque struct {
+	mu   sync.Mutex
+	jobs []int
+}
+
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	j := d.jobs[0]
+	d.jobs = d.jobs[1:]
+	return j, true
+}
+
+func (d *deque) stealBack() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.jobs) == 0 {
+		return 0, false
+	}
+	last := len(d.jobs) - 1
+	j := d.jobs[last]
+	d.jobs = d.jobs[:last]
+	return j, true
+}
+
+// Map runs fn for every job index in [0, n) across a work-stealing worker
+// pool and returns the results in job order. The returned error is nil only
+// if every job succeeded; otherwise it reports the failures in job order
+// (a panicking fn surfaces as a *PanicError, other jobs keep running).
+func Map[T any](n int, opts Options, fn func(job int) (T, error)) ([]T, error) {
+	results := make([]T, n)
+	errs := make([]error, n)
+	if n <= 0 {
+		return results, nil
+	}
+	nw := opts.workers()
+	if nw > n {
+		nw = n
+	}
+
+	// Deal jobs round-robin so every worker starts with a spread of the
+	// grid (adjacent grid points often have correlated cost).
+	queues := make([]*deque, nw)
+	for w := range queues {
+		queues[w] = &deque{}
+	}
+	for j := 0; j < n; j++ {
+		q := queues[j%nw]
+		q.jobs = append(q.jobs, j)
+	}
+
+	var done, panicked atomic.Int64
+	if opts.Registry != nil && opts.Name != "" {
+		name := "runner." + opts.Name
+		total := float64(n)
+		opts.Registry.RegisterOrReplace(name, func() []metrics.Sample {
+			return []metrics.Sample{
+				{Name: name, Label: "jobs", Kind: metrics.KindGauge, Value: total},
+				{Name: name, Label: "done", Kind: metrics.KindGauge, Value: float64(done.Load())},
+				{Name: name, Label: "panicked", Kind: metrics.KindGauge, Value: float64(panicked.Load())},
+			}
+		})
+	}
+	var progressMu sync.Mutex
+	report := func() {
+		d := int(done.Add(1))
+		if opts.OnProgress != nil {
+			progressMu.Lock()
+			opts.OnProgress(d, n)
+			progressMu.Unlock()
+		}
+	}
+
+	runJob := func(j int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.Add(1)
+				errs[j] = &PanicError{Job: j, Value: r, Stack: debug.Stack()}
+			}
+			report()
+		}()
+		results[j], errs[j] = fn(j)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(nw)
+	for w := 0; w < nw; w++ {
+		go func(self int) {
+			defer wg.Done()
+			for {
+				j, ok := queues[self].popFront()
+				if !ok {
+					// Own deque drained: steal from the back of the
+					// other workers' deques, nearest neighbour first.
+					for k := 1; k < nw && !ok; k++ {
+						j, ok = queues[(self+k)%nw].stealBack()
+					}
+					if !ok {
+						return
+					}
+				}
+				runJob(j)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var first error
+	nerr := 0
+	for _, err := range errs {
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			nerr++
+		}
+	}
+	if first != nil {
+		if nerr > 1 {
+			return results, fmt.Errorf("%d of %d jobs failed; first: %w", nerr, n, first)
+		}
+		return results, first
+	}
+	return results, nil
+}

@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkEngineTimerStorm compares the two engines on the dense timer
+// workload. The reported metric is ns per simulated event.
+func BenchmarkEngineTimerStorm(b *testing.B) {
+	for _, engine := range []Engine{EngineHeap, EngineWheel} {
+		for _, nTimers := range []int{64, 1024} {
+			b.Run(fmt.Sprintf("engine=%s/timers=%d", engine, nTimers), func(b *testing.B) {
+				const events = 200_000
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					s := NewWithEngine(42, engine)
+					TimerStorm(s, nTimers, events)
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/events, "ns/event")
+			})
+		}
+	}
+}
+
+// BenchmarkEngineCancelHeavy measures the schedule-then-cancel pattern that
+// dominates ACK timers: most timers never fire.
+func BenchmarkEngineCancelHeavy(b *testing.B) {
+	for _, engine := range []Engine{EngineHeap, EngineWheel} {
+		b.Run("engine="+engine.String(), func(b *testing.B) {
+			const events = 100_000
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				s := NewWithEngine(7, engine)
+				CancelStorm(s, events)
+			}
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/events, "ns/event")
+		})
+	}
+}

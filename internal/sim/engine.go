@@ -1,0 +1,54 @@
+package sim
+
+import "fmt"
+
+// Engine selects the event-queue implementation backing a Sim. Both engines
+// honour the same contract — events execute in (when, seq) order, FIFO among
+// equal timestamps — and the equivalence test suite holds them to
+// byte-identical experiment traces. The wheel is the production engine; the
+// binary heap is retained as the reference implementation the wheel is
+// checked against.
+type Engine uint8
+
+const (
+	// EngineWheel is a hierarchical timer wheel with bitmap-indexed slots
+	// and an overflow heap — O(1) scheduling, no per-operation interface
+	// dispatch, and cache-friendly slot storage. The default.
+	EngineWheel Engine = iota
+	// EngineHeap is the original container/heap binary heap, kept as the
+	// reference implementation for differential testing.
+	EngineHeap
+)
+
+// String returns the engine's flag-friendly name.
+func (e Engine) String() string {
+	switch e {
+	case EngineWheel:
+		return "wheel"
+	case EngineHeap:
+		return "heap"
+	}
+	return fmt.Sprintf("Engine(%d)", uint8(e))
+}
+
+// ParseEngine maps a flag value ("wheel" or "heap") to an Engine.
+func ParseEngine(name string) (Engine, error) {
+	switch name {
+	case "wheel", "":
+		return EngineWheel, nil
+	case "heap":
+		return EngineHeap, nil
+	}
+	return EngineWheel, fmt.Errorf("sim: unknown engine %q (want wheel or heap)", name)
+}
+
+// queue is the engine-internal event-queue contract. Events are totally
+// ordered by (when, seq); push accepts events with when >= the time of the
+// last pop, and pop returns the minimum-ordered event whose timestamp is at
+// most limit, or nil.
+type queue interface {
+	push(e *Event)
+	pop(limit Time) *Event
+	cancel(e *Event)
+	len() int
+}

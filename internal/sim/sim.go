@@ -1,5 +1,6 @@
 // Package sim provides the deterministic discrete-event simulation engine
-// that substitutes for the FIT IoT-Lab testbed hardware: an event heap with
+// that substitutes for the FIT IoT-Lab testbed hardware: a pluggable event
+// queue (hierarchical timer wheel by default, binary heap as reference) with
 // nanosecond resolution, per-node clocks with configurable ppm drift, and a
 // seeded random source.
 //
@@ -11,8 +12,8 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -62,7 +63,14 @@ type Event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
 	fn   func()
-	idx  int // heap index, -1 when not queued
+	// idx is the heap index under EngineHeap. Under EngineWheel it is only
+	// a queued flag: 0 while queued, -1 once fired or cancelled (cancelled
+	// events stay in their slot and are dropped lazily when visited).
+	idx int
+	// next links pooled events on the Sim free list; pooled events are the
+	// handle-free ones created by Post/PostAt, recycled after firing.
+	next   *Event
+	pooled bool
 }
 
 // When returns the timestamp the event is (or was) scheduled for.
@@ -71,52 +79,41 @@ func (e *Event) When() Time { return e.when }
 // Scheduled reports whether the event is still pending in the queue.
 func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
 
-// eventQueue is a binary min-heap ordered by (when, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
-
 // Sim is a discrete-event simulation. It is not safe for concurrent use;
-// the engine is strictly single-threaded by design.
+// the engine is strictly single-threaded by design. Independent Sim
+// instances share no state and may run on separate goroutines (the parallel
+// sweep runner relies on this).
 type Sim struct {
 	now     Time
-	queue   eventQueue
+	q       queue
+	engine  Engine
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
+	free    *Event // recycled handle-free events (Post/PostAt)
 	// processed counts executed events, for diagnostics and benchmarks.
 	processed uint64
 }
 
-// New creates a simulation whose random source is seeded with seed.
-func New(seed int64) *Sim {
-	return &Sim{rng: rand.New(rand.NewSource(seed))}
+// New creates a simulation whose random source is seeded with seed, using
+// the default timer-wheel engine.
+func New(seed int64) *Sim { return NewWithEngine(seed, EngineWheel) }
+
+// NewWithEngine creates a simulation backed by the given event-queue engine.
+func NewWithEngine(seed int64, engine Engine) *Sim {
+	s := &Sim{rng: rand.New(rand.NewSource(seed)), engine: engine}
+	switch engine {
+	case EngineHeap:
+		s.q = &heapQueue{}
+	default:
+		s.engine = EngineWheel
+		s.q = newWheelQueue()
+	}
+	return s
 }
+
+// Engine returns the event-queue engine backing this simulation.
+func (s *Sim) Engine() Engine { return s.engine }
 
 // Now returns the current simulation time.
 func (s *Sim) Now() Time { return s.now }
@@ -127,20 +124,26 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 // Processed returns the number of events executed so far.
 func (s *Sim) Processed() uint64 { return s.processed }
 
-// At schedules fn to run at absolute time when. Scheduling in the past (or
-// exactly now) runs the event at the current time, after already-queued
-// events with the same timestamp. It returns a handle that can cancel the
-// event.
-func (s *Sim) At(when Time, fn func()) *Event {
+// schedule queues e for when, assigning the next sequence number. Scheduling
+// in the past (or exactly now) runs the event at the current time, after
+// already-queued events with the same timestamp.
+func (s *Sim) schedule(e *Event, when Time, fn func()) {
 	if fn == nil {
 		panic("sim: nil event func")
 	}
 	if when < s.now {
 		when = s.now
 	}
-	e := &Event{when: when, seq: s.seq, fn: fn}
+	e.when, e.seq, e.fn = when, s.seq, fn
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.q.push(e)
+}
+
+// At schedules fn to run at absolute time when. It returns a handle that can
+// cancel the event.
+func (s *Sim) At(when Time, fn func()) *Event {
+	e := &Event{}
+	s.schedule(e, when, fn)
 	return e
 }
 
@@ -152,13 +155,37 @@ func (s *Sim) After(delay Duration, fn func()) *Event {
 	return s.At(s.now+delay, fn)
 }
 
+// Post schedules fn to run delay from now, like After, but returns no
+// cancellation handle. Handle-free events are recycled through an internal
+// free list, so hot scheduling paths (PHY transmission ends, connection
+// events, retry kicks) do not allocate per event. Use After when the caller
+// needs to Cancel.
+func (s *Sim) Post(delay Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.PostAt(s.now+delay, fn)
+}
+
+// PostAt is Post with an absolute timestamp.
+func (s *Sim) PostAt(when Time, fn func()) {
+	e := s.free
+	if e != nil {
+		s.free = e.next
+		e.next = nil
+	} else {
+		e = &Event{pooled: true}
+	}
+	s.schedule(e, when, fn)
+}
+
 // Cancel removes a pending event from the queue. Cancelling an event that
 // already fired or was cancelled is a no-op.
 func (s *Sim) Cancel(e *Event) {
 	if e == nil || e.idx < 0 {
 		return
 	}
-	heap.Remove(&s.queue, e.idx)
+	s.q.cancel(e)
 	e.idx = -1
 	e.fn = nil
 }
@@ -167,22 +194,31 @@ func (s *Sim) Cancel(e *Event) {
 // completes. Pending events stay queued.
 func (s *Sim) Stop() { s.stopped = true }
 
+// fire executes a popped event and recycles it if pooled. The callback is
+// read before recycling so fn may itself call PostAt and reuse the slot.
+func (s *Sim) fire(e *Event) {
+	s.now = e.when
+	fn := e.fn
+	e.fn = nil
+	s.processed++
+	if e.pooled {
+		e.next = s.free
+		s.free = e
+	}
+	fn()
+}
+
 // Run executes events in timestamp order until the queue is empty or the
 // next event is later than until. Time advances to until if the queue
 // drains earlier, so subsequent scheduling is relative to the horizon.
 func (s *Sim) Run(until Time) {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		next := s.queue[0]
-		if next.when > until {
+	for !s.stopped {
+		e := s.q.pop(until)
+		if e == nil {
 			break
 		}
-		heap.Pop(&s.queue)
-		s.now = next.when
-		fn := next.fn
-		next.fn = nil
-		s.processed++
-		fn()
+		s.fire(e)
 	}
 	if s.now < until && !s.stopped {
 		s.now = until
@@ -193,15 +229,14 @@ func (s *Sim) Run(until Time) {
 // experiments always bound the horizon with Run.
 func (s *Sim) RunAll() {
 	s.stopped = false
-	for len(s.queue) > 0 && !s.stopped {
-		next := heap.Pop(&s.queue).(*Event)
-		s.now = next.when
-		fn := next.fn
-		next.fn = nil
-		s.processed++
-		fn()
+	for !s.stopped {
+		e := s.q.pop(Time(math.MaxInt64))
+		if e == nil {
+			return
+		}
+		s.fire(e)
 	}
 }
 
 // Pending returns the number of queued events.
-func (s *Sim) Pending() int { return len(s.queue) }
+func (s *Sim) Pending() int { return s.q.len() }

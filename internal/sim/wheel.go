@@ -1,0 +1,308 @@
+package sim
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Hierarchical timer wheel geometry. Time is quantised into 1024 ns ticks;
+// six levels of 64 slots each cover 64^6 ticks ≈ 19.5 simulated hours ahead
+// of the cursor. Events beyond that horizon wait in a small overflow heap
+// and are folded into the wheel as the cursor approaches.
+const (
+	wheelShift  = 10 // tick granularity: 1024 ns
+	wheelBits   = 6  // slots per level
+	wheelSlots  = 1 << wheelBits
+	wheelMask   = wheelSlots - 1
+	wheelLevels = 6
+)
+
+type wheelLevel struct {
+	occupied uint64 // bit i set when slot i may hold events
+	slot     [wheelSlots][]*Event
+}
+
+// wheelQueue is the production event-queue engine: O(1) scheduling into a
+// bitmap-indexed slot, pops that scan at most one 64-bit word per level.
+//
+// Invariants:
+//   - cur never exceeds the tick of any live (non-cancelled) event, so a
+//     slot never has to distinguish events one wheel revolution apart;
+//   - an event lives at the lowest level whose current 64-slot window
+//     covers its tick, so cascades strictly descend;
+//   - cancellation is lazy (the Sim marks idx = -1); dead events are
+//     dropped when their slot is next visited, and len() tracks live
+//     events only.
+//
+// Events scheduled in a tick the cursor has already passed (possible when a
+// cascade advances the cursor beyond the simulation clock) are filed in the
+// cursor's own level-0 slot; the per-slot (when, seq) min-scan keeps them
+// correctly ordered.
+type wheelQueue struct {
+	cur   int64 // current tick; no live event has a smaller tick
+	live  int
+	level [wheelLevels]wheelLevel
+	over  overflowHeap
+}
+
+func newWheelQueue() *wheelQueue { return &wheelQueue{} }
+
+func tickOf(t Time) int64 { return int64(t) >> wheelShift }
+
+// wheelOverflow is the idx marker for events parked in the overflow heap.
+// Wheel-resident events carry their location as idx = level<<6 | slot, so
+// cancellation can remove them eagerly without a search.
+const wheelOverflow = wheelLevels << wheelBits
+
+func (w *wheelQueue) push(e *Event) {
+	w.live++
+	w.place(e)
+}
+
+// place files e at the lowest level whose current window covers the event's
+// tick: the smallest L with (tick>>6L) − (cur>>6L) < 64. Comparing slot
+// numbers rather than the raw tick delta guarantees an event never shares a
+// slot with events a full revolution away.
+func (w *wheelQueue) place(e *Event) {
+	tk := tickOf(e.when)
+	if tk < w.cur {
+		tk = w.cur
+	}
+	for l := 0; l < wheelLevels; l++ {
+		shift := uint(wheelBits * l)
+		if (tk>>shift)-(w.cur>>shift) < wheelSlots {
+			lv := &w.level[l]
+			i := int(tk>>shift) & wheelMask
+			e.idx = l<<wheelBits | i
+			lv.slot[i] = append(lv.slot[i], e)
+			lv.occupied |= 1 << uint(i)
+			return
+		}
+	}
+	e.idx = wheelOverflow
+	w.over.push(e)
+}
+
+// fits reports whether a tick lands within the top level's current window.
+func (w *wheelQueue) fits(tk int64) bool {
+	shift := uint(wheelBits * (wheelLevels - 1))
+	return (tk>>shift)-(w.cur>>shift) < wheelSlots
+}
+
+// pop removes and returns the (when, seq)-minimum event with when <= limit,
+// or nil. Higher-level slots whose window starts at or before the level-0
+// candidate tick are cascaded down first — on a tie the cascaded slot may
+// hold an event with an earlier sequence number, so equality must cascade.
+func (w *wheelQueue) pop(limit Time) *Event {
+	for {
+		if w.live == 0 {
+			return nil
+		}
+		var (
+			t0 = int64(math.MaxInt64)
+			s0 = -1
+		)
+		lv0 := &w.level[0]
+		i0 := int(w.cur) & wheelMask
+		if occ := lv0.occupied; occ != 0 {
+			r := occ>>uint(i0) | occ<<uint(wheelSlots-i0)
+			j := (i0 + bits.TrailingZeros64(r)) & wheelMask
+			t0 = w.cur + int64((j-i0)&wheelMask)
+			s0 = j
+		}
+		// Fast path: a level-0 slot at the cursor tick cannot be preceded
+		// by anything in a higher level (those were cascaded when the
+		// cursor reached this tick), so only a non-empty overflow forces
+		// the full scan.
+		if t0 != w.cur || w.over.n() > 0 {
+			bestBase := int64(math.MaxInt64)
+			bestL, bestJ := -1, -1
+			for l := 1; l < wheelLevels; l++ {
+				lv := &w.level[l]
+				if lv.occupied == 0 {
+					continue
+				}
+				shift := uint(wheelBits * l)
+				q := w.cur >> shift
+				iL := int(q) & wheelMask
+				r := lv.occupied>>uint(iL) | lv.occupied<<uint(wheelSlots-iL)
+				j := (iL + bits.TrailingZeros64(r)) & wheelMask
+				base := (q + int64((j-iL)&wheelMask)) << shift
+				if base < bestBase {
+					bestBase, bestL, bestJ = base, l, j
+				}
+			}
+			for w.over.n() > 0 && w.over.min().idx < 0 {
+				w.over.popMin() // drop cancelled overflow entries
+			}
+			ovTick := int64(math.MaxInt64)
+			if w.over.n() > 0 {
+				ovTick = tickOf(w.over.min().when)
+			}
+			if ovTick != math.MaxInt64 && ovTick <= t0 && ovTick <= bestBase {
+				if t0 == math.MaxInt64 && bestBase == math.MaxInt64 && ovTick > w.cur {
+					w.cur = ovTick // wheel empty: jump to the overflow front
+				}
+				for w.over.n() > 0 {
+					e := w.over.min()
+					if e.idx < 0 {
+						w.over.popMin()
+						continue
+					}
+					if !w.fits(tickOf(e.when)) {
+						break
+					}
+					w.over.popMin()
+					w.place(e)
+				}
+				continue
+			}
+			if bestL >= 0 && bestBase <= t0 {
+				// Advancing the cursor to the slot's window start is safe:
+				// bestBase is a lower bound on every live event's tick.
+				if bestBase > w.cur {
+					w.cur = bestBase
+				}
+				lv := &w.level[bestL]
+				evs := lv.slot[bestJ]
+				// Keep the slot's backing array (re-placement always
+				// descends to a lower level, so it cannot append here).
+				lv.slot[bestJ] = evs[:0]
+				lv.occupied &^= 1 << uint(bestJ)
+				for k, e := range evs {
+					evs[k] = nil
+					if e.idx < 0 {
+						continue
+					}
+					w.place(e)
+				}
+				continue
+			}
+		}
+		if s0 < 0 {
+			return nil
+		}
+		// Extract the (when, seq) minimum from slot s0, compacting out
+		// lazily cancelled events in the same pass.
+		slot := lv0.slot[s0]
+		n, mi := 0, -1
+		for _, e := range slot {
+			if e.idx < 0 {
+				continue
+			}
+			slot[n] = e
+			if mi < 0 || e.when < slot[mi].when ||
+				(e.when == slot[mi].when && e.seq < slot[mi].seq) {
+				mi = n
+			}
+			n++
+		}
+		for k := n; k < len(slot); k++ {
+			slot[k] = nil
+		}
+		if n == 0 {
+			lv0.slot[s0] = slot[:0]
+			lv0.occupied &^= 1 << uint(s0)
+			continue
+		}
+		e := slot[mi]
+		if e.when > limit {
+			lv0.slot[s0] = slot[:n]
+			return nil
+		}
+		slot[mi] = slot[n-1]
+		slot[n-1] = nil
+		lv0.slot[s0] = slot[:n-1]
+		if n == 1 {
+			lv0.occupied &^= 1 << uint(s0)
+		}
+		if tk := tickOf(e.when); tk > w.cur {
+			w.cur = tk
+		}
+		e.idx = -1
+		w.live--
+		return e
+	}
+}
+
+func (w *wheelQueue) cancel(e *Event) {
+	w.live--
+	loc := e.idx
+	if loc >= wheelOverflow {
+		// Overflow entries are dropped lazily at the next peek, once the
+		// Sim has marked them dead.
+		return
+	}
+	lv := &w.level[loc>>wheelBits]
+	i := loc & wheelMask
+	slot := lv.slot[i]
+	// Backward scan: a cancelled timer is usually the most recently armed
+	// one in its slot (the ACK-cancels-retransmission pattern).
+	for k := len(slot) - 1; k >= 0; k-- {
+		if slot[k] == e {
+			last := len(slot) - 1
+			slot[k] = slot[last]
+			slot[last] = nil
+			lv.slot[i] = slot[:last]
+			if last == 0 {
+				lv.occupied &^= 1 << uint(i)
+			}
+			return
+		}
+	}
+}
+
+func (w *wheelQueue) len() int { return w.live }
+
+// overflowHeap is a plain binary min-heap ordered by (when, seq) for events
+// beyond the wheel horizon. It deliberately never writes Event.idx — under
+// the wheel engine idx is the queued/dead flag, owned by the Sim.
+type overflowHeap struct {
+	es []*Event
+}
+
+func (h *overflowHeap) n() int      { return len(h.es) }
+func (h *overflowHeap) min() *Event { return h.es[0] }
+
+func (h *overflowHeap) less(i, j int) bool {
+	if h.es[i].when != h.es[j].when {
+		return h.es[i].when < h.es[j].when
+	}
+	return h.es[i].seq < h.es[j].seq
+}
+
+func (h *overflowHeap) push(e *Event) {
+	h.es = append(h.es, e)
+	for i := len(h.es) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *overflowHeap) popMin() *Event {
+	e := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es[last] = nil
+	h.es = h.es[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.es) && h.less(l, small) {
+			small = l
+		}
+		if r < len(h.es) && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+	return e
+}

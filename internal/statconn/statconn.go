@@ -314,7 +314,7 @@ func (m *Manager) initiateAfterBackoff(peer ble.DevAddr) {
 	}
 	delay := sim.Duration(m.rng.Int63n(span))
 	gen := m.gen
-	m.s.After(delay, func() {
+	m.s.Post(delay, func() {
 		if m.gen != gen || m.stopped {
 			return
 		}

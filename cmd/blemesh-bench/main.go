@@ -58,6 +58,8 @@ func main() {
 	out := flag.String("out", "BENCH_sim.json", "baseline path for -write")
 	baseline := flag.String("baseline", "BENCH_sim.json", "baseline path for -check")
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional speedup regression")
+	minSpeedup := flag.Float64("minspeedup", minDenseSpeedup,
+		"required wheel-vs-heap speedup on dense workloads (CI may pass a slightly lower floor to absorb shared-runner noise)")
 	flag.Parse()
 	if !*write && !*check {
 		fmt.Fprintln(os.Stderr, "blemesh-bench: pass -write and/or -check")
@@ -106,9 +108,9 @@ func main() {
 	if *check {
 		failed := false
 		for _, k := range []string{"speedup_storm64", "speedup_storm1024"} {
-			if m[k] < minDenseSpeedup {
+			if m[k] < *minSpeedup {
 				fmt.Fprintf(os.Stderr, "FAIL: %s = %.2f, want ≥ %.2f (wheel must beat heap on dense workloads)\n",
-					k, m[k], minDenseSpeedup)
+					k, m[k], *minSpeedup)
 				failed = true
 			}
 		}

@@ -110,11 +110,29 @@ func (w *wheelQueue) pop(limit Time) *Event {
 			t0 = w.cur + int64((j-i0)&wheelMask)
 			s0 = j
 		}
-		// Fast path: a level-0 slot at the cursor tick cannot be preceded
-		// by anything in a higher level (those were cascaded when the
-		// cursor reached this tick), so only a non-empty overflow forces
-		// the full scan.
-		if t0 != w.cur || w.over.n() > 0 {
+		// Fast path: a level-0 slot at the cursor tick can be preceded (or
+		// tied, which also matters — FIFO) only by a higher-level slot whose
+		// window base is <= cur, and within the current window the sole such
+		// slot at level l is the one indexed by the cursor itself; every
+		// other occupied slot has base > cur. Two slots at different levels
+		// can share a window base, and one cascade handles only one of them,
+		// so "the cursor reached this tick" does not by itself prove the
+		// higher levels are clear — the bit tests below do.
+		fast := t0 == w.cur && w.over.n() == 0
+		if fast {
+			for l := 1; l < wheelLevels; l++ {
+				lv := &w.level[l]
+				if lv.occupied == 0 {
+					continue
+				}
+				iL := int(w.cur>>uint(wheelBits*l)) & wheelMask
+				if lv.occupied&(1<<uint(iL)) != 0 {
+					fast = false
+					break
+				}
+			}
+		}
+		if !fast {
 			bestBase := int64(math.MaxInt64)
 			bestL, bestJ := -1, -1
 			for l := 1; l < wheelLevels; l++ {
@@ -226,11 +244,11 @@ func (w *wheelQueue) pop(limit Time) *Event {
 }
 
 func (w *wheelQueue) cancel(e *Event) {
-	w.live--
 	loc := e.idx
 	if loc >= wheelOverflow {
 		// Overflow entries are dropped lazily at the next peek, once the
 		// Sim has marked them dead.
+		w.live--
 		return
 	}
 	lv := &w.level[loc>>wheelBits]
@@ -247,9 +265,14 @@ func (w *wheelQueue) cancel(e *Event) {
 			if last == 0 {
 				lv.occupied &^= 1 << uint(i)
 			}
+			w.live--
 			return
 		}
 	}
+	// live is decremented only on removal: a miss here means e.idx went
+	// stale, and silently corrupting the count would let pop report an
+	// empty queue while events remain. Fail loudly instead.
+	panic("sim: wheel cancel: event missing from its encoded slot")
 }
 
 func (w *wheelQueue) len() int { return w.live }

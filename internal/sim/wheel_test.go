@@ -91,6 +91,78 @@ func TestWheelFIFOAcrossLevels(t *testing.T) {
 	}
 }
 
+// TestWheelSameBaseCrossLevel is a regression test for the pop fast path:
+// two slots at different levels can share a window base. Y lands in a
+// level-2 slot with base 4096 (scheduled from tick 0); X, scheduled from
+// tick 100 for a later instant in the very same tick 4096, lands in a
+// level-1 slot with the same base. One cascade moves only X down, and X
+// then sits exactly on the cursor tick — the fast path used to pop it
+// without noticing the level-2 slot still held the earlier Y, firing X
+// before Y and driving Sim.Now backwards.
+func TestWheelSameBaseCrossLevel(t *testing.T) {
+	for _, engine := range []Engine{EngineWheel, EngineHeap} {
+		s := NewWithEngine(1, engine)
+		var order []string
+		last := Time(-1)
+		mark := func(name string) func() {
+			return func() {
+				if s.Now() < last {
+					t.Fatalf("%v: time went backwards: %v after %v", engine, s.Now(), last)
+				}
+				last = s.Now()
+				order = append(order, name)
+			}
+		}
+		s.At(4194309, mark("Y")) // tick 4096, filed at level 2 from cur=0
+		s.At(100<<wheelShift, func() {
+			mark("mid")()
+			s.At(4195104, mark("X")) // tick 4096 again, filed at level 1 from cur=100
+		})
+		s.RunAll()
+		if len(order) != 3 || order[0] != "mid" || order[1] != "Y" || order[2] != "X" {
+			t.Fatalf("%v: fired %v, want [mid Y X]", engine, order)
+		}
+	}
+}
+
+// TestWheelBoundaryEpochEquivalence holds the wheel to the heap on
+// workloads built to create same-base slots at multiple levels: from a
+// spread of cursor epochs, events target ticks sitting exactly on 64^l
+// window boundaries, so the same boundary is filed at different levels
+// depending on the epoch it was scheduled from.
+func TestWheelBoundaryEpochEquivalence(t *testing.T) {
+	trace := func(engine Engine, seed int64) []([2]int64) {
+		s := NewWithEngine(seed, engine)
+		rng := rand.New(rand.NewSource(seed * 104729))
+		var fired []([2]int64)
+		rec := func() { fired = append(fired, [2]int64{int64(s.Now()), int64(s.Processed())}) }
+		for i := 0; i < 200; i++ {
+			epoch := Time(rng.Int63n(1<<14)) << wheelShift
+			s.At(epoch, func() {
+				l := 1 + rng.Intn(3)
+				span := int64(1) << uint(wheelBits*l)
+				boundary := (tickOf(s.Now())/span + 1 + rng.Int63n(3)) * span
+				when := Time(boundary)<<wheelShift + Time(rng.Int63n(2048))
+				s.At(when, rec)
+			})
+		}
+		s.RunAll()
+		return fired
+	}
+	for seed := int64(1); seed <= 16; seed++ {
+		heap := trace(EngineHeap, seed)
+		wheel := trace(EngineWheel, seed)
+		if len(heap) != len(wheel) {
+			t.Fatalf("seed %d: heap fired %d events, wheel %d", seed, len(heap), len(wheel))
+		}
+		for i := range heap {
+			if heap[i] != wheel[i] {
+				t.Fatalf("seed %d: event %d diverged: heap=%v wheel=%v", seed, i, heap[i], wheel[i])
+			}
+		}
+	}
+}
+
 // TestWheelSameTickOrdering schedules events inside one 1024 ns tick in
 // shuffled timestamp order and checks they fire sorted by (when, seq).
 func TestWheelSameTickOrdering(t *testing.T) {

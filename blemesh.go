@@ -149,11 +149,15 @@ func ParseEngine(name string) (Engine, error) { return sim.ParseEngine(name) }
 func RunSweep(sc SweepConfig) ([]CellResult, error) { return exp.RunSweep(sc) }
 
 // Fig14Configs and Fig15Producers span the paper's sweep grid.
-func Fig14Configs() []IntervalConfig     { return exp.Fig14Configs() }
-func Fig15Producers() []Duration         { return exp.Fig15Producers() }
+func Fig14Configs() []IntervalConfig { return exp.Fig14Configs() }
+func Fig15Producers() []Duration     { return exp.Fig15Producers() }
 
 // MeanCI95 returns the sample mean and 95% Student-t confidence half-width.
 func MeanCI95(vals []float64) (mean, half float64) { return exp.MeanCI95(vals) }
+
+// GCFooter renders the one-line garbage-collector summary the CLI prints
+// below each experiment report.
+func GCFooter() string { return exp.GCFooter() }
 
 // SweepText renders a sweep result exactly as blemesh-sweep prints it.
 func SweepText(cells []CellResult) string { return exp.SweepText(cells) }

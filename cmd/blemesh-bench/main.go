@@ -1,11 +1,16 @@
-// Command blemesh-bench measures the event-loop hot path and gates
+// Command blemesh-bench measures the simulator's hot paths and gates
 // regressions. It benchmarks both event-queue engines on the timer-storm and
 // cancel-heavy workloads and derives machine-independent speedup ratios
-// (heap ns per event / wheel ns per event). With -write it records the
+// (heap ns per event / wheel ns per event), and it measures the end-to-end
+// packet datapath's heap cost (allocations and bytes per 7-hop CoAP
+// exchange) with the pktbuf pool on and off. With -write it records the
 // result as a baseline (BENCH_sim.json); with -check it verifies the wheel's
-// dense-workload advantage holds (≥1.2×) and that no speedup ratio regressed
-// more than -tolerance against the committed baseline. Ratios, not absolute
-// nanoseconds, are compared, so the gate is stable across CI machines.
+// dense-workload advantage holds (≥1.2×), that the pooled datapath stays at
+// least 50% below the pre-pooling allocation count, and that no metric
+// regressed more than -tolerance against the committed baseline (speedups
+// must not fall, allocation counts must not rise). Ratios and allocation
+// counts, not absolute nanoseconds, are compared, so the gate is stable
+// across CI machines.
 //
 // Usage:
 //
@@ -19,8 +24,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"testing"
 
+	"blemesh/internal/exp"
+	"blemesh/internal/pktbuf"
+	"blemesh/internal/prof"
 	"blemesh/internal/sim"
 )
 
@@ -30,6 +39,11 @@ const (
 	// minDenseSpeedup is the acceptance bar of the timer-wheel engine: at
 	// least 20% faster than the reference heap on the dense timer storm.
 	minDenseSpeedup = 1.2
+	// allocsPrePool is the packet-path benchmark's allocs/op before the
+	// pooled zero-copy datapath existed — the fixed reference point for the
+	// allocation gate. The pooled path must stay at or below half of it.
+	allocsPrePool        = 1914
+	maxAllocsFracOfFixed = 0.5
 )
 
 func stormNsPerEvent(engine sim.Engine, timers int) float64 {
@@ -52,6 +66,17 @@ func cancelNsPerEvent(engine sim.Engine) float64 {
 	return float64(r.NsPerOp()) / cancelEvents
 }
 
+// packetPathStats measures the per-exchange heap cost of the full datapath
+// with the pktbuf pool toggled as given. Allocation counts are deterministic
+// properties of the code path, not of the machine, which is what makes them
+// gateable.
+func packetPathStats(pooled bool) (allocs, bytes float64) {
+	pktbuf.SetPooling(pooled)
+	defer pktbuf.SetPooling(os.Getenv("BLEMESH_NO_PKTBUF_POOL") == "")
+	r := testing.Benchmark(exp.PacketPathBench)
+	return float64(r.AllocsPerOp()), float64(r.AllocedBytesPerOp())
+}
+
 func main() {
 	write := flag.Bool("write", false, "write the measured baseline")
 	check := flag.Bool("check", false, "check against the committed baseline")
@@ -60,11 +85,13 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.20, "allowed fractional speedup regression")
 	minSpeedup := flag.Float64("minspeedup", minDenseSpeedup,
 		"required wheel-vs-heap speedup on dense workloads (CI may pass a slightly lower floor to absorb shared-runner noise)")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if !*write && !*check {
 		fmt.Fprintln(os.Stderr, "blemesh-bench: pass -write and/or -check")
 		os.Exit(2)
 	}
+	stopProf := pf.Start()
 
 	m := map[string]float64{}
 	for _, w := range []struct {
@@ -82,6 +109,10 @@ func main() {
 	m["cancel_heap_ns_per_event"] = heap
 	m["cancel_wheel_ns_per_event"] = wheel
 	m["speedup_cancel"] = heap / wheel
+
+	m["allocs_per_pkt_exchange"], m["bytes_per_pkt_exchange"] = packetPathStats(true)
+	m["allocs_per_pkt_unpooled"], m["bytes_per_pkt_unpooled"] = packetPathStats(false)
+	stopProf() // the measurements are done; file I/O below is not of interest
 
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -114,6 +145,11 @@ func main() {
 				failed = true
 			}
 		}
+		if bar := allocsPrePool * maxAllocsFracOfFixed; m["allocs_per_pkt_exchange"] > bar {
+			fmt.Fprintf(os.Stderr, "FAIL: allocs_per_pkt_exchange = %.0f, want ≤ %.0f (half the pre-pooling count of %d)\n",
+				m["allocs_per_pkt_exchange"], bar, allocsPrePool)
+			failed = true
+		}
 		buf, err := os.ReadFile(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -125,14 +161,25 @@ func main() {
 			os.Exit(1)
 		}
 		for k, want := range base {
-			if len(k) < 8 || k[:8] != "speedup_" {
-				continue // absolute ns values are informational, not gated
-			}
-			floor := want * (1 - *tolerance)
-			if m[k] < floor {
-				fmt.Fprintf(os.Stderr, "FAIL: %s = %.2f regressed below %.2f (baseline %.2f − %d%%)\n",
-					k, m[k], floor, want, int(*tolerance*100))
-				failed = true
+			switch {
+			case strings.HasPrefix(k, "speedup_"):
+				// Speedup ratios must not fall below the baseline.
+				floor := want * (1 - *tolerance)
+				if m[k] < floor {
+					fmt.Fprintf(os.Stderr, "FAIL: %s = %.2f regressed below %.2f (baseline %.2f − %d%%)\n",
+						k, m[k], floor, want, int(*tolerance*100))
+					failed = true
+				}
+			case strings.HasPrefix(k, "allocs_per_pkt_") || strings.HasPrefix(k, "bytes_per_pkt_"):
+				// Heap costs must not rise above the baseline.
+				ceil := want * (1 + *tolerance)
+				if m[k] > ceil {
+					fmt.Fprintf(os.Stderr, "FAIL: %s = %.0f regressed above %.0f (baseline %.0f + %d%%)\n",
+						k, m[k], ceil, want, int(*tolerance*100))
+					failed = true
+				}
+			default:
+				// Absolute ns values are informational, not gated.
 			}
 		}
 		if failed {

@@ -22,6 +22,7 @@ import (
 	"strings"
 
 	"blemesh"
+	"blemesh/internal/prof"
 )
 
 func main() {
@@ -33,7 +34,9 @@ func main() {
 	producersFlag := flag.String("producers", "", "comma-separated producer intervals in ms (default: full Fig. 15 grid)")
 	intervalsFlag := flag.String("intervals", "", "comma-separated interval config names, e.g. 25,75,[65:85] (default: all ten)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
+	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	defer pf.Start()()
 
 	engine, err := blemesh.ParseEngine(*engineName)
 	if err != nil {

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"blemesh"
+	"blemesh/internal/prof"
 )
 
 func main() {
@@ -65,12 +66,14 @@ func run(args []string) {
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
 	engineName := fs.String("engine", "wheel", "sim event-queue engine: wheel or heap")
 	values := fs.Bool("values", false, "also print the key-number table")
+	pf := prof.Register(fs)
 	if len(args) < 1 {
 		usage()
 		os.Exit(2)
 	}
 	id := args[0]
 	_ = fs.Parse(args[1:])
+	defer pf.Start()()
 	engine, err := blemesh.ParseEngine(*engineName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -88,6 +91,9 @@ func run(args []string) {
 		fmt.Println("-- key numbers --")
 		fmt.Print(rep.ValuesTable())
 	}
+	// The GC footer goes to stderr: heap numbers vary across runtimes and
+	// would break the byte-identical stdout guarantee.
+	fmt.Fprintln(os.Stderr, blemesh.GCFooter())
 }
 
 func traceRun(args []string) {
@@ -121,7 +127,9 @@ func all(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "duration scale")
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
+	pf := prof.Register(fs)
 	_ = fs.Parse(args)
+	defer pf.Start()()
 	for _, e := range blemesh.Experiments() {
 		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale, Workers: *workers})
 		if err != nil {
@@ -131,4 +139,5 @@ func all(args []string) {
 		fmt.Print(rep.String())
 		fmt.Println()
 	}
+	fmt.Fprintln(os.Stderr, blemesh.GCFooter())
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blemesh/internal/phy"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 	"blemesh/internal/trace"
 )
@@ -90,7 +91,11 @@ type txItem struct {
 	sent        bool     // SN assigned (queued for its first transmission)
 	txCount     int      // actual transmissions so far
 	readyMarked bool     // ll-ready span emitted for this item
-	onAck       func()   // release pool bytes / credits upcall
+	poolN       int      // controller pool bytes charged for this payload
+	onAck       func()   // host-level credit/resource release upcall
+	// buf, when non-nil, is the pooled buffer backing payload; the LL
+	// owns it and releases it once the item completes (ack or teardown).
+	buf *pktbuf.Buf
 }
 
 func (it *txItem) size() int {
@@ -134,10 +139,10 @@ type Conn struct {
 	pendInstant uint64
 
 	act          *Activity
-	wake         *sim.Event
+	wake         sim.Timer
 	nextStart    sim.Time // sim-time estimate of next event start
 	lastAttended uint64   // subordinate: last event index actually serviced
-	supEvent     *sim.Event
+	supEvent     sim.Timer
 	closed       bool
 	closing      bool // TERMINATE_IND queued
 
@@ -148,7 +153,22 @@ type Conn struct {
 	evGotPkt  bool
 	evTXBase  uint64 // stats.TXPDUs at event start (first-exchange detection)
 	exData    bool   // current exchange moved a data/control payload
-	rxTimeout *sim.Event
+	rxTimeout sim.Timer
+
+	// Prebound hot-path callbacks, created once per connection so the
+	// per-event scheduling paths (thousands per second of simulated time)
+	// never allocate closures.
+	eventStartFn func()
+	superviseFn  func()
+	rxExpireFn   func()
+	onRxFn       phy.Receiver
+	onCarrierFn  phy.CarrierFunc
+	coordDoneFn  func()
+	coordNextFn  func()
+	subSendFn    func()
+	subDoneFn    func()
+	replyPDU     *DataPDU // PDU built for the pending subordinate reply
+	scratch      DataPDU  // reused data/empty PDU (control PDUs keep their own)
 
 	stats ConnStats
 
@@ -227,15 +247,71 @@ func newConn(ctrl *Controller, role Role, peer DevAddr, params ConnParams, acces
 	// Connection establishment: until the first valid packet is received
 	// the specification bounds the timeout to six connection intervals,
 	// so a CONNECT_IND the peer never heard fails fast.
+	c.bindCallbacks()
 	est := 6 * params.Interval
 	if est > params.Supervision {
 		est = params.Supervision
 	}
-	c.supEvent = ctrl.clk.AfterLocal(est, func() {
-		c.terminate(LossSupervision)
-	})
+	c.supEvent = ctrl.clk.AfterLocal(est, c.superviseFn)
 	c.scheduleEvent()
 	return c
+}
+
+// bindCallbacks creates the connection's reusable callbacks. Everything the
+// per-event machinery schedules refers to these, so steady-state connection
+// events are allocation-free.
+func (c *Conn) bindCallbacks() {
+	c.eventStartFn = c.eventStart
+	c.superviseFn = func() { c.terminate(LossSupervision) }
+	c.rxExpireFn = func() {
+		c.rxTimeout = sim.Timer{}
+		c.closeEvent()
+	}
+	c.onRxFn = c.onRx
+	c.onCarrierFn = c.onCarrier
+	c.coordDoneFn = func() {
+		if !c.inEvent {
+			return
+		}
+		// Wait for the subordinate's reply, due exactly one IFS after
+		// our last bit.
+		c.radio().StartListen(c.evCh)
+		c.ctrl.setRx(c.onRxFn, c.onCarrierFn)
+		c.rxTimeout = c.sim().After(IFS+CarrierMargin, c.rxExpireFn)
+	}
+	c.coordNextFn = func() {
+		if c.inEvent && c.ctrl.sched.Owns(c.act) {
+			c.coordTX()
+		}
+	}
+	c.subSendFn = func() {
+		pdu := c.replyPDU
+		c.replyPDU = nil
+		if !c.inEvent || !c.ctrl.sched.Owns(c.act) {
+			c.closeEvent()
+			return
+		}
+		c.transmitPDU(pdu, c.subDoneFn)
+	}
+	c.subDoneFn = func() {
+		if !c.inEvent {
+			return
+		}
+		// Continue listening if the coordinator may send more. A
+		// data exchange delays the coordinator's next packet by
+		// its processing gap (homogeneous firmware assumed).
+		wait := IFS + CarrierMargin
+		if c.exData {
+			wait += c.ctrl.cfg.ExchangeGap
+		}
+		if (c.peerMD || len(c.txq) > 0) && c.sim().Now()+wait < c.evLimit {
+			c.radio().StartListen(c.evCh)
+			c.ctrl.setRx(c.onRxFn, c.onCarrierFn)
+			c.rxTimeout = c.sim().After(wait, c.rxExpireFn)
+		} else {
+			c.closeEvent()
+		}
+	}
 }
 
 func (c *Conn) sim() *sim.Sim     { return c.ctrl.sim() }
@@ -245,12 +321,8 @@ func (c *Conn) radio() *phy.Radio { return c.ctrl.radio }
 // ---- Supervision -----------------------------------------------------
 
 func (c *Conn) armSupervision() {
-	if c.supEvent != nil {
-		c.sim().Cancel(c.supEvent)
-	}
-	c.supEvent = c.clk().AfterLocal(c.params.Supervision, func() {
-		c.terminate(LossSupervision)
-	})
+	c.sim().Cancel(c.supEvent)
+	c.supEvent = c.clk().AfterLocal(c.params.Supervision, c.superviseFn)
 }
 
 func (c *Conn) resetSupervision() {
@@ -305,7 +377,7 @@ func (c *Conn) scheduleEvent() {
 	}
 	simDelay := c.clk().ToSim(d)
 	c.nextStart = c.sim().Now() + simDelay
-	c.wake = c.sim().After(simDelay, c.eventStart)
+	c.wake = c.sim().After(simDelay, c.eventStartFn)
 }
 
 // applyPendingAt applies a pending connection update / channel map change
@@ -427,10 +499,8 @@ func (c *Conn) closeEvent() {
 }
 
 func (c *Conn) cancelRxTimeout() {
-	if c.rxTimeout != nil {
-		c.sim().Cancel(c.rxTimeout)
-		c.rxTimeout = nil
-	}
+	c.sim().Cancel(c.rxTimeout)
+	c.rxTimeout = sim.Timer{}
 }
 
 // ---- Packet exchange --------------------------------------------------
@@ -445,13 +515,19 @@ func (c *Conn) buildPDU() *DataPDU {
 			pdu = it.ctrl
 			pdu.LLID = LLIDControl
 		} else {
-			pdu = &DataPDU{LLID: it.llid, Payload: it.payload, PID: it.pid}
+			// Data PDUs reuse the per-connection scratch object: receivers
+			// consume a PDU synchronously at its end-of-air instant, and the
+			// next buildPDU on this connection is always at least one IFS
+			// later, so the previous contents are dead by the time we reset.
+			pdu = &c.scratch
+			*pdu = DataPDU{LLID: it.llid, Payload: it.payload, PID: it.pid}
 		}
 		if !it.sent {
 			it.sent = true
 		}
 	} else {
-		pdu = &DataPDU{LLID: LLIDDataCont} // empty PDU
+		pdu = &c.scratch
+		*pdu = DataPDU{LLID: LLIDDataCont} // empty PDU
 	}
 	pdu.Access = c.access
 	pdu.SN = c.sn
@@ -513,10 +589,19 @@ func (c *Conn) processRx(pdu *DataPDU) {
 			if it.size() > 0 || it.ctrl != nil {
 				c.stats.TXUnique++
 			}
+			if it.poolN > 0 {
+				c.ctrl.pool.free(it.poolN)
+			}
 			if it.onAck != nil {
 				it.onAck()
 			}
-			if it.ctrl != nil && it.ctrl.Opcode == OpTerminateInd {
+			if it.buf != nil {
+				it.buf.Put()
+				it.buf = nil
+			}
+			wasTerm := it.ctrl != nil && it.ctrl.Opcode == OpTerminateInd
+			c.ctrl.putItem(it)
+			if wasTerm {
 				c.terminate(LossHostTerminated)
 				return
 			}
@@ -601,11 +686,8 @@ func (c *Conn) instantToIdx(instant uint16) uint64 {
 // timeout.
 func (c *Conn) listen(deadline sim.Time) {
 	c.radio().StartListen(c.evCh)
-	c.ctrl.setRx(c.onRx, c.onCarrier)
-	c.rxTimeout = c.sim().At(deadline, func() {
-		c.rxTimeout = nil
-		c.closeEvent()
-	})
+	c.ctrl.setRx(c.onRxFn, c.onCarrierFn)
+	c.rxTimeout = c.sim().At(deadline, c.rxExpireFn)
 }
 
 // onCarrier extends the receive deadline to the detected end of packet.
@@ -615,10 +697,7 @@ func (c *Conn) onCarrier(_ phy.Channel, end sim.Time) {
 	}
 	c.cancelRxTimeout()
 	// Guard in case the end-of-packet indication is suppressed.
-	c.rxTimeout = c.sim().At(end+sim.Microsecond, func() {
-		c.rxTimeout = nil
-		c.closeEvent()
-	})
+	c.rxTimeout = c.sim().At(end+sim.Microsecond, c.rxExpireFn)
 }
 
 // onRx is the end-of-packet indication for this connection's event.
@@ -632,10 +711,7 @@ func (c *Conn) onRx(pkt phy.Packet, _ phy.Channel, ok bool) {
 		// A packet of a co-channel connection: the radio never
 		// synchronises to a foreign access address. Keep listening for
 		// our own packet until the window closes.
-		c.rxTimeout = c.sim().After(CarrierMargin, func() {
-			c.rxTimeout = nil
-			c.closeEvent()
-		})
+		c.rxTimeout = c.sim().After(CarrierMargin, c.rxExpireFn)
 		return
 	}
 	if !ok || !isData {
@@ -687,19 +763,7 @@ func (c *Conn) coordTX() {
 		c.closeEvent()
 		return
 	}
-	c.transmitPDU(pdu, func() {
-		if !c.inEvent {
-			return
-		}
-		// Wait for the subordinate's reply, due exactly one IFS after
-		// our last bit.
-		c.radio().StartListen(c.evCh)
-		c.ctrl.setRx(c.onRx, c.onCarrier)
-		c.rxTimeout = c.sim().After(IFS+CarrierMargin, func() {
-			c.rxTimeout = nil
-			c.closeEvent()
-		})
-	})
+	c.transmitPDU(pdu, c.coordDoneFn)
 }
 
 // coordAfterRx decides whether to start another exchange in this event.
@@ -715,11 +779,7 @@ func (c *Conn) coordAfterRx() {
 		next := c.buildPDUPreview()
 		need := wait + Airtime(next) + IFS + Airtime(0)
 		if c.sim().Now()+need <= c.evLimit {
-			c.sim().Post(wait, func() {
-				if c.inEvent && c.ctrl.sched.Owns(c.act) {
-					c.coordTX()
-				}
-			})
+			c.sim().Post(wait, c.coordNextFn)
 			return
 		}
 	}
@@ -745,35 +805,8 @@ func (c *Conn) subReply() {
 		c.closeEvent()
 		return
 	}
-	pdu := c.buildPDU()
-	c.sim().Post(IFS, func() {
-		if !c.inEvent || !c.ctrl.sched.Owns(c.act) {
-			c.closeEvent()
-			return
-		}
-		c.transmitPDU(pdu, func() {
-			if !c.inEvent {
-				return
-			}
-			// Continue listening if the coordinator may send more. A
-			// data exchange delays the coordinator's next packet by
-			// its processing gap (homogeneous firmware assumed).
-			wait := IFS + CarrierMargin
-			if c.exData {
-				wait += c.ctrl.cfg.ExchangeGap
-			}
-			if (c.peerMD || len(c.txq) > 0) && c.sim().Now()+wait < c.evLimit {
-				c.radio().StartListen(c.evCh)
-				c.ctrl.setRx(c.onRx, c.onCarrier)
-				c.rxTimeout = c.sim().After(wait, func() {
-					c.rxTimeout = nil
-					c.closeEvent()
-				})
-			} else {
-				c.closeEvent()
-			}
-		})
-	})
+	c.replyPDU = c.buildPDU()
+	c.sim().Post(IFS, c.subSendFn)
 }
 
 // ---- Host interface -----------------------------------------------------
@@ -794,13 +827,39 @@ func (c *Conn) Send(llid LLID, payload []byte, pid uint64, onAck func()) bool {
 		c.ctrl.events.PoolExhausted++
 		return false
 	}
-	n := len(payload)
-	c.txq = append(c.txq, &txItem{llid: llid, payload: payload, pid: pid, onAck: func() {
-		c.ctrl.pool.free(n)
-		if onAck != nil {
-			onAck()
-		}
-	}})
+	it := c.ctrl.getItem()
+	it.llid, it.payload, it.pid = llid, payload, pid
+	it.poolN = len(payload)
+	it.onAck = onAck
+	c.txq = append(c.txq, it)
+	c.markHeadReady()
+	return true
+}
+
+// SendBuf is Send for pooled buffers: the LL transmits straight out of b
+// and releases it when the item completes. Ownership of b passes to the
+// connection in every case — on a false return (link closed or controller
+// pool exhausted) the buffer has already been released.
+func (c *Conn) SendBuf(llid LLID, b *pktbuf.Buf, pid uint64, onAck func()) bool {
+	if c.closed || c.closing {
+		b.Put()
+		return false
+	}
+	payload := b.Bytes()
+	if len(payload) > MaxDataLen {
+		panic(fmt.Sprintf("ble: payload %d exceeds LL maximum %d", len(payload), MaxDataLen))
+	}
+	if !c.ctrl.pool.alloc(len(payload)) {
+		c.ctrl.events.PoolExhausted++
+		b.Put()
+		return false
+	}
+	it := c.ctrl.getItem()
+	it.llid, it.payload, it.pid = llid, payload, pid
+	it.poolN = len(payload)
+	it.onAck = onAck
+	it.buf = b
+	c.txq = append(c.txq, it)
 	c.markHeadReady()
 	return true
 }
@@ -808,7 +867,9 @@ func (c *Conn) Send(llid LLID, payload []byte, pid uint64, onAck func()) bool {
 // sendControl enqueues an LL control PDU (not charged to the data pool).
 func (c *Conn) sendControl(pdu *DataPDU) {
 	pdu.LLID = LLIDControl
-	c.txq = append(c.txq, &txItem{ctrl: pdu})
+	it := c.ctrl.getItem()
+	it.ctrl = pdu
+	c.txq = append(c.txq, it)
 }
 
 // UpdateParams starts the connection parameter update procedure
@@ -898,12 +959,8 @@ func (c *Conn) terminate(reason LossReason) {
 		c.inEvent = false
 		c.ctrl.sched.Release(c.act)
 	}
-	if c.wake != nil {
-		c.sim().Cancel(c.wake)
-	}
-	if c.supEvent != nil {
-		c.sim().Cancel(c.supEvent)
-	}
+	c.sim().Cancel(c.wake)
+	c.sim().Cancel(c.supEvent)
 	c.nextStart = 0
 	// Complete undelivered payloads: the enqueued onAck chain returns the
 	// pooled bytes and releases upper-layer resources (L2CAP SDU state,
@@ -914,10 +971,18 @@ func (c *Conn) terminate(reason LossReason) {
 				c.ctrl.tr.EmitPkt(c.ctrl.node, trace.KindPacketDrop, it.pid, 0,
 					"cause=link-reset conn#%d reason=%s", c.handle, reason)
 			}
+			if it.poolN > 0 {
+				c.ctrl.pool.free(it.poolN)
+			}
 			if it.onAck != nil {
 				it.onAck()
 			}
 		}
+		if it.buf != nil {
+			it.buf.Put()
+			it.buf = nil
+		}
+		c.ctrl.putItem(it)
 	}
 	c.txq = nil
 	c.ctrl.removeConn(c, reason)

@@ -128,11 +128,15 @@ type Controller struct {
 	conns   map[int]*Conn
 	handles int
 
+	// freeItems recycles txItem structs across all connections so the
+	// steady-state data path does not allocate per queued payload.
+	freeItems []*txItem
+
 	// Advertising state.
 	advOn     bool
 	advParams AdvParams
 	advAct    *Activity
-	advWake   *sim.Event
+	advWake   sim.Timer
 	advNext   sim.Time
 	advStop   bool // mid-event stop request
 
@@ -141,7 +145,7 @@ type Controller struct {
 	scanParams  ScanParams
 	scanTargets map[DevAddr]ConnParams
 	scanCh      phy.Channel
-	scanRotate  *sim.Event
+	scanRotate  sim.Timer
 	connecting  bool
 	initAct     *Activity // radio claim of an in-progress CONNECT_IND
 
@@ -303,10 +307,8 @@ func (ctrl *Controller) StopAdvertising() {
 	}
 	ctrl.advOn = false
 	ctrl.advStop = true
-	if ctrl.advWake != nil {
-		ctrl.s.Cancel(ctrl.advWake)
-		ctrl.advWake = nil
-	}
+	ctrl.s.Cancel(ctrl.advWake)
+	ctrl.advWake = sim.Timer{}
 	if ctrl.advAct != nil && !ctrl.sched.Owns(ctrl.advAct) {
 		ctrl.sched.Unregister(ctrl.advAct)
 		ctrl.advAct = nil
@@ -324,7 +326,7 @@ func (ctrl *Controller) scheduleAdvEvent(delay sim.Duration) {
 // advEvent performs one advertising event: ADV_IND on 37, 38, 39, listening
 // after each PDU for a CONNECT_IND.
 func (ctrl *Controller) advEvent() {
-	ctrl.advWake = nil
+	ctrl.advWake = sim.Timer{}
 	if !ctrl.advOn {
 		return
 	}
@@ -356,7 +358,7 @@ func (ctrl *Controller) advChannelStep(ch phy.Channel) {
 		// Listen one IFS + CONNECT_IND airtime for an initiator.
 		ctrl.radio.StartListen(ch)
 		deadline := ctrl.s.Now() + IFS + CarrierMargin
-		var timeout *sim.Event
+		var timeout sim.Timer
 		ctrl.setRx(func(pkt phy.Packet, _ phy.Channel, ok bool) {
 			ci, is := pkt.Payload.(*AdvPDU)
 			if !ok || !is || ci.Type != PDUConnectInd || ci.Adv != ctrl.addr {
@@ -498,10 +500,8 @@ func (ctrl *Controller) stopScanning() {
 	}
 	ctrl.scanOn = false
 	ctrl.sched.ClearFiller()
-	if ctrl.scanRotate != nil {
-		ctrl.s.Cancel(ctrl.scanRotate)
-		ctrl.scanRotate = nil
-	}
+	ctrl.s.Cancel(ctrl.scanRotate)
+	ctrl.scanRotate = sim.Timer{}
 }
 
 func (ctrl *Controller) rotateScanChannel() {
@@ -673,3 +673,19 @@ func (ctrl *Controller) String() string {
 // Upper layers use it to avoid enqueueing a multi-fragment PDU that could
 // only partially fit.
 func (ctrl *Controller) PoolFree() int { return ctrl.pool.capacity - ctrl.pool.used }
+
+// getItem takes a zeroed txItem from the controller-wide free list.
+func (c *Controller) getItem() *txItem {
+	if n := len(c.freeItems); n > 0 {
+		it := c.freeItems[n-1]
+		c.freeItems = c.freeItems[:n-1]
+		return it
+	}
+	return &txItem{}
+}
+
+// putItem zeroes a txItem and returns it to the free list.
+func (c *Controller) putItem(it *txItem) {
+	*it = txItem{}
+	c.freeItems = append(c.freeItems, it)
+}

@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 
 	"blemesh/internal/ip6"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 )
 
@@ -135,11 +136,12 @@ type wireIf struct {
 	drop    func() bool
 }
 
-func (w *wireIf) Output(mac uint64, pkt []byte, pid uint64) bool {
+func (w *wireIf) Output(mac uint64, pkt *pktbuf.Buf, pid uint64) bool {
+	defer pkt.Put()
 	if w.drop != nil && w.drop() {
 		return true // swallowed
 	}
-	cp := append([]byte(nil), pkt...)
+	cp := append([]byte(nil), pkt.Bytes()...)
 	w.s.After(w.delay, func() { w.peer.Input(cp, pid) })
 	return true
 }

@@ -67,8 +67,8 @@ type pendingReq struct {
 	sentAt   sim.Time
 	pid      uint64 // provenance ID of the latest (re)transmission
 	retries  int
-	retryEvt *sim.Event
-	expire   *sim.Event
+	retryEvt sim.Timer
+	expire   sim.Timer
 }
 
 // Endpoint is a CoAP client+server bound to one UDP port of a node's stack.
@@ -195,12 +195,8 @@ func (ep *Endpoint) fail(pr *pendingReq, key string, cause error) {
 		return
 	}
 	delete(ep.pending, key)
-	if pr.retryEvt != nil {
-		ep.s.Cancel(pr.retryEvt)
-	}
-	if pr.expire != nil {
-		ep.s.Cancel(pr.expire)
-	}
+	ep.s.Cancel(pr.retryEvt)
+	ep.s.Cancel(pr.expire)
 	if errors.Is(cause, ErrGaveUp) {
 		ep.stats.GiveUps++
 	} else {
@@ -220,12 +216,8 @@ func (ep *Endpoint) fail(pr *pendingReq, key string, cause error) {
 // they model the observer, not the device.
 func (ep *Endpoint) Reset() {
 	for key, pr := range ep.pending {
-		if pr.retryEvt != nil {
-			ep.s.Cancel(pr.retryEvt)
-		}
-		if pr.expire != nil {
-			ep.s.Cancel(pr.expire)
-		}
+		ep.s.Cancel(pr.retryEvt)
+		ep.s.Cancel(pr.expire)
 		delete(ep.pending, key)
 	}
 	ep.seen = make(map[string]sim.Time)
@@ -258,12 +250,8 @@ func (ep *Endpoint) onUDP(src ip6.Addr, srcPort uint16, data []byte) {
 		return
 	}
 	delete(ep.pending, string(m.Token))
-	if pr.retryEvt != nil {
-		ep.s.Cancel(pr.retryEvt)
-	}
-	if pr.expire != nil {
-		ep.s.Cancel(pr.expire)
-	}
+	ep.s.Cancel(pr.retryEvt)
+	ep.s.Cancel(pr.expire)
 	ep.stats.ResponsesMatched++
 	rtt := ep.s.Now() - pr.sentAt
 	if ep.tr.Enabled() {

@@ -17,6 +17,7 @@ import (
 	"blemesh/internal/gatt"
 	"blemesh/internal/ip6"
 	"blemesh/internal/l2cap"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 	"blemesh/internal/sixlo"
 	"blemesh/internal/trace"
@@ -44,11 +45,11 @@ type link struct {
 	peerMAC uint64
 }
 
-// outFrame is one queued compressed frame with the provenance ID of the
-// packet it carries.
+// outFrame is one queued compressed frame (in its pooled buffer) with the
+// provenance ID of the packet it carries.
 type outFrame struct {
-	data []byte
-	pid  uint64
+	buf *pktbuf.Buf
+	pid uint64
 }
 
 // NetIf adapts BLE+L2CAP to the ip6.NetIf interface.
@@ -147,10 +148,11 @@ func (n *NetIf) RemoveLink(conn *ble.Conn) {
 }
 
 // flushQueue drops a dead link's queued frames, releasing their pktbuf
-// charges and recording the drops.
+// charges and buffers and recording the drops.
 func (n *NetIf) flushQueue(l *link) {
 	for _, f := range l.queue {
-		n.stack.Pktbuf.Free(len(f.data))
+		n.stack.Pktbuf.Free(f.buf.Len())
+		f.buf.Put()
 		n.stats.LinkDrops++
 		if f.pid != 0 && n.tr.Enabled() {
 			n.tr.EmitPkt(n.node, trace.KindPacketDrop, f.pid, 0, "cause=link-down peer=%012x", l.peerMAC)
@@ -179,28 +181,32 @@ func (n *NetIf) Reset() {
 // channelUp installs the IPSP channel on a link and starts draining.
 func (n *NetIf) channelUp(l *link, ch *l2cap.Channel) {
 	l.ch = ch
-	ch.OnSDU = func(sdu []byte, pid uint64) { n.input(l, sdu, pid) }
+	ch.OnSDUBuf = func(sdu *pktbuf.Buf, pid uint64) { n.input(l, sdu, pid) }
 	ch.OnWritable = func() { n.drain(l) }
 	n.drain(l)
 }
 
-// Output implements ip6.NetIf: compress, charge the pktbuf, queue, drain.
-func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
+// Output implements ip6.NetIf: compress in place, charge the pktbuf, queue,
+// drain. The packet's pooled buffer is carried through to the LL without
+// copying; ownership of pkt passes to the adapter in every case.
+func (n *NetIf) Output(mac uint64, pkt *pktbuf.Buf, pid uint64) bool {
 	l, ok := n.links[mac]
 	if !ok {
+		pkt.Put()
 		return false
 	}
-	frame, err := sixlo.Compress(pkt, n.mac, mac, n.ctxs)
-	if err != nil {
+	if err := sixlo.CompressBuf(pkt, n.mac, mac, n.ctxs); err != nil {
 		n.stats.CompressErr++
+		pkt.Put()
 		return false
 	}
-	if !n.stack.Pktbuf.Alloc(len(frame)) {
+	if !n.stack.Pktbuf.Alloc(pkt.Len()) {
 		// GNRC pktbuf exhausted: this is the §5.2 loss process.
 		n.stats.QueueDrops++
+		pkt.Put()
 		return false
 	}
-	l.queue = append(l.queue, outFrame{data: frame, pid: pid})
+	l.queue = append(l.queue, outFrame{buf: pkt, pid: pid})
 	n.drain(l)
 	return true
 }
@@ -210,8 +216,8 @@ func (n *NetIf) drain(l *link) {
 	for len(l.queue) > 0 && l.ch != nil && l.ch.Writable() {
 		f := l.queue[0]
 		l.queue = l.queue[1:]
-		size := len(f.data)
-		err := l.ch.SendSDU(f.data, f.pid, func() {
+		size := f.buf.Len()
+		err := l.ch.SendSDUBuf(f.buf, f.pid, func() {
 			n.stack.Pktbuf.Free(size)
 		})
 		if err != nil {
@@ -223,15 +229,15 @@ func (n *NetIf) drain(l *link) {
 	}
 }
 
-// input decompresses a received frame and hands it to the IP stack.
-func (n *NetIf) input(l *link, sdu []byte, pid uint64) {
-	pkt, err := sixlo.Decompress(sdu, l.peerMAC, n.mac, n.ctxs)
-	if err != nil {
+// input decompresses a received frame in place and hands it to the IP stack.
+func (n *NetIf) input(l *link, sdu *pktbuf.Buf, pid uint64) {
+	if err := sixlo.DecompressBuf(sdu, l.peerMAC, n.mac, n.ctxs); err != nil {
 		n.stats.DecompressErr++
+		sdu.Put()
 		return
 	}
 	n.stats.RXPackets++
-	n.stack.Input(pkt, pid)
+	n.stack.InputBuf(sdu, pid)
 }
 
 // QueueDepth returns the number of frames queued toward a neighbor.

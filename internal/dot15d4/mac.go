@@ -10,6 +10,7 @@ import (
 	"fmt"
 
 	"blemesh/internal/phy"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 )
 
@@ -116,7 +117,7 @@ type MAC struct {
 	txq     []*txEntry
 	busy    bool
 	pending *txEntry
-	ackWait *sim.Event
+	ackWait sim.Timer
 
 	stats MACStats
 	onRx  RxFunc
@@ -131,6 +132,9 @@ type txEntry struct {
 	nb      int // CSMA backoff attempts for the current try
 	be      int
 	onDone  func(ok bool)
+	// buf, when non-nil, is the pooled buffer backing frame.Payload; the
+	// MAC owns it and releases it when the entry completes.
+	buf *pktbuf.Buf
 }
 
 // NewMAC creates a MAC bound to a radio on the shared medium.
@@ -170,6 +174,28 @@ func (m *MAC) Send(dst uint64, payload []byte, pid uint64, onDone func(ok bool))
 	m.seq++
 	f := &Frame{AR: dst != BroadcastAddr, Seq: m.seq, Src: m.addr, Dst: dst, Payload: payload, PID: pid}
 	m.txq = append(m.txq, &txEntry{frame: f, be: MinBE, onDone: onDone})
+	m.stats.TXUnique++
+	m.kick()
+	return true
+}
+
+// SendBuf is Send for pooled buffers: the frame transmits straight out of b
+// and the MAC releases it when the frame completes. Ownership of b passes
+// to the MAC in every case — on a false return (queue full) the buffer has
+// already been released.
+func (m *MAC) SendBuf(dst uint64, b *pktbuf.Buf, pid uint64, onDone func(ok bool)) bool {
+	payload := b.Bytes()
+	if len(payload) > MaxPayload {
+		panic(fmt.Sprintf("dot15d4: payload %d exceeds frame budget %d", len(payload), MaxPayload))
+	}
+	if len(m.txq) >= m.QueueCap {
+		m.stats.QueueDrops++
+		b.Put()
+		return false
+	}
+	m.seq++
+	f := &Frame{AR: dst != BroadcastAddr, Seq: m.seq, Src: m.addr, Dst: dst, Payload: payload, PID: pid}
+	m.txq = append(m.txq, &txEntry{frame: f, be: MinBE, onDone: onDone, buf: b})
 	m.stats.TXUnique++
 	m.kick()
 	return true
@@ -243,7 +269,7 @@ func (m *MAC) transmit() {
 			return
 		}
 		m.ackWait = m.s.After(AckWait, func() {
-			m.ackWait = nil
+			m.ackWait = sim.Timer{}
 			e.retries++
 			if e.retries > MaxFrameRetries {
 				m.stats.NoAck++
@@ -257,13 +283,22 @@ func (m *MAC) transmit() {
 	})
 }
 
-// finish completes the in-service frame and services the next.
+// finish completes the in-service frame and services the next. The pooled
+// payload buffer (if any) is released here: receivers have consumed the
+// frame synchronously at PHY delivery time, which always precedes the
+// sender's completion callback.
 func (m *MAC) finish(ok bool) {
 	e := m.pending
 	m.pending = nil
 	m.busy = false
-	if e != nil && e.onDone != nil {
-		e.onDone(ok)
+	if e != nil {
+		if e.onDone != nil {
+			e.onDone(ok)
+		}
+		if e.buf != nil {
+			e.buf.Put()
+			e.buf = nil
+		}
 	}
 	m.kick()
 }
@@ -279,9 +314,9 @@ func (m *MAC) receive(pkt phy.Packet, _ phy.Channel, ok bool) {
 		return
 	}
 	if f.Ack {
-		if m.pending != nil && m.ackWait != nil && f.Seq == m.pending.frame.Seq {
+		if m.pending != nil && m.ackWait.Scheduled() && f.Seq == m.pending.frame.Seq {
 			m.s.Cancel(m.ackWait)
-			m.ackWait = nil
+			m.ackWait = sim.Timer{}
 			m.stats.RXAcks++
 			m.stats.Delivered++
 			m.finish(true)
@@ -309,7 +344,11 @@ func (m *MAC) receive(pkt phy.Packet, _ phy.Channel, ok bool) {
 		})
 	}
 	if m.onRx != nil {
-		m.onRx(f.Src, append([]byte(nil), f.Payload...), f.PID)
+		// The payload is handed up as a view: receivers copy what they
+		// keep (the netif copies into a pooled buffer) before the sender
+		// reuses the backing storage, which cannot happen within this
+		// event — PHY delivery runs before the sender's TX completion.
+		m.onRx(f.Src, f.Payload, f.PID)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"blemesh/internal/coap"
 	"blemesh/internal/ip6"
 	"blemesh/internal/phy"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 	"blemesh/internal/sixlo"
 )
@@ -56,17 +57,42 @@ func (n *NetIf) MTU() int { return 1280 }
 // every address is reachable.
 func (n *NetIf) HasNeighbor(uint64) bool { return true }
 
-// Output implements ip6.NetIf.
-func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
-	frame, err := sixlo.Compress(pkt, n.mac.Addr(), mac, n.ctxs)
-	if err != nil {
+// Output implements ip6.NetIf. Ownership of pkt passes to the adapter in
+// every case. Packets that fit one frame ride their pooled buffer through
+// the MAC untouched; larger ones fall back to the copying fragmenter.
+func (n *NetIf) Output(mac uint64, pkt *pktbuf.Buf, pid uint64) bool {
+	if err := sixlo.CompressBuf(pkt, n.mac.Addr(), mac, n.ctxs); err != nil {
 		n.stats.CompressErr++
+		pkt.Put()
 		return false
 	}
 	n.tag++
-	frags, err := sixlo.Fragment(frame, MaxPayload, n.tag)
+	if pkt.Len()+sixlo.Frag1HeaderLen <= MaxPayload {
+		// Single-frame fast path (Fragment would pass the frame through
+		// unchanged): charge the pktbuf, hand the buffer to the MAC.
+		size := pkt.Len()
+		if !n.stack.Pktbuf.Alloc(size) {
+			n.stats.QueueDrops++
+			pkt.Put()
+			return false
+		}
+		release := func(ok bool) {
+			if !ok {
+				n.stats.TXFailures++
+			}
+			n.stack.Pktbuf.Free(size)
+		}
+		if !n.mac.SendBuf(mac, pkt, pid, release) {
+			n.stats.QueueDrops++
+			release(false)
+		}
+		n.stats.TXPackets++
+		return true
+	}
+	frags, err := sixlo.Fragment(pkt.Bytes(), MaxPayload, n.tag)
 	if err != nil {
 		n.stats.CompressErr++
+		pkt.Put()
 		return false
 	}
 	if len(frags) > 1 {
@@ -79,6 +105,7 @@ func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 	}
 	if !n.stack.Pktbuf.Alloc(total) {
 		n.stats.QueueDrops++
+		pkt.Put()
 		return false
 	}
 	left := len(frags)
@@ -97,26 +124,30 @@ func (n *NetIf) Output(mac uint64, pkt []byte, pid uint64) bool {
 			release(false)
 		}
 	}
+	pkt.Put() // the fragments copied out of the buffer
 	n.stats.TXPackets++
 	return true
 }
 
-// input reassembles (if fragmented), decompresses, and delivers. The
-// provenance ID of the first fragment survives reassembly.
+// input reassembles (if fragmented), decompresses in place, and delivers.
+// The provenance ID of the first fragment survives reassembly.
 func (n *NetIf) input(src uint64, frame []byte, pid uint64) {
+	var b *pktbuf.Buf
 	if sixlo.IsFragment(frame) {
-		frame, pid = n.reasm.InputPID(src, frame, pid)
-		if frame == nil {
+		b, pid = n.reasm.InputBufPID(src, frame, pid)
+		if b == nil {
 			return
 		}
+	} else {
+		b = pktbuf.FromBytes(frame)
 	}
-	pkt, err := sixlo.Decompress(frame, src, n.mac.Addr(), n.ctxs)
-	if err != nil {
+	if err := sixlo.DecompressBuf(b, src, n.mac.Addr(), n.ctxs); err != nil {
 		n.stats.DecompressErr++
+		b.Put()
 		return
 	}
 	n.stats.RXPackets++
-	n.stack.Input(pkt, pid)
+	n.stack.InputBuf(b, pid)
 }
 
 // Node is a complete 802.15.4 node: MAC, IP stack, CoAP endpoint — the m3

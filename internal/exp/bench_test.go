@@ -1,0 +1,11 @@
+package exp
+
+import "testing"
+
+// BenchmarkPacketPathAllocs measures the steady-state heap cost of one
+// end-to-end 7-hop CoAP exchange (request + response). The blemesh-bench
+// gate records allocs/op and bytes/op in BENCH_sim.json; the pooled packet
+// datapath must keep allocs/op at least 50% below the pre-pktbuf baseline.
+func BenchmarkPacketPathAllocs(b *testing.B) {
+	PacketPathBench(b)
+}

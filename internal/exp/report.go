@@ -3,6 +3,7 @@ package exp
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strings"
 
@@ -122,6 +123,19 @@ func (r *Report) String() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// GCFooter renders a one-line garbage-collector summary of the process so
+// far: collection count, cumulative stop-the-world pause, and the cumulative
+// allocation count and volume (runtime.ReadMemStats). The CLI prints it
+// below each report rather than the report recording it: heap behaviour
+// depends on the host runtime, not on the simulation, and folding it into
+// Report would break byte-identical report comparisons across machines.
+func GCFooter() string {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return fmt.Sprintf("-- gc: %d cycles, %.3fms total pause; %d allocs, %.1f MiB allocated --",
+		ms.NumGC, float64(ms.PauseTotalNs)/1e6, ms.Mallocs, float64(ms.TotalAlloc)/(1<<20))
 }
 
 // ValuesTable renders the key numbers sorted by name.

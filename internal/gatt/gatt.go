@@ -133,7 +133,7 @@ type ATT struct {
 	found   []Service
 	next    uint16
 	done    func([]Service, error)
-	timeout *sim.Event
+	timeout sim.Timer
 }
 
 // NewATT installs the fixed-channel mux on an endpoint.

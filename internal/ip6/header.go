@@ -27,18 +27,26 @@ type Header struct {
 	Src, Dst     Addr
 }
 
-// Encode serialises the header followed by payload.
-func (h *Header) Encode(payload []byte) []byte {
-	out := make([]byte, HeaderLen+len(payload))
+// Put serialises the header into out (which must hold HeaderLen bytes) for
+// a payload of payloadLen bytes, without touching the payload itself. This
+// is the allocation-free core used by the pktbuf datapath to materialise a
+// header directly into a buffer's headroom.
+func (h *Header) Put(out []byte, payloadLen int) {
 	out[0] = 0x60 | h.TrafficClass>>4
 	out[1] = h.TrafficClass<<4 | byte(h.FlowLabel>>16)
 	out[2] = byte(h.FlowLabel >> 8)
 	out[3] = byte(h.FlowLabel)
-	binary.BigEndian.PutUint16(out[4:], uint16(len(payload)))
+	binary.BigEndian.PutUint16(out[4:], uint16(payloadLen))
 	out[6] = h.NextHeader
 	out[7] = h.HopLimit
 	copy(out[8:24], h.Src[:])
 	copy(out[24:40], h.Dst[:])
+}
+
+// Encode serialises the header followed by payload.
+func (h *Header) Encode(payload []byte) []byte {
+	out := make([]byte, HeaderLen+len(payload)) // pktbuf:ignore — []byte fallback API
+	h.Put(out, len(payload))
 	copy(out[HeaderLen:], payload)
 	return out
 }
@@ -71,19 +79,28 @@ type UDPHeader struct {
 	Checksum         uint16
 }
 
-// EncodeUDP builds a UDP datagram (header + payload) with a checksum over
-// the IPv6 pseudo-header.
-func EncodeUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) []byte {
-	out := make([]byte, UDPHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(out[0:], srcPort)
-	binary.BigEndian.PutUint16(out[2:], dstPort)
-	binary.BigEndian.PutUint16(out[4:], uint16(len(out)))
-	copy(out[UDPHeaderLen:], payload)
-	ck := checksum(pseudoHeader(src, dst, len(out), ProtoUDP), out)
+// PutUDP fills in the UDP header at the front of dgram (whose remaining
+// bytes are the already-placed payload), computing the pseudo-header
+// checksum without materialising the pseudo-header. The resulting datagram
+// bytes are identical to EncodeUDP's.
+func PutUDP(src, dst Addr, srcPort, dstPort uint16, dgram []byte) {
+	binary.BigEndian.PutUint16(dgram[0:], srcPort)
+	binary.BigEndian.PutUint16(dgram[2:], dstPort)
+	binary.BigEndian.PutUint16(dgram[4:], uint16(len(dgram)))
+	dgram[6], dgram[7] = 0, 0
+	ck := checksumPseudo(src, dst, len(dgram), ProtoUDP, dgram)
 	if ck == 0 {
 		ck = 0xffff
 	}
-	binary.BigEndian.PutUint16(out[6:], ck)
+	binary.BigEndian.PutUint16(dgram[6:], ck)
+}
+
+// EncodeUDP builds a UDP datagram (header + payload) with a checksum over
+// the IPv6 pseudo-header.
+func EncodeUDP(src, dst Addr, srcPort, dstPort uint16, payload []byte) []byte {
+	out := make([]byte, UDPHeaderLen+len(payload)) // pktbuf:ignore — []byte fallback API
+	copy(out[UDPHeaderLen:], payload)
+	PutUDP(src, dst, srcPort, dstPort, out)
 	return out
 }
 
@@ -124,7 +141,7 @@ type ICMPEcho struct {
 
 // EncodeICMPEcho builds an ICMPv6 echo message with checksum.
 func EncodeICMPEcho(src, dst Addr, e ICMPEcho) []byte {
-	out := make([]byte, 8+len(e.Data))
+	out := make([]byte, 8+len(e.Data)) // pktbuf:ignore — cold diagnostic path
 	out[0] = e.Type
 	binary.BigEndian.PutUint16(out[4:], e.ID)
 	binary.BigEndian.PutUint16(out[6:], e.Seq)
@@ -155,12 +172,37 @@ func DecodeICMPEcho(src, dst Addr, b []byte) (ICMPEcho, error) {
 
 // pseudoHeader builds the IPv6 pseudo-header for upper-layer checksums.
 func pseudoHeader(src, dst Addr, upperLen int, proto byte) []byte {
-	ph := make([]byte, 40)
+	ph := make([]byte, 40) // pktbuf:ignore — []byte fallback API
 	copy(ph[0:16], src[:])
 	copy(ph[16:32], dst[:])
 	binary.BigEndian.PutUint32(ph[32:], uint32(upperLen))
 	ph[39] = proto
 	return ph
+}
+
+// checksumPseudo computes the Internet checksum of the IPv6 pseudo-header
+// followed by data, without materialising the pseudo-header. It sums the
+// same byte pairs as checksum(pseudoHeader(...), data) and so produces
+// identical results.
+func checksumPseudo(src, dst Addr, upperLen int, proto byte, data []byte) uint16 {
+	var sum uint32
+	for i := 0; i < 16; i += 2 {
+		sum += uint32(src[i])<<8 | uint32(src[i+1])
+		sum += uint32(dst[i])<<8 | uint32(dst[i+1])
+	}
+	sum += uint32(upperLen >> 16)
+	sum += uint32(upperLen & 0xffff)
+	sum += uint32(proto)
+	for i := 0; i+1 < len(data); i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if len(data)%2 == 1 {
+		sum += uint32(data[len(data)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = sum&0xffff + sum>>16
+	}
+	return ^uint16(sum)
 }
 
 // checksum computes the Internet checksum over the given byte slices.

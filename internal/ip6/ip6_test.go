@@ -5,6 +5,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 )
 
@@ -207,11 +208,12 @@ type fakeIf struct {
 	reject bool
 }
 
-func (f *fakeIf) Output(mac uint64, pkt []byte, pid uint64) bool {
+func (f *fakeIf) Output(mac uint64, pkt *pktbuf.Buf, pid uint64) bool {
+	defer pkt.Put()
 	if f.reject {
 		return false
 	}
-	cp := append([]byte(nil), pkt...)
+	cp := append([]byte(nil), pkt.Bytes()...)
 	f.sent = append(f.sent, struct {
 		mac uint64
 		pkt []byte

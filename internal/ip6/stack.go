@@ -3,6 +3,7 @@ package ip6
 import (
 	"fmt"
 
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 	"blemesh/internal/trace"
 )
@@ -58,12 +59,14 @@ func (p *Pool) Fails() uint64 { return p.fails }
 // NetIf is a network interface below the stack: the BLE 6LoWPAN adapter
 // (internal/core) or the IEEE 802.15.4 adapter (internal/dot15d4).
 type NetIf interface {
-	// Output queues pkt (a full IPv6 packet) for transmission to the
-	// neighbor with link-layer address nextHopMAC, tagged with the
-	// packet's provenance ID (0 = untagged). It returns false when the
-	// interface has no link to that neighbor or no queue space; the
-	// stack counts the drop.
-	Output(nextHopMAC uint64, pkt []byte, pid uint64) bool
+	// Output queues pkt (a full IPv6 packet in a pooled buffer) for
+	// transmission to the neighbor with link-layer address nextHopMAC,
+	// tagged with the packet's provenance ID (0 = untagged). It returns
+	// false when the interface has no link to that neighbor or no queue
+	// space; the stack counts the drop. Output takes ownership of pkt in
+	// every case: the interface releases the buffer (pktbuf.Buf.Put)
+	// whether it queues, transmits, or drops.
+	Output(nextHopMAC uint64, pkt *pktbuf.Buf, pid uint64) bool
 	// HasNeighbor reports whether a usable link to the neighbor exists.
 	HasNeighbor(nextHopMAC uint64) bool
 	// MTU returns the interface MTU (1280 for both our link types).
@@ -296,10 +299,17 @@ func (st *Stack) SendUDP(dst Addr, srcPort, dstPort uint16, payload []byte) erro
 // with the packet's journey through the network.
 func (st *Stack) SendUDPPID(dst Addr, srcPort, dstPort uint16, payload []byte) (uint64, error) {
 	src := st.srcFor(dst)
-	dgram := EncodeUDP(src, dst, srcPort, dstPort, payload)
+	// Build the packet back-to-front in one pooled buffer: payload first,
+	// then the UDP and IPv6 headers prepended into the reserved headroom.
+	b := pktbuf.Get(pktbuf.DefaultHeadroom, len(payload))
+	copy(b.Bytes(), payload)
+	b.Prepend(UDPHeaderLen)
+	PutUDP(src, dst, srcPort, dstPort, b.Bytes())
 	h := Header{NextHeader: ProtoUDP, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
+	pl := b.Len()
+	h.Put(b.Prepend(HeaderLen), pl)
 	pid := st.mintPID()
-	return pid, st.output(h.Encode(dgram), pid)
+	return pid, st.output(b, pid)
 }
 
 // SendEcho emits an ICMPv6 echo request.
@@ -307,7 +317,7 @@ func (st *Stack) SendEcho(dst Addr, id, seq uint16, data []byte) error {
 	src := st.srcFor(dst)
 	icmp := EncodeICMPEcho(src, dst, ICMPEcho{Type: ICMPEchoRequest, ID: id, Seq: seq, Data: data})
 	h := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault, Src: src, Dst: dst}
-	return st.output(h.Encode(icmp), st.mintPID())
+	return st.output(pktbuf.FromBytes(h.Encode(icmp)), st.mintPID())
 }
 
 // srcFor selects the source address for a destination (link-local stays
@@ -319,15 +329,17 @@ func (st *Stack) srcFor(dst Addr) Addr {
 	return st.global
 }
 
-// output routes and transmits a locally originated packet.
-func (st *Stack) output(pkt []byte, pid uint64) error {
-	h, payload, err := Decode(pkt)
+// output routes and transmits a locally originated packet. It takes
+// ownership of b.
+func (st *Stack) output(b *pktbuf.Buf, pid uint64) error {
+	h, payload, err := Decode(b.Bytes())
 	if err != nil {
 		st.stats.HdrErrors++
+		b.Put()
 		return err
 	}
 	if st.tr.Enabled() {
-		st.tr.EmitPkt(st.node, trace.KindPacketTX, pid, 0, "dst=%v len=%d", h.Dst, len(pkt))
+		st.tr.EmitPkt(st.node, trace.KindPacketTX, pid, 0, "dst=%v len=%d", h.Dst, b.Len())
 	}
 	if st.isLocal(h.Dst) {
 		// Loopback delivery.
@@ -335,9 +347,10 @@ func (st *Stack) output(pkt []byte, pid uint64) error {
 			st.tr.EmitPkt(st.node, trace.KindPacketRX, pid, 0, "src=%v loopback", h.Src)
 		}
 		st.deliver(h, payload, pid)
+		b.Put()
 		return nil
 	}
-	if err := st.transmit(h.Dst, pkt, pid); err != nil {
+	if err := st.transmit(h.Dst, b, pid); err != nil {
 		return err
 	}
 	st.stats.Sent++
@@ -345,7 +358,8 @@ func (st *Stack) output(pkt []byte, pid uint64) error {
 }
 
 // transmit resolves the next hop for dst and hands pkt to the right netif.
-func (st *Stack) transmit(dst Addr, pkt []byte, pid uint64) error {
+// It takes ownership of pkt.
+func (st *Stack) transmit(dst Addr, pkt *pktbuf.Buf, pid uint64) error {
 	nh := dst
 	var viaIf NetIf
 	if r, ok := st.lookupRoute(dst); ok {
@@ -356,6 +370,7 @@ func (st *Stack) transmit(dst Addr, pkt []byte, pid uint64) error {
 	}
 	mac, ifc, ok := st.resolve(nh)
 	if !ok {
+		pkt.Put()
 		if viaIf == nil {
 			st.stats.NoRoute++
 			if st.tr.Enabled() {
@@ -388,12 +403,21 @@ func (st *Stack) isLocal(dst Addr) bool {
 }
 
 // Input accepts an IPv6 packet from a netif (already decompressed), tagged
-// with the provenance ID it arrived under (0 = untagged). This is the
-// forwarding plane: local delivery, hop-limit handling, and routing.
+// with the provenance ID it arrived under (0 = untagged). This []byte form
+// copies into a pooled buffer; the datapath hands pooled buffers straight
+// to InputBuf.
 func (st *Stack) Input(pkt []byte, pid uint64) {
+	st.InputBuf(pktbuf.FromBytes(pkt), pid)
+}
+
+// InputBuf is the forwarding plane: local delivery, hop-limit handling, and
+// routing. It takes ownership of b.
+func (st *Stack) InputBuf(b *pktbuf.Buf, pid uint64) {
+	pkt := b.Bytes()
 	h, payload, err := Decode(pkt)
 	if err != nil {
 		st.stats.HdrErrors++
+		b.Put()
 		return
 	}
 	if st.isLocal(h.Dst) {
@@ -402,21 +426,24 @@ func (st *Stack) Input(pkt []byte, pid uint64) {
 			st.tr.EmitPkt(st.node, trace.KindPacketRX, pid, 0, "src=%v len=%d", h.Src, len(pkt))
 		}
 		st.deliver(h, payload, pid)
+		b.Put()
 		return
 	}
-	// Forwarding.
+	// Forwarding: decrement the hop limit in place and pass the same
+	// buffer down — the zero-copy fast path a forwarder spends its life on.
 	if h.HopLimit <= 1 {
 		st.stats.HopLimit++
 		if st.tr.Enabled() {
 			st.tr.EmitPkt(st.node, trace.KindPacketDrop, pid, 0, "cause=hop-limit dst=%v", h.Dst)
 		}
+		b.Put()
 		return
 	}
 	pkt[7] = h.HopLimit - 1
 	if st.tr.Enabled() {
 		st.tr.EmitPkt(st.node, trace.KindPacketFwd, pid, 0, "dst=%v hl=%d", h.Dst, h.HopLimit-1)
 	}
-	if err := st.transmit(h.Dst, pkt, pid); err == nil {
+	if err := st.transmit(h.Dst, b, pid); err == nil {
 		st.stats.Forwarded++
 	}
 }
@@ -445,7 +472,7 @@ func (st *Stack) deliver(h Header, payload []byte, pid uint64) {
 				ICMPEcho{Type: ICMPEchoReply, ID: e.ID, Seq: e.Seq, Data: e.Data})
 			rh := Header{NextHeader: ProtoICMPv6, HopLimit: st.HopLimitDefault,
 				Src: st.srcFor(h.Src), Dst: h.Src}
-			_ = st.output(rh.Encode(reply), st.mintPID())
+			_ = st.output(pktbuf.FromBytes(rh.Encode(reply)), st.mintPID())
 		case ICMPEchoReply:
 			if st.onEcho != nil {
 				st.onEcho(h.Src, e)

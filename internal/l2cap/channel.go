@@ -1,9 +1,11 @@
 package l2cap
 
 import (
+	"encoding/binary"
 	"fmt"
 
 	"blemesh/internal/ble"
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 )
 
@@ -69,15 +71,21 @@ type Channel struct {
 	// final frame of its SDU is acknowledged by the LL.
 	txq []txFrame
 
-	// Reassembly state.
-	sduBuf []byte
+	// Reassembly state: the SDU accumulates in a pooled buffer that is
+	// handed to OnSDUBuf on completion.
+	sduBuf *pktbuf.Buf
 	sduLen int
 	sduPID uint64 // provenance ID of the SDU being reassembled
 
 	stats ChannelStats
 
-	// OnSDU delivers a complete received SDU (an IPv6 packet, for IPSP)
-	// with the provenance ID carried by its first K-frame (0 = untagged).
+	// OnSDUBuf delivers a complete received SDU (an IPv6 packet, for
+	// IPSP) in a pooled buffer with the provenance ID carried by its
+	// first K-frame (0 = untagged). Ownership of the buffer passes to
+	// the handler. When unset, OnSDU receives a copy instead.
+	OnSDUBuf func(sdu *pktbuf.Buf, pid uint64)
+	// OnSDU is the []byte fallback of OnSDUBuf; the slice is the
+	// handler's to keep.
 	OnSDU func(sdu []byte, pid uint64)
 	// OnWritable fires when the channel transitions from blocked to
 	// accepting more SDUs.
@@ -88,7 +96,7 @@ type Channel struct {
 }
 
 type txFrame struct {
-	data   []byte
+	buf    *pktbuf.Buf
 	pid    uint64
 	onDone func()
 }
@@ -115,36 +123,62 @@ func (ch *Channel) Writable() bool {
 	return ch.Open() && len(ch.txq) == 0 && ch.txCredits > 0
 }
 
-// SendSDU segments data into K-frames tagged with the packet's provenance
-// ID (0 = untagged) and queues them for transmission. onDone fires when
-// the LL has delivered (and the peer acknowledged) the final frame.
-// SendSDU returns an error when the channel is not open or the SDU exceeds
-// the peer's MTU; it accepts data even when currently blocked (the frames
-// wait for credits), so callers should gate on Writable.
+// SendSDU is the []byte form of SendSDUBuf: it copies data into a pooled
+// buffer and queues it. Kept for tests and tooling; the datapath calls
+// SendSDUBuf directly.
 func (ch *Channel) SendSDU(data []byte, pid uint64, onDone func()) error {
+	return ch.SendSDUBuf(pktbuf.FromBytes(data), pid, onDone)
+}
+
+// SendSDUBuf segments an SDU into K-frames tagged with the packet's
+// provenance ID (0 = untagged) and queues them for transmission. The
+// 2-byte SDU header is prepended in place; multi-frame SDUs are sub-sliced
+// without copying. onDone fires when the LL has delivered (and the peer
+// acknowledged) the final frame. It returns an error when the channel is
+// not open or the SDU exceeds the peer's MTU; it accepts data even when
+// currently blocked (the frames wait for credits), so callers should gate
+// on Writable. Ownership of data passes to the channel in every case.
+func (ch *Channel) SendSDUBuf(data *pktbuf.Buf, pid uint64, onDone func()) error {
 	if !ch.Open() {
+		data.Put()
 		return fmt.Errorf("l2cap: channel %d not open", ch.scid)
 	}
-	if len(data) > ch.peerMTU {
-		return fmt.Errorf("l2cap: SDU %d exceeds peer MTU %d", len(data), ch.peerMTU)
+	if data.Len() > ch.peerMTU {
+		n := data.Len()
+		data.Put()
+		return fmt.Errorf("l2cap: SDU %d exceeds peer MTU %d", n, ch.peerMTU)
 	}
-	frames := segment(data, ch.peerMPS)
-	for i, f := range frames {
-		tf := txFrame{data: f, pid: pid}
-		if i == len(frames)-1 {
-			tf.onDone = onDone
+	sduLen := data.Len()
+	hd := data.Prepend(sduHeaderLen)
+	hd[0] = byte(sduLen)
+	hd[1] = byte(sduLen >> 8)
+	mps := ch.peerMPS
+	if data.Len() <= mps {
+		ch.txq = append(ch.txq, txFrame{buf: data, pid: pid, onDone: onDone})
+	} else {
+		total := data.Len()
+		for lo := 0; lo < total; lo += mps {
+			hi := min(lo+mps, total)
+			tf := txFrame{buf: data.Slice(lo, hi), pid: pid}
+			if hi == total {
+				tf.onDone = onDone
+			}
+			ch.txq = append(ch.txq, tf)
 		}
-		ch.txq = append(ch.txq, tf)
+		data.Put()
 	}
 	ch.stats.SDUsSent++
 	ch.drain()
 	return nil
 }
 
-// segment splits an SDU into K-frames: the first carries the 2-byte SDU
-// length prefix, every frame carries at most mps payload bytes.
+// segment is the reference segmentation: it splits an SDU into K-frames
+// ([][]byte), the first carrying the 2-byte SDU length prefix, every frame
+// at most mps payload bytes. SendSDUBuf produces the same frame bytes by
+// sub-slicing one buffer; tests use segment to cross-check that and to
+// drive receiveFrame directly.
 func segment(sdu []byte, mps int) [][]byte {
-	first := make([]byte, sduHeaderLen, sduHeaderLen+min(len(sdu), mps-sduHeaderLen))
+	first := make([]byte, sduHeaderLen, sduHeaderLen+min(len(sdu), mps-sduHeaderLen)) // pktbuf:ignore — []byte fallback API
 	first[0] = byte(len(sdu))
 	first[1] = byte(len(sdu) >> 8)
 	n := min(len(sdu), mps-sduHeaderLen)
@@ -167,8 +201,9 @@ func (ch *Channel) drain() {
 			return
 		}
 		f := ch.txq[0]
-		if !ch.ep.sendPDU(ch.dcid, f.data, f.pid, f.onDone) {
-			// LL pool exhausted: retry when the link drains.
+		if !ch.ep.sendPDU(ch.dcid, f.buf, f.pid, f.onDone) {
+			// LL pool exhausted: the frame stays queued untouched;
+			// retry when the link drains.
 			ch.stats.Stalls++
 			ch.ep.scheduleKick()
 			return
@@ -210,19 +245,27 @@ func (ch *Channel) receiveFrame(payload []byte, pid uint64) {
 			ch.stats.Violations++
 			return
 		}
-		ch.sduBuf = make([]byte, 0, ch.sduLen)
+		ch.sduBuf = pktbuf.New(pktbuf.DefaultHeadroom, ch.sduLen)
 		ch.sduPID = pid
 		payload = payload[sduHeaderLen:]
 	}
-	ch.sduBuf = append(ch.sduBuf, payload...)
-	if len(ch.sduBuf) >= ch.sduLen {
-		sdu := ch.sduBuf[:ch.sduLen]
+	ch.sduBuf.AppendBytes(payload)
+	if ch.sduBuf.Len() >= ch.sduLen {
+		sdu := ch.sduBuf
+		sdu.Trim(ch.sduLen)
 		pid := ch.sduPID
 		ch.sduBuf = nil
 		ch.sduPID = 0
 		ch.stats.SDUsReceived++
-		if ch.OnSDU != nil {
-			ch.OnSDU(sdu, pid)
+		switch {
+		case ch.OnSDUBuf != nil:
+			ch.OnSDUBuf(sdu, pid)
+		case ch.OnSDU != nil:
+			cp := append([]byte(nil), sdu.Bytes()...) // pktbuf:ignore — []byte fallback API
+			sdu.Put()
+			ch.OnSDU(cp, pid)
+		default:
+			sdu.Put()
 		}
 	}
 	ch.maybeReplenish()
@@ -276,8 +319,13 @@ func (ch *Channel) teardown() {
 		if f.onDone != nil {
 			f.onDone()
 		}
+		f.buf.Put()
 	}
 	ch.txq = nil
+	if ch.sduBuf != nil {
+		ch.sduBuf.Put()
+		ch.sduBuf = nil
+	}
 	delete(ch.ep.channels, ch.scid)
 	if ch.OnClose != nil {
 		ch.OnClose()
@@ -295,9 +343,14 @@ type Endpoint struct {
 	servers  map[uint16]serverEntry
 	pending  map[byte]pendingDial // signaling id → dial state
 
-	// LL-level PDU reassembly (a PDU may span several LL fragments).
-	rxBuf []byte
-	rxPID uint64 // provenance ID of the PDU being reassembled
+	// LL-level PDU reassembly (a PDU may span several LL fragments). The
+	// buffer's capacity is reused across PDUs; rxActive marks a PDU in
+	// progress. Routed payload views alias rxBuf, which is safe because
+	// every receiver consumes (or copies) them synchronously and the
+	// buffer is only rewritten by a later LL fragment event.
+	rxBuf    []byte
+	rxActive bool
+	rxPID    uint64 // provenance ID of the PDU being reassembled
 
 	// Fixed-channel handlers (ATT rides the fixed CID 0x0004).
 	fixed map[uint16]func(payload []byte)
@@ -420,33 +473,57 @@ func (ep *Endpoint) scheduleKick() {
 	})
 }
 
-// sendPDU fragments an L2CAP PDU into LL data packets, tagging each
-// fragment with the carried packet's provenance ID. It returns false
-// (sending nothing) when the LL pool cannot hold the whole PDU.
-func (ep *Endpoint) sendPDU(cid uint16, payload []byte, pid uint64, onDone func()) bool {
+// sendPDU prepends the basic header to an L2CAP PDU in place and hands it
+// to the LL as one or more data fragments, tagging each with the carried
+// packet's provenance ID. It returns false — leaving b untouched so the
+// caller can retry with the same buffer — when the LL pool cannot hold the
+// whole PDU; on success, ownership of b passes to the LL.
+func (ep *Endpoint) sendPDU(cid uint16, b *pktbuf.Buf, pid uint64, onDone func()) bool {
 	if !ep.conn.Usable() {
 		return false
 	}
-	full := encodePDU(cid, payload)
-	if ep.conn.PoolFree() < len(full) {
+	total := b.Len() + basicHeaderLen
+	if ep.conn.PoolFree() < total {
 		return false
 	}
-	llid := ble.LLIDDataStart
-	for len(full) > 0 {
-		n := min(len(full), ble.MaxDataLen)
-		frag := full[:n:n]
-		full = full[n:]
-		var cb func()
-		if len(full) == 0 {
-			cb = onDone
-		}
-		if !ep.conn.Send(llid, frag, pid, cb) {
+	hdr := b.Prepend(basicHeaderLen)
+	binary.LittleEndian.PutUint16(hdr[0:], uint16(total-basicHeaderLen))
+	binary.LittleEndian.PutUint16(hdr[2:], cid)
+	if b.Len() <= ble.MaxDataLen {
+		// Single LL fragment: the common IPSP case, zero-copy.
+		if !ep.conn.SendBuf(ble.LLIDDataStart, b, pid, onDone) {
 			// Cannot happen after the PoolFree check in a
 			// single-threaded simulation, but fail loudly if the
 			// invariant breaks.
 			panic("l2cap: LL rejected fragment after pool check")
 		}
+		return true
+	}
+	llid := ble.LLIDDataStart
+	full := b.Len()
+	for lo := 0; lo < full; lo += ble.MaxDataLen {
+		hi := min(lo+ble.MaxDataLen, full)
+		var cb func()
+		if hi == full {
+			cb = onDone
+		}
+		if !ep.conn.SendBuf(llid, b.Slice(lo, hi), pid, cb) {
+			panic("l2cap: LL rejected fragment after pool check")
+		}
 		llid = ble.LLIDDataCont
+	}
+	b.Put()
+	return true
+}
+
+// sendPDUBytes is sendPDU for []byte payloads (signaling, fixed channels):
+// the payload is copied into a pooled buffer, which is released again if
+// the send cannot proceed.
+func (ep *Endpoint) sendPDUBytes(cid uint16, payload []byte, pid uint64, onDone func()) bool {
+	b := pktbuf.FromBytes(payload)
+	if !ep.sendPDU(cid, b, pid, onDone) {
+		b.Put()
+		return false
 	}
 	return true
 }
@@ -458,7 +535,7 @@ func (ep *Endpoint) sendSignal(s signal) {
 	if ep.conn == nil || !ep.conn.Usable() {
 		return
 	}
-	if !ep.sendPDU(CIDSignaling, encodeSignal(s), 0, nil) {
+	if !ep.sendPDUBytes(CIDSignaling, encodeSignal(s), 0, nil) {
 		ep.s.Post(2*sim.Millisecond, func() { ep.sendSignal(s) })
 	}
 }
@@ -469,13 +546,14 @@ func (ep *Endpoint) sendSignal(s signal) {
 func (ep *Endpoint) onLL(llid ble.LLID, payload []byte, pid uint64) {
 	switch llid {
 	case ble.LLIDDataStart:
-		if len(ep.rxBuf) > 0 {
+		if ep.rxActive && len(ep.rxBuf) > 0 {
 			ep.stats.StartMidPDU++
 		}
 		ep.rxBuf = append(ep.rxBuf[:0], payload...)
+		ep.rxActive = true
 		ep.rxPID = pid
 	case ble.LLIDDataCont:
-		if ep.rxBuf == nil {
+		if !ep.rxActive {
 			ep.stats.ContWithoutStart++
 			return // continuation without a start: drop
 		}
@@ -488,7 +566,7 @@ func (ep *Endpoint) onLL(llid ble.LLID, payload []byte, pid uint64) {
 	}
 	p, err := decodePDU(ep.rxBuf)
 	pduPID := ep.rxPID
-	ep.rxBuf = nil
+	ep.rxActive = false
 	ep.rxPID = 0
 	if err != nil {
 		ep.stats.DecodeErrors++
@@ -610,7 +688,7 @@ func (ep *Endpoint) SendFixed(cid uint16, payload []byte) {
 	if ep.conn == nil || !ep.conn.Usable() {
 		return
 	}
-	if !ep.sendPDU(cid, payload, 0, nil) {
+	if !ep.sendPDUBytes(cid, payload, 0, nil) {
 		ep.s.Post(2*sim.Millisecond, func() { ep.SendFixed(cid, payload) })
 	}
 }

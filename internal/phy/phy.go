@@ -49,7 +49,10 @@ type Packet struct {
 	Payload any
 }
 
-// transmission is one in-flight packet on a channel.
+// transmission is one in-flight packet on a channel. Transmissions are
+// recycled through the medium's free list; fire is the prebound
+// end-of-transmission callback created once per object so the steady-state
+// TX path schedules without allocating.
 type transmission struct {
 	pkt       Packet
 	ch        Channel
@@ -57,6 +60,10 @@ type transmission struct {
 	end       sim.Time
 	corrupted bool
 	aborted   bool
+	sender    *Radio
+	done      func()
+	fire      func()
+	next      *transmission
 }
 
 // Receiver is the callback a radio installs to get end-of-packet
@@ -115,6 +122,32 @@ type Medium struct {
 	radios []*Radio
 	interf []Interference
 	stats  Stats
+	freeTx *transmission // recycled transmissions
+}
+
+// getTx takes a transmission from the free list (or allocates one) and
+// resets its per-flight state. The fire closure is created once per object
+// and survives recycling.
+func (m *Medium) getTx() *transmission {
+	tx := m.freeTx
+	if tx != nil {
+		m.freeTx = tx.next
+		tx.next = nil
+		tx.corrupted, tx.aborted = false, false
+		return tx
+	}
+	tx = &transmission{}
+	tx.fire = func() {
+		m.finish(tx.sender, tx)
+		done := tx.done
+		tx.pkt, tx.sender, tx.done = Packet{}, nil, nil
+		tx.next = m.freeTx
+		m.freeTx = tx
+		if done != nil {
+			done()
+		}
+	}
+	return tx
 }
 
 // NewMedium creates an empty medium on the given simulation.
@@ -273,7 +306,9 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 	now := r.medium.sim.Now()
 	r.txEnd = now + airtime
 	m := r.medium
-	tx := &transmission{pkt: pkt, ch: ch, start: now, end: now + airtime}
+	tx := m.getTx()
+	tx.pkt, tx.ch, tx.start, tx.end = pkt, ch, now, now+airtime
+	tx.sender, tx.done = r, done
 	r.curTX = tx
 	m.stats.Transmissions++
 
@@ -311,12 +346,7 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 		}
 	}
 
-	m.sim.PostAt(tx.end, func() {
-		m.finish(r, tx)
-		if done != nil {
-			done()
-		}
-	})
+	m.sim.PostAt(tx.end, tx.fire)
 }
 
 // AbortTX cuts a transmission short: the carrier stops, the partial packet

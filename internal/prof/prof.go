@@ -1,0 +1,83 @@
+// Package prof wires the standard runtime profilers into the command-line
+// tools. Every command registers the same three flags (-cpuprofile,
+// -memprofile, -mutexprofile); the resulting files load directly into
+// `go tool pprof`. Profiling is strictly observational — it never alters
+// simulation behaviour, so profiled runs stay byte-identical to plain ones.
+package prof
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Flags holds the profile destinations parsed from the command line.
+type Flags struct {
+	cpu   *string
+	mem   *string
+	mutex *string
+}
+
+// Register adds the profiling flags to fs (use flag.CommandLine for
+// commands that parse the global flag set).
+func Register(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		cpu:   fs.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem:   fs.String("memprofile", "", "write a heap profile to this file at exit"),
+		mutex: fs.String("mutexprofile", "", "write a mutex-contention profile to this file at exit"),
+	}
+}
+
+// Start begins the requested profiles and returns the function that
+// finalises them; call it (typically via defer) before the process exits.
+// Errors are fatal: a misspelled profile path should not silently discard
+// the profile of an hour-long run.
+func (f *Flags) Start() (stop func()) {
+	var cpuFile *os.File
+	if *f.cpu != "" {
+		var err error
+		cpuFile, err = os.Create(*f.cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			fatal(err)
+		}
+	}
+	if *f.mutex != "" {
+		runtime.SetMutexProfileFraction(1)
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if *f.mem != "" {
+			runtime.GC() // materialise the live set before snapshotting
+			writeProfile("heap", *f.mem)
+		}
+		if *f.mutex != "" {
+			writeProfile("mutex", *f.mutex)
+		}
+	}
+}
+
+func writeProfile(name, path string) {
+	out, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer out.Close()
+	if err := pprof.Lookup(name).WriteTo(out, 0); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prof:", err)
+	os.Exit(1)
+}

@@ -55,12 +55,12 @@ func (c *Clock) ToLocal(simd Duration) Duration {
 }
 
 // AfterLocal schedules fn after a delay measured on this node's local clock.
-func (c *Clock) AfterLocal(local Duration, fn func()) *Event {
+func (c *Clock) AfterLocal(local Duration, fn func()) Timer {
 	return c.sim.After(c.ToSim(local), fn)
 }
 
 // AtLocal schedules fn at an absolute local timestamp.
-func (c *Clock) AtLocal(local Time, fn func()) *Event {
+func (c *Clock) AtLocal(local Time, fn func()) Timer {
 	d := local - c.Now()
 	if d < 0 {
 		d = 0

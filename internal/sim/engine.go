@@ -46,9 +46,12 @@ func ParseEngine(name string) (Engine, error) {
 // ordered by (when, seq); push accepts events with when >= the time of the
 // last pop, and pop returns the minimum-ordered event whose timestamp is at
 // most limit, or nil.
+// cancel reports whether the event was removed from the queue's storage
+// eagerly (true) or will be dropped lazily on a later visit (false); only
+// eagerly removed events may be recycled by the caller.
 type queue interface {
 	push(e *Event)
 	pop(limit Time) *Event
-	cancel(e *Event)
+	cancel(e *Event) bool
 	len() int
 }

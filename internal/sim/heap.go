@@ -48,6 +48,6 @@ func (h *heapQueue) pop(limit Time) *Event {
 	return heap.Pop(&h.q).(*Event)
 }
 
-func (h *heapQueue) cancel(e *Event) { heap.Remove(&h.q, e.idx) }
+func (h *heapQueue) cancel(e *Event) bool { heap.Remove(&h.q, e.idx); return true }
 
 func (h *heapQueue) len() int { return len(h.q) }

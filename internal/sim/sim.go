@@ -58,26 +58,45 @@ func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
 func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
 
 // Event is a scheduled callback. Events are single-shot; rescheduling is the
-// caller's responsibility. The zero Event is invalid.
+// caller's responsibility. Event objects are owned by the Sim and recycled
+// through a free list after they fire or are cancelled; external code holds
+// them only through the generation-checked Timer handle.
 type Event struct {
 	when Time
 	seq  uint64 // tie-breaker: FIFO among events with equal timestamps
 	fn   func()
-	// idx is the heap index under EngineHeap. Under EngineWheel it is only
-	// a queued flag: 0 while queued, -1 once fired or cancelled (cancelled
-	// events stay in their slot and are dropped lazily when visited).
+	// idx is the heap index under EngineHeap. Under EngineWheel it encodes
+	// the slot (level<<6|slot, or wheelOverflow): >= 0 while queued, -1
+	// once fired or cancelled.
 	idx int
-	// next links pooled events on the Sim free list; pooled events are the
-	// handle-free ones created by Post/PostAt, recycled after firing.
-	next   *Event
-	pooled bool
+	// next links recycled events on the Sim free list.
+	next *Event
+	// gen increments every time the event fires or is cancelled, so stale
+	// Timer handles to a recycled Event can never cancel its new tenant.
+	gen uint64
 }
 
-// When returns the timestamp the event is (or was) scheduled for.
-func (e *Event) When() Time { return e.when }
+// Timer is a cancellable handle to a scheduled event. It is a small value —
+// copying it is free and allocation-free — and it stays safe after the
+// event fires: the generation check makes Cancel and Scheduled no-ops on
+// handles whose event was recycled for a later timer. The zero Timer is
+// valid and refers to nothing.
+type Timer struct {
+	e   *Event
+	gen uint64
+}
 
-// Scheduled reports whether the event is still pending in the queue.
-func (e *Event) Scheduled() bool { return e != nil && e.idx >= 0 }
+// Scheduled reports whether the timer's event is still pending.
+func (t Timer) Scheduled() bool { return t.e != nil && t.e.gen == t.gen && t.e.idx >= 0 }
+
+// When returns the timestamp the timer is scheduled for, or 0 if the timer
+// is no longer pending.
+func (t Timer) When() Time {
+	if !t.Scheduled() {
+		return 0
+	}
+	return t.e.when
+}
 
 // Sim is a discrete-event simulation. It is not safe for concurrent use;
 // the engine is strictly single-threaded by design. Independent Sim
@@ -139,16 +158,28 @@ func (s *Sim) schedule(e *Event, when Time, fn func()) {
 	s.q.push(e)
 }
 
+// getEvent takes an Event from the free list, or allocates one.
+func (s *Sim) getEvent() *Event {
+	e := s.free
+	if e != nil {
+		s.free = e.next
+		e.next = nil
+		return e
+	}
+	return &Event{}
+}
+
 // At schedules fn to run at absolute time when. It returns a handle that can
-// cancel the event.
-func (s *Sim) At(when Time, fn func()) *Event {
-	e := &Event{}
+// cancel the event. The backing Event comes from the same free list as
+// Post's, so arming timers is allocation-free in steady state.
+func (s *Sim) At(when Time, fn func()) Timer {
+	e := s.getEvent()
 	s.schedule(e, when, fn)
-	return e
+	return Timer{e: e, gen: e.gen}
 }
 
 // After schedules fn to run delay from now.
-func (s *Sim) After(delay Duration, fn func()) *Event {
+func (s *Sim) After(delay Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -156,10 +187,7 @@ func (s *Sim) After(delay Duration, fn func()) *Event {
 }
 
 // Post schedules fn to run delay from now, like After, but returns no
-// cancellation handle. Handle-free events are recycled through an internal
-// free list, so hot scheduling paths (PHY transmission ends, connection
-// events, retry kicks) do not allocate per event. Use After when the caller
-// needs to Cancel.
+// cancellation handle. Use After when the caller needs to Cancel.
 func (s *Sim) Post(delay Duration, fn func()) {
 	if delay < 0 {
 		delay = 0
@@ -169,42 +197,44 @@ func (s *Sim) Post(delay Duration, fn func()) {
 
 // PostAt is Post with an absolute timestamp.
 func (s *Sim) PostAt(when Time, fn func()) {
-	e := s.free
-	if e != nil {
-		s.free = e.next
-		e.next = nil
-	} else {
-		e = &Event{pooled: true}
-	}
-	s.schedule(e, when, fn)
+	s.schedule(s.getEvent(), when, fn)
 }
 
-// Cancel removes a pending event from the queue. Cancelling an event that
-// already fired or was cancelled is a no-op.
-func (s *Sim) Cancel(e *Event) {
-	if e == nil || e.idx < 0 {
+// Cancel removes a pending timer from the queue. Cancelling a timer that
+// already fired, was cancelled, or is the zero Timer is a no-op.
+func (s *Sim) Cancel(t Timer) {
+	e := t.e
+	if e == nil || e.gen != t.gen || e.idx < 0 {
 		return
 	}
-	s.q.cancel(e)
+	eager := s.q.cancel(e)
 	e.idx = -1
 	e.fn = nil
+	e.gen++
+	if eager {
+		// The queue no longer references the event; recycle it. (Lazily
+		// dropped events — the wheel's overflow heap — stay referenced by
+		// the queue and are left to the garbage collector.)
+		e.next = s.free
+		s.free = e
+	}
 }
 
 // Stop makes the current Run call return after the event in progress
 // completes. Pending events stay queued.
 func (s *Sim) Stop() { s.stopped = true }
 
-// fire executes a popped event and recycles it if pooled. The callback is
-// read before recycling so fn may itself call PostAt and reuse the slot.
+// fire executes a popped event and recycles it. The callback is read before
+// recycling so fn may itself schedule and reuse the slot; the generation
+// bump invalidates any Timer handle still pointing here.
 func (s *Sim) fire(e *Event) {
 	s.now = e.when
 	fn := e.fn
 	e.fn = nil
+	e.gen++
 	s.processed++
-	if e.pooled {
-		e.next = s.free
-		s.free = e
-	}
+	e.next = s.free
+	s.free = e
 	fn()
 }
 

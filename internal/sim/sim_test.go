@@ -69,7 +69,7 @@ func TestCancel(t *testing.T) {
 func TestCancelMiddleOfHeap(t *testing.T) {
 	s := New(1)
 	var got []int
-	var events []*Event
+	var events []Timer
 	for i := 0; i < 50; i++ {
 		i := i
 		events = append(events, s.At(Time(i+1)*Millisecond, func() { got = append(got, i) }))

@@ -39,10 +39,15 @@ type wheelLevel struct {
 // cursor's own level-0 slot; the per-slot (when, seq) min-scan keeps them
 // correctly ordered.
 type wheelQueue struct {
-	cur   int64 // current tick; no live event has a smaller tick
-	live  int
-	level [wheelLevels]wheelLevel
-	over  overflowHeap
+	cur  int64 // current tick; no live event has a smaller tick
+	live int
+	// levelOcc summarises per-level occupancy: bit l is set while level l
+	// has at least one occupied slot. Sparse queues (a handful of pending
+	// timers spread over six levels — the cancel-heavy ACK pattern) pop
+	// without probing empty levels at all.
+	levelOcc uint8
+	level    [wheelLevels]wheelLevel
+	over     overflowHeap
 }
 
 func newWheelQueue() *wheelQueue { return &wheelQueue{} }
@@ -76,6 +81,7 @@ func (w *wheelQueue) place(e *Event) {
 			e.idx = l<<wheelBits | i
 			lv.slot[i] = append(lv.slot[i], e)
 			lv.occupied |= 1 << uint(i)
+			w.levelOcc |= 1 << uint(l)
 			return
 		}
 	}
@@ -120,11 +126,9 @@ func (w *wheelQueue) pop(limit Time) *Event {
 		// higher levels are clear — the bit tests below do.
 		fast := t0 == w.cur && w.over.n() == 0
 		if fast {
-			for l := 1; l < wheelLevels; l++ {
+			for occ := w.levelOcc &^ 1; occ != 0; occ &= occ - 1 {
+				l := bits.TrailingZeros8(occ)
 				lv := &w.level[l]
-				if lv.occupied == 0 {
-					continue
-				}
 				iL := int(w.cur>>uint(wheelBits*l)) & wheelMask
 				if lv.occupied&(1<<uint(iL)) != 0 {
 					fast = false
@@ -133,21 +137,36 @@ func (w *wheelQueue) pop(limit Time) *Event {
 			}
 		}
 		if !fast {
-			bestBase := int64(math.MaxInt64)
+			// nextBase tracks the smallest window base of every occupied
+			// higher-level slot other than the chosen one (including the
+			// runner-up slot within the chosen level). It lower-bounds the
+			// tick of every event outside the chosen slot and enables the
+			// singleton direct-pop below.
+			bestBase, nextBase := int64(math.MaxInt64), int64(math.MaxInt64)
 			bestL, bestJ := -1, -1
-			for l := 1; l < wheelLevels; l++ {
+			for occ := w.levelOcc &^ 1; occ != 0; occ &= occ - 1 {
+				l := bits.TrailingZeros8(occ)
 				lv := &w.level[l]
-				if lv.occupied == 0 {
-					continue
-				}
 				shift := uint(wheelBits * l)
 				q := w.cur >> shift
 				iL := int(q) & wheelMask
 				r := lv.occupied>>uint(iL) | lv.occupied<<uint(wheelSlots-iL)
-				j := (iL + bits.TrailingZeros64(r)) & wheelMask
-				base := (q + int64((j-iL)&wheelMask)) << shift
+				tz := bits.TrailingZeros64(r)
+				j := (iL + tz) & wheelMask
+				base := (q + int64(tz)) << shift
 				if base < bestBase {
+					if bestBase < nextBase {
+						nextBase = bestBase
+					}
 					bestBase, bestL, bestJ = base, l, j
+					if r2 := r &^ (1 << uint(tz)); r2 != 0 {
+						b2 := (q + int64(bits.TrailingZeros64(r2))) << shift
+						if b2 < nextBase {
+							nextBase = b2
+						}
+					}
+				} else if base < nextBase {
+					nextBase = base
 				}
 			}
 			for w.over.n() > 0 && w.over.min().idx < 0 {
@@ -176,17 +195,48 @@ func (w *wheelQueue) pop(limit Time) *Event {
 				continue
 			}
 			if bestL >= 0 && bestBase <= t0 {
+				lv := &w.level[bestL]
+				evs := lv.slot[bestJ]
+				// Singleton direct pop: a slot holding one live event whose
+				// tick is strictly below the level-0 candidate, every other
+				// slot's window base, and the overflow front is the global
+				// (when, seq) minimum — no tie is possible across a strict
+				// tick gap, so the cascade can be skipped. This is the
+				// schedule-then-cancel steady state: a lone pending tick
+				// timer parked one level up.
+				if len(evs) == 1 {
+					e := evs[0]
+					if tk := tickOf(e.when); e.idx >= 0 &&
+						tk < t0 && tk < nextBase && tk < ovTick {
+						if e.when > limit {
+							return nil
+						}
+						evs[0] = nil
+						lv.slot[bestJ] = evs[:0]
+						lv.occupied &^= 1 << uint(bestJ)
+						if lv.occupied == 0 {
+							w.levelOcc &^= 1 << uint(bestL)
+						}
+						if tk > w.cur {
+							w.cur = tk
+						}
+						e.idx = -1
+						w.live--
+						return e
+					}
+				}
 				// Advancing the cursor to the slot's window start is safe:
 				// bestBase is a lower bound on every live event's tick.
 				if bestBase > w.cur {
 					w.cur = bestBase
 				}
-				lv := &w.level[bestL]
-				evs := lv.slot[bestJ]
 				// Keep the slot's backing array (re-placement always
 				// descends to a lower level, so it cannot append here).
 				lv.slot[bestJ] = evs[:0]
 				lv.occupied &^= 1 << uint(bestJ)
+				if lv.occupied == 0 {
+					w.levelOcc &^= 1 << uint(bestL)
+				}
 				for k, e := range evs {
 					evs[k] = nil
 					if e.idx < 0 {
@@ -221,6 +271,9 @@ func (w *wheelQueue) pop(limit Time) *Event {
 		if n == 0 {
 			lv0.slot[s0] = slot[:0]
 			lv0.occupied &^= 1 << uint(s0)
+			if lv0.occupied == 0 {
+				w.levelOcc &^= 1
+			}
 			continue
 		}
 		e := slot[mi]
@@ -233,6 +286,9 @@ func (w *wheelQueue) pop(limit Time) *Event {
 		lv0.slot[s0] = slot[:n-1]
 		if n == 1 {
 			lv0.occupied &^= 1 << uint(s0)
+			if lv0.occupied == 0 {
+				w.levelOcc &^= 1
+			}
 		}
 		if tk := tickOf(e.when); tk > w.cur {
 			w.cur = tk
@@ -243,13 +299,13 @@ func (w *wheelQueue) pop(limit Time) *Event {
 	}
 }
 
-func (w *wheelQueue) cancel(e *Event) {
+func (w *wheelQueue) cancel(e *Event) bool {
 	loc := e.idx
 	if loc >= wheelOverflow {
 		// Overflow entries are dropped lazily at the next peek, once the
 		// Sim has marked them dead.
 		w.live--
-		return
+		return false
 	}
 	lv := &w.level[loc>>wheelBits]
 	i := loc & wheelMask
@@ -264,9 +320,12 @@ func (w *wheelQueue) cancel(e *Event) {
 			lv.slot[i] = slot[:last]
 			if last == 0 {
 				lv.occupied &^= 1 << uint(i)
+				if lv.occupied == 0 {
+					w.levelOcc &^= 1 << uint(loc>>wheelBits)
+				}
 			}
 			w.live--
-			return
+			return true
 		}
 	}
 	// live is decremented only on removal: a miss here means e.idx went

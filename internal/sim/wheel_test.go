@@ -14,7 +14,7 @@ func engineTrace(t *testing.T, engine Engine, seed int64, nRoot int) []([2]int64
 	s := NewWithEngine(seed, engine)
 	rng := rand.New(rand.NewSource(seed * 7919))
 	var fired []([2]int64)
-	var pendingCancel []*Event
+	var pendingCancel []Timer
 
 	var spawn func(depth int)
 	spawn = func(depth int) {
@@ -190,7 +190,7 @@ func TestWheelSameTickOrdering(t *testing.T) {
 func TestWheelCancelLazy(t *testing.T) {
 	s := New(5)
 	var fired int
-	var evs []*Event
+	var evs []Timer
 	delays := []Duration{0, 500, Millisecond, Second, Minute, Hour, 25 * Hour}
 	for _, d := range delays {
 		evs = append(evs, s.After(d, func() { fired++ }))

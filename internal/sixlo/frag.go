@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"blemesh/internal/pktbuf"
 	"blemesh/internal/sim"
 )
 
@@ -14,9 +15,13 @@ const (
 	maskFrag      byte = 0xF8
 )
 
-// frag1HeaderLen and fragNHeaderLen are the fragment header sizes.
+// Frag1HeaderLen and fragNHeaderLen are the fragment header sizes.
+// Frag1HeaderLen is exported so link adapters can test whether a frame
+// needs fragmenting at all (Fragment passes it through untouched when
+// frame+header fits the MTU) and take a zero-copy path.
 const (
-	frag1HeaderLen = 4
+	Frag1HeaderLen = 4
+	frag1HeaderLen = Frag1HeaderLen
 	fragNHeaderLen = 5
 )
 
@@ -41,7 +46,7 @@ func Fragment(frame []byte, mtu int, tag uint16) ([][]byte, error) {
 	var out [][]byte
 	// First fragment: payload multiple of 8.
 	first := (mtu - frag1HeaderLen) &^ 7
-	hdr := make([]byte, frag1HeaderLen, frag1HeaderLen+first)
+	hdr := make([]byte, frag1HeaderLen, frag1HeaderLen+first) // pktbuf:ignore — []byte fallback API
 	hdr[0] = dispatchFrag1 | byte(len(frame)>>8)
 	hdr[1] = byte(len(frame))
 	binary.BigEndian.PutUint16(hdr[2:], tag)
@@ -55,7 +60,7 @@ func Fragment(frame []byte, mtu int, tag uint16) ([][]byte, error) {
 			n = len(frame) - off
 			last = true
 		}
-		h := make([]byte, fragNHeaderLen, fragNHeaderLen+n)
+		h := make([]byte, fragNHeaderLen, fragNHeaderLen+n) // pktbuf:ignore — []byte fallback API
 		h[0] = dispatchFragN | byte(len(frame)>>8)
 		h[1] = byte(len(frame))
 		binary.BigEndian.PutUint16(h[2:], tag)
@@ -78,10 +83,11 @@ func IsFragment(frame []byte) bool {
 	return d == dispatchFrag1 || d == dispatchFragN
 }
 
-// reassembly is one in-progress datagram.
+// reassembly is one in-progress datagram, accumulated in a pooled buffer
+// that is handed to the stack on completion (or released on expiry).
 type reassembly struct {
 	size    int
-	buf     []byte
+	buf     *pktbuf.Buf
 	have    map[int]bool // offsets received (8-byte units)
 	gotLen  int
 	expires sim.Time
@@ -123,9 +129,15 @@ func NewReassembler(s *sim.Sim, maxSlots int) *Reassembler {
 func (r *Reassembler) Stats() ReassemblerStats { return r.stats }
 
 // Reset drops every partial datagram, as a node reboot clearing its
-// reassembly buffers. Expiry timers of dropped entries find the fresh table
-// empty and do nothing. Counters survive (observer state).
-func (r *Reassembler) Reset() { r.table = make(map[uint64]*reassembly) }
+// reassembly buffers: every partial buffer returns to the pool. Expiry
+// timers of dropped entries find the fresh table empty and do nothing.
+// Counters survive (observer state).
+func (r *Reassembler) Reset() {
+	for k, re := range r.table {
+		re.buf.Put()
+		delete(r.table, k)
+	}
+}
 
 // Input processes one fragment from the given sender. When the fragment
 // completes a datagram, the full frame is returned; otherwise nil.
@@ -134,10 +146,24 @@ func (r *Reassembler) Input(sender uint64, frag []byte) []byte {
 	return frame
 }
 
-// InputPID is Input with provenance: the pid of the fragment that opens a
-// reassembly is remembered and returned with the completed datagram, so a
-// packet's provenance ID survives 6LoWPAN fragmentation.
+// InputPID is InputBufPID flattened to []byte, for tests and tooling.
 func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, uint64) {
+	b, p := r.InputBufPID(sender, frag, pid)
+	if b == nil {
+		return nil, 0
+	}
+	out := append([]byte(nil), b.Bytes()...) // pktbuf:ignore — []byte fallback API
+	b.Put()
+	return out, p
+}
+
+// InputBufPID processes one fragment from the given sender. The pid of the
+// fragment that opens a reassembly is remembered and returned with the
+// completed datagram, so a packet's provenance ID survives 6LoWPAN
+// fragmentation. When the fragment completes a datagram, the pooled buffer
+// holding the full frame is returned (ownership passes to the caller);
+// otherwise nil.
+func (r *Reassembler) InputBufPID(sender uint64, frag []byte, pid uint64) (*pktbuf.Buf, uint64) {
 	if len(frag) < frag1HeaderLen {
 		r.stats.Dropped++
 		return nil, 0
@@ -166,6 +192,7 @@ func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, 
 	re, ok := r.table[key]
 	now := r.s.Now()
 	if ok && now > re.expires {
+		re.buf.Put()
 		delete(r.table, key)
 		r.stats.Timeouts++
 		ok = false
@@ -178,7 +205,15 @@ func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, 
 				return nil, 0
 			}
 		}
-		re = &reassembly{size: size, buf: make([]byte, size), have: make(map[int]bool), pid: pid}
+		// The buffer is zeroed so datagrams whose fragments under-cover
+		// the advertised size (possible with malformed input) still
+		// reassemble to deterministic bytes, as the make-based code did.
+		buf := pktbuf.New(pktbuf.DefaultHeadroom, size)
+		data := buf.Append(size)
+		for i := range data {
+			data[i] = 0
+		}
+		re = &reassembly{size: size, buf: buf, have: make(map[int]bool), pid: pid}
 		r.table[key] = re
 	}
 	re.expires = now + r.Timeout
@@ -187,10 +222,11 @@ func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, 
 			return nil, 0 // duplicate fragment
 		}
 		r.stats.Dropped++
+		re.buf.Put()
 		delete(r.table, key)
 		return nil, 0
 	}
-	copy(re.buf[off:], payload)
+	copy(re.buf.Bytes()[off:], payload)
 	re.have[off] = true
 	re.gotLen += len(payload)
 	if re.gotLen >= re.size {
@@ -205,6 +241,7 @@ func (r *Reassembler) InputPID(sender uint64, frag []byte, pid uint64) ([]byte, 
 func (r *Reassembler) gc(now sim.Time) {
 	for k, re := range r.table {
 		if now > re.expires {
+			re.buf.Put()
 			delete(r.table, k)
 			r.stats.Timeouts++
 		}

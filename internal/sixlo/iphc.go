@@ -3,6 +3,12 @@
 // fragmentation/reassembly (RFC 4944). IPv6-over-BLE (RFC 7668) uses the
 // compression but not the fragmentation (L2CAP carries full 1280-byte MTUs);
 // the IEEE 802.15.4 comparison stack uses both.
+//
+// The hot datapath operates in place on pooled pktbuf buffers: CompressBuf
+// rewrites the leading IPv6(+UDP) headers of a packet into their IPHC form
+// inside the buffer's reserved headroom, and DecompressBuf reverses it. The
+// []byte-returning Compress/Decompress remain as allocation-per-call
+// fallbacks for tests and tooling; both forms produce identical bytes.
 package sixlo
 
 import (
@@ -10,6 +16,7 @@ import (
 	"fmt"
 
 	"blemesh/internal/ip6"
+	"blemesh/internal/pktbuf"
 )
 
 // Dispatch values.
@@ -63,18 +70,67 @@ const (
 // udpNHCBase is the UDP NHC dispatch 11110CPP.
 const udpNHCBase byte = 0xF0
 
-// Compress turns a full IPv6 packet into a 6LoWPAN IPHC frame. srcMAC and
-// dstMAC are the link-layer addresses of this hop (needed to elide
-// IID-derived addresses). Unsupported shapes fall back to less compressed
-// but always valid encodings.
-func Compress(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
+// maxIPHCHeaderLen bounds the compressed header: dispatch(2) + CID(1) +
+// TF(4) + NH(1) + HLIM(1) + src(16) + dst(16) + UDP NHC(7) = 48. A
+// compressed UDP header always fits in the 48 bytes of IPv6+UDP header it
+// replaces; a compressed non-UDP header may exceed the 40 bytes it replaces
+// by at most 1 byte, which the pktbuf headroom absorbs.
+const maxIPHCHeaderLen = 48
+
+// compressInto computes the IPHC (and, for UDP, NHC) header for pkt and
+// writes it into hdr, which must hold at least maxIPHCHeaderLen bytes. It
+// returns the header length, the count of leading packet bytes the header
+// replaces (40, or 48 when the UDP header is compressed too), and the
+// packet's total length per its IPv6 length field.
+func compressInto(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context, hdr []byte) (hdrLen, consumed, total int, err error) {
 	h, payload, err := ip6.Decode(pkt)
 	if err != nil {
-		return nil, err
+		return 0, 0, 0, err
 	}
 	var b0, b1 byte
 	b0 = dispatchIPHC
-	var inline []byte
+
+	// Address modes first: they decide whether the CID byte is present.
+	srcAM, srcCtx := addrMode(h.Src, srcMAC, ctxs)
+	b1 |= srcAM << samOff
+	if srcCtx >= 0 {
+		b1 |= sac
+	}
+	var dstAM byte
+	dstCtx := -1
+	mc := h.Dst.IsMulticast()
+	if mc {
+		b1 |= mcast
+		dstAM = mcastMode(h.Dst)
+	} else {
+		dstAM, dstCtx = addrMode(h.Dst, dstMAC, ctxs)
+		if dstCtx >= 0 {
+			b1 |= dac
+		}
+	}
+	b1 |= dstAM << damOff
+
+	// Next header: UDP gets NHC; everything else inline.
+	compressUDP := h.NextHeader == ip6.ProtoUDP && len(payload) >= ip6.UDPHeaderLen
+	if compressUDP {
+		b0 |= nhComp
+	}
+
+	n := 2
+	// Context extension byte (we only use context 0, so SCI=DCI=0, but
+	// the byte must be present whenever SAC or DAC is set).
+	if b1&(sac|dac) != 0 {
+		b1 |= cidExt
+		sci, dci := byte(0), byte(0)
+		if srcCtx > 0 {
+			sci = byte(srcCtx)
+		}
+		if dstCtx > 0 {
+			dci = byte(dstCtx)
+		}
+		hdr[n] = sci<<4 | dci
+		n++
+	}
 
 	// Traffic class / flow label.
 	switch {
@@ -82,22 +138,20 @@ func Compress(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error)
 		b0 |= tfElided
 	case h.FlowLabel == 0:
 		b0 |= tfTCOnly
-		inline = append(inline, h.TrafficClass)
+		hdr[n] = h.TrafficClass
+		n++
 	default:
 		b0 |= tfFull
-		inline = append(inline,
-			h.TrafficClass,
-			byte(h.FlowLabel>>16)&0x0F,
-			byte(h.FlowLabel>>8),
-			byte(h.FlowLabel))
+		hdr[n] = h.TrafficClass
+		hdr[n+1] = byte(h.FlowLabel>>16) & 0x0F
+		hdr[n+2] = byte(h.FlowLabel >> 8)
+		hdr[n+3] = byte(h.FlowLabel)
+		n += 4
 	}
 
-	// Next header: UDP gets NHC; everything else inline.
-	compressUDP := h.NextHeader == ip6.ProtoUDP && len(payload) >= ip6.UDPHeaderLen
-	if compressUDP {
-		b0 |= nhComp
-	} else {
-		inline = append(inline, h.NextHeader)
+	if !compressUDP {
+		hdr[n] = h.NextHeader
+		n++
 	}
 
 	// Hop limit.
@@ -110,63 +164,86 @@ func Compress(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error)
 		b0 |= hlim255
 	default:
 		b0 |= hlimIn
-		inline = append(inline, h.HopLimit)
+		hdr[n] = h.HopLimit
+		n++
 	}
 
-	// Source address.
-	srcAM, srcCtx, srcInline := compressAddr(h.Src, srcMAC, ctxs)
-	b1 |= srcAM << samOff
-	if srcCtx >= 0 {
-		b1 |= sac
-	}
-	inline = append(inline, srcInline...)
-
-	// Destination address.
-	var dstAM byte
-	var dstCtx int
-	var dstInline []byte
-	if h.Dst.IsMulticast() {
-		b1 |= mcast
-		dstAM, dstInline = compressMulticast(h.Dst)
-		dstCtx = -1
+	n += putAddr(hdr[n:], h.Src, srcAM)
+	if mc {
+		n += putMcast(hdr[n:], h.Dst, dstAM)
 	} else {
-		dstAM, dstCtx, dstInline = compressAddr(h.Dst, dstMAC, ctxs)
-		if dstCtx >= 0 {
-			b1 |= dac
-		}
+		n += putAddr(hdr[n:], h.Dst, dstAM)
 	}
-	b1 |= dstAM << damOff
-	inline = append(inline, dstInline...)
 
-	// Context extension byte (we only use context 0, so SCI=DCI=0, but
-	// the byte must be present whenever SAC or DAC is set).
-	out := []byte{b0, b1}
-	if b1&(sac|dac) != 0 {
-		b1 |= cidExt
-		out[1] = b1
-		sci, dci := byte(0), byte(0)
-		if srcCtx > 0 {
-			sci = byte(srcCtx)
-		}
-		if dstCtx > 0 {
-			dci = byte(dstCtx)
-		}
-		out = append(out, sci<<4|dci)
-	}
-	out = append(out, inline...)
-
+	hdr[0], hdr[1] = b0, b1
+	consumed = ip6.HeaderLen
 	if compressUDP {
-		nhc, udpPayload := compressUDPHeader(payload)
-		out = append(out, nhc...)
-		out = append(out, udpPayload...)
-	} else {
-		out = append(out, payload...)
+		srcPort := binary.BigEndian.Uint16(payload[0:])
+		dstPort := binary.BigEndian.Uint16(payload[2:])
+		switch {
+		case srcPort&0xFFF0 == 0xF0B0 && dstPort&0xFFF0 == 0xF0B0:
+			// Both ports in the 4-bit range.
+			hdr[n] = udpNHCBase | 0x03
+			hdr[n+1] = byte(srcPort&0x0F)<<4 | byte(dstPort&0x0F)
+			n += 2
+		case dstPort&0xFF00 == 0xF000:
+			hdr[n] = udpNHCBase | 0x01
+			hdr[n+1], hdr[n+2], hdr[n+3] = byte(srcPort>>8), byte(srcPort), byte(dstPort)
+			n += 4
+		case srcPort&0xFF00 == 0xF000:
+			hdr[n] = udpNHCBase | 0x02
+			hdr[n+1], hdr[n+2], hdr[n+3] = byte(srcPort), byte(dstPort>>8), byte(dstPort)
+			n += 4
+		default:
+			hdr[n] = udpNHCBase
+			hdr[n+1], hdr[n+2] = byte(srcPort>>8), byte(srcPort)
+			hdr[n+3], hdr[n+4] = byte(dstPort>>8), byte(dstPort)
+			n += 5
+		}
+		// The checksum is always carried inline (C=0) — RFC 6282 only
+		// allows elision with upper-layer authorization.
+		hdr[n], hdr[n+1] = payload[6], payload[7]
+		n += 2
+		consumed += ip6.UDPHeaderLen
 	}
+	return n, consumed, ip6.HeaderLen + h.PayloadLen, nil
+}
+
+// Compress turns a full IPv6 packet into a 6LoWPAN IPHC frame. srcMAC and
+// dstMAC are the link-layer addresses of this hop (needed to elide
+// IID-derived addresses). Unsupported shapes fall back to less compressed
+// but always valid encodings. This is the []byte fallback; the datapath
+// uses CompressBuf.
+func Compress(pkt []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
+	var hdr [maxIPHCHeaderLen]byte
+	hl, consumed, total, err := compressInto(pkt, srcMAC, dstMAC, ctxs, hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, hl+total-consumed) // pktbuf:ignore — []byte fallback API
+	copy(out, hdr[:hl])
+	copy(out[hl:], pkt[consumed:total])
 	return out, nil
 }
 
-// compressAddr picks the tightest stateless or context-based encoding.
-func compressAddr(a ip6.Addr, mac uint64, ctxs []Context) (am byte, ctx int, inline []byte) {
+// CompressBuf rewrites b in place into its 6LoWPAN IPHC form: the leading
+// IPv6 (and, when compressible, UDP) headers are replaced by the compressed
+// header, with any extra length taken from the buffer's headroom. The
+// resulting bytes are identical to Compress's output.
+func CompressBuf(b *pktbuf.Buf, srcMAC, dstMAC uint64, ctxs []Context) error {
+	var hdr [maxIPHCHeaderLen]byte
+	hl, consumed, total, err := compressInto(b.Bytes(), srcMAC, dstMAC, ctxs, hdr[:])
+	if err != nil {
+		return err
+	}
+	b.Trim(total) // honour the IPv6 length field, as Decode-based Compress does
+	b.TrimFront(consumed)
+	copy(b.Prepend(hl), hdr[:hl])
+	return nil
+}
+
+// addrMode picks the tightest stateless or context-based encoding.
+func addrMode(a ip6.Addr, mac uint64, ctxs []Context) (am byte, ctx int) {
 	ctx = -1
 	var prefixOK bool
 	if a.IsLinkLocal() {
@@ -181,20 +258,33 @@ func compressAddr(a ip6.Addr, mac uint64, ctxs []Context) (am byte, ctx int, inl
 		}
 	}
 	if !prefixOK {
-		return amFull, -1, a[:]
+		return amFull, -1
 	}
 	if m, ok := a.MAC(); ok && m == mac {
-		return amElided, ctx, nil
+		return amElided, ctx
 	}
 	// ::ff:fe00:XXXX style IIDs compress to 16 bits.
 	if a[8] == 0 && a[9] == 0 && a[10] == 0 && a[11] == 0xff && a[12] == 0xfe && a[13] == 0 {
-		return am16, ctx, a[14:16]
+		return am16, ctx
 	}
-	return am64, ctx, a[8:16]
+	return am64, ctx
 }
 
-// compressMulticast encodes the destination multicast address.
-func compressMulticast(a ip6.Addr) (am byte, inline []byte) {
+// putAddr writes the inline bytes of a unicast address for the given mode.
+func putAddr(dst []byte, a ip6.Addr, am byte) int {
+	switch am {
+	case amFull:
+		return copy(dst, a[:])
+	case am64:
+		return copy(dst, a[8:16])
+	case am16:
+		return copy(dst, a[14:16])
+	}
+	return 0 // amElided
+}
+
+// mcastMode picks the destination multicast encoding.
+func mcastMode(a ip6.Addr) byte {
 	// ff02::00XX compresses to 1 byte (DAM=11).
 	small := a[1] == 0x02
 	for i := 2; i < 15; i++ {
@@ -204,94 +294,72 @@ func compressMulticast(a ip6.Addr) (am byte, inline []byte) {
 		}
 	}
 	if small {
-		return amElided, []byte{a[15]}
+		return amElided
 	}
-	return amFull, a[:]
+	return amFull
 }
 
-// compressUDPHeader emits the UDP NHC header. The checksum is always
-// carried inline (C=0) — RFC 6282 only allows elision with upper-layer
-// authorization.
-func compressUDPHeader(dgram []byte) (nhc []byte, payload []byte) {
-	srcPort := binary.BigEndian.Uint16(dgram[0:])
-	dstPort := binary.BigEndian.Uint16(dgram[2:])
-	cksum := dgram[6:8]
-	switch {
-	case srcPort&0xFFF0 == 0xF0B0 && dstPort&0xFFF0 == 0xF0B0:
-		// Both ports in the 4-bit range.
-		nhc = []byte{udpNHCBase | 0x03, byte(srcPort&0x0F)<<4 | byte(dstPort&0x0F)}
-	case dstPort&0xFF00 == 0xF000:
-		nhc = []byte{udpNHCBase | 0x01, byte(srcPort >> 8), byte(srcPort), byte(dstPort)}
-	case srcPort&0xFF00 == 0xF000:
-		nhc = []byte{udpNHCBase | 0x02, byte(srcPort), byte(dstPort >> 8), byte(dstPort)}
-	default:
-		nhc = []byte{udpNHCBase, byte(srcPort >> 8), byte(srcPort), byte(dstPort >> 8), byte(dstPort)}
+// putMcast writes the inline bytes of a multicast destination.
+func putMcast(dst []byte, a ip6.Addr, am byte) int {
+	if am == amElided {
+		dst[0] = a[15]
+		return 1
 	}
-	nhc = append(nhc, cksum...)
-	return nhc, dgram[ip6.UDPHeaderLen:]
+	return copy(dst, a[:])
 }
 
-// Decompress reconstructs the full IPv6 packet from an IPHC frame.
-func Decompress(frame []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
-	if len(frame) == 0 {
-		return nil, fmt.Errorf("sixlo: empty frame")
-	}
-	if frame[0] == dispatchIPv6 {
-		return frame[1:], nil
-	}
-	if frame[0]&maskIPHC != dispatchIPHC {
-		return nil, fmt.Errorf("sixlo: unknown dispatch %#x", frame[0])
-	}
+// udpNHCInfo carries a parsed UDP NHC header out of decompressHeader.
+type udpNHCInfo struct {
+	present          bool
+	srcPort, dstPort uint16
+	ck0, ck1         byte
+}
+
+// decompressHeader parses an IPHC frame's compressed header (including a
+// trailing UDP NHC when present) and returns the reconstructed IPv6 header,
+// the number of frame bytes consumed, and the UDP header fields.
+func decompressHeader(frame []byte, srcMAC, dstMAC uint64, ctxs []Context) (h ip6.Header, consumed int, u udpNHCInfo, err error) {
 	if len(frame) < 2 {
-		return nil, fmt.Errorf("sixlo: IPHC frame too short")
+		return h, 0, u, fmt.Errorf("sixlo: IPHC frame too short")
 	}
 	b0, b1 := frame[0], frame[1]
 	p := 2
-	next := func(n int) ([]byte, error) {
-		if p+n > len(frame) {
-			return nil, fmt.Errorf("sixlo: IPHC truncated at offset %d", p)
-		}
-		s := frame[p : p+n]
-		p += n
-		return s, nil
-	}
 
 	sci, dci := 0, 0
 	if b1&cidExt != 0 {
-		c, err := next(1)
-		if err != nil {
-			return nil, err
+		if p+1 > len(frame) {
+			return h, 0, u, truncErr(p)
 		}
-		sci, dci = int(c[0]>>4), int(c[0]&0x0F)
+		sci, dci = int(frame[p]>>4), int(frame[p]&0x0F)
+		p++
 	}
 
-	var h ip6.Header
 	switch b0 & 0x18 {
 	case tfElided:
 	case tfTCOnly:
-		tc, err := next(1)
-		if err != nil {
-			return nil, err
+		if p+1 > len(frame) {
+			return h, 0, u, truncErr(p)
 		}
-		h.TrafficClass = tc[0]
+		h.TrafficClass = frame[p]
+		p++
 	case tfFull:
-		tf, err := next(4)
-		if err != nil {
-			return nil, err
+		if p+4 > len(frame) {
+			return h, 0, u, truncErr(p)
 		}
-		h.TrafficClass = tf[0]
-		h.FlowLabel = uint32(tf[1]&0x0F)<<16 | uint32(tf[2])<<8 | uint32(tf[3])
+		h.TrafficClass = frame[p]
+		h.FlowLabel = uint32(frame[p+1]&0x0F)<<16 | uint32(frame[p+2])<<8 | uint32(frame[p+3])
+		p += 4
 	default:
-		return nil, fmt.Errorf("sixlo: unsupported TF mode")
+		return h, 0, u, fmt.Errorf("sixlo: unsupported TF mode")
 	}
 
 	udpNHC := b0&nhComp != 0
 	if !udpNHC {
-		nh, err := next(1)
-		if err != nil {
-			return nil, err
+		if p+1 > len(frame) {
+			return h, 0, u, truncErr(p)
 		}
-		h.NextHeader = nh[0]
+		h.NextHeader = frame[p]
+		p++
 	}
 
 	switch b0 & 0x03 {
@@ -302,45 +370,115 @@ func Decompress(frame []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, er
 	case hlim255:
 		h.HopLimit = 255
 	default:
-		hl, err := next(1)
-		if err != nil {
-			return nil, err
+		if p+1 > len(frame) {
+			return h, 0, u, truncErr(p)
 		}
-		h.HopLimit = hl[0]
+		h.HopLimit = frame[p]
+		p++
 	}
 
-	var err error
-	h.Src, err = decompressAddr((b1>>samOff)&0x03, b1&sac != 0, sci, srcMAC, ctxs, next)
+	var n int
+	h.Src, n, err = readAddr(frame[p:], (b1>>samOff)&0x03, b1&sac != 0, sci, srcMAC, ctxs, p)
 	if err != nil {
-		return nil, err
+		return h, 0, u, err
 	}
+	p += n
 	if b1&mcast != 0 {
-		h.Dst, err = decompressMulticast((b1>>damOff)&0x03, next)
+		h.Dst, n, err = readMcast(frame[p:], (b1>>damOff)&0x03, p)
 	} else {
-		h.Dst, err = decompressAddr((b1>>damOff)&0x03, b1&dac != 0, dci, dstMAC, ctxs, next)
+		h.Dst, n, err = readAddr(frame[p:], (b1>>damOff)&0x03, b1&dac != 0, dci, dstMAC, ctxs, p)
 	}
+	if err != nil {
+		return h, 0, u, err
+	}
+	p += n
+
+	if udpNHC {
+		n, err = readUDPNHC(frame[p:], &u)
+		if err != nil {
+			return h, 0, u, err
+		}
+		p += n
+		h.NextHeader = ip6.ProtoUDP
+		u.present = true
+	}
+	return h, p, u, nil
+}
+
+func truncErr(p int) error {
+	return fmt.Errorf("sixlo: IPHC truncated at offset %d", p)
+}
+
+// Decompress reconstructs the full IPv6 packet from an IPHC frame. This is
+// the []byte fallback; the datapath uses DecompressBuf.
+func Decompress(frame []byte, srcMAC, dstMAC uint64, ctxs []Context) ([]byte, error) {
+	if len(frame) == 0 {
+		return nil, fmt.Errorf("sixlo: empty frame")
+	}
+	if frame[0] == dispatchIPv6 {
+		return frame[1:], nil
+	}
+	if frame[0]&maskIPHC != dispatchIPHC {
+		return nil, fmt.Errorf("sixlo: unknown dispatch %#x", frame[0])
+	}
+	h, consumed, u, err := decompressHeader(frame, srcMAC, dstMAC, ctxs)
 	if err != nil {
 		return nil, err
 	}
-
-	payload := frame[p:]
-	if udpNHC {
-		dgram, err := decompressUDPHeader(payload)
-		if err != nil {
-			return nil, err
-		}
-		h.NextHeader = ip6.ProtoUDP
+	payload := frame[consumed:]
+	if u.present {
+		dgram := make([]byte, ip6.UDPHeaderLen+len(payload)) // pktbuf:ignore — []byte fallback API
+		binary.BigEndian.PutUint16(dgram[0:], u.srcPort)
+		binary.BigEndian.PutUint16(dgram[2:], u.dstPort)
+		binary.BigEndian.PutUint16(dgram[4:], uint16(len(dgram)))
+		dgram[6], dgram[7] = u.ck0, u.ck1
+		copy(dgram[ip6.UDPHeaderLen:], payload)
 		payload = dgram
 	}
 	return h.Encode(payload), nil
 }
 
-func decompressAddr(am byte, hasCtx bool, ci int, mac uint64, ctxs []Context,
-	next func(int) ([]byte, error)) (ip6.Addr, error) {
+// DecompressBuf reconstructs the full IPv6 packet in place: the compressed
+// header at the front of b is replaced by the expanded IPv6 (and UDP)
+// headers, drawing on the buffer's headroom. The resulting bytes are
+// identical to Decompress's output. Received frames therefore need at least
+// 48 bytes of headroom; pktbuf.DefaultHeadroom provides it.
+func DecompressBuf(b *pktbuf.Buf, srcMAC, dstMAC uint64, ctxs []Context) error {
+	fr := b.Bytes()
+	if len(fr) == 0 {
+		return fmt.Errorf("sixlo: empty frame")
+	}
+	if fr[0] == dispatchIPv6 {
+		b.TrimFront(1)
+		return nil
+	}
+	if fr[0]&maskIPHC != dispatchIPHC {
+		return fmt.Errorf("sixlo: unknown dispatch %#x", fr[0])
+	}
+	h, consumed, u, err := decompressHeader(fr, srcMAC, dstMAC, ctxs)
+	if err != nil {
+		return err
+	}
+	b.TrimFront(consumed)
+	if u.present {
+		ud := b.Prepend(ip6.UDPHeaderLen)
+		binary.BigEndian.PutUint16(ud[0:], u.srcPort)
+		binary.BigEndian.PutUint16(ud[2:], u.dstPort)
+		binary.BigEndian.PutUint16(ud[4:], uint16(b.Len()))
+		ud[6], ud[7] = u.ck0, u.ck1
+	}
+	pl := b.Len()
+	h.Put(b.Prepend(ip6.HeaderLen), pl)
+	return nil
+}
+
+// readAddr decodes a unicast address's inline bytes. off is the absolute
+// frame offset of b, for error messages only.
+func readAddr(b []byte, am byte, hasCtx bool, ci int, mac uint64, ctxs []Context, off int) (ip6.Addr, int, error) {
 	var prefix ip6.Addr
 	if hasCtx {
 		if ci >= len(ctxs) {
-			return ip6.Addr{}, fmt.Errorf("sixlo: unknown context %d", ci)
+			return ip6.Addr{}, 0, fmt.Errorf("sixlo: unknown context %d", ci)
 		}
 		prefix = ctxs[ci].Prefix
 	} else {
@@ -348,68 +486,65 @@ func decompressAddr(am byte, hasCtx bool, ci int, mac uint64, ctxs []Context,
 	}
 	switch am {
 	case amFull:
-		b, err := next(16)
-		if err != nil {
-			return ip6.Addr{}, err
+		if len(b) < 16 {
+			return ip6.Addr{}, 0, truncErr(off)
 		}
 		var a ip6.Addr
-		copy(a[:], b)
-		return a, nil
+		copy(a[:], b[:16])
+		return a, 16, nil
 	case am64:
-		b, err := next(8)
-		if err != nil {
-			return ip6.Addr{}, err
+		if len(b) < 8 {
+			return ip6.Addr{}, 0, truncErr(off)
 		}
 		a := prefix
-		copy(a[8:], b)
-		return a, nil
+		copy(a[8:], b[:8])
+		return a, 8, nil
 	case am16:
-		b, err := next(2)
-		if err != nil {
-			return ip6.Addr{}, err
+		if len(b) < 2 {
+			return ip6.Addr{}, 0, truncErr(off)
 		}
 		a := prefix
 		a[11], a[12] = 0xff, 0xfe
 		a[14], a[15] = b[0], b[1]
-		return a, nil
+		return a, 2, nil
 	default: // amElided
 		a := prefix
 		iid := ip6.IIDFromMAC(mac)
 		copy(a[8:], iid[:])
-		return a, nil
+		return a, 0, nil
 	}
 }
 
-func decompressMulticast(am byte, next func(int) ([]byte, error)) (ip6.Addr, error) {
+// readMcast decodes a multicast destination's inline bytes.
+func readMcast(b []byte, am byte, off int) (ip6.Addr, int, error) {
 	switch am {
 	case amElided:
-		b, err := next(1)
-		if err != nil {
-			return ip6.Addr{}, err
+		if len(b) < 1 {
+			return ip6.Addr{}, 0, truncErr(off)
 		}
 		var a ip6.Addr
 		a[0], a[1] = 0xff, 0x02
 		a[15] = b[0]
-		return a, nil
+		return a, 1, nil
 	case amFull:
-		b, err := next(16)
-		if err != nil {
-			return ip6.Addr{}, err
+		if len(b) < 16 {
+			return ip6.Addr{}, 0, truncErr(off)
 		}
 		var a ip6.Addr
-		copy(a[:], b)
-		return a, nil
+		copy(a[:], b[:16])
+		return a, 16, nil
 	default:
-		return ip6.Addr{}, fmt.Errorf("sixlo: unsupported multicast DAM %d", am)
+		return ip6.Addr{}, 0, fmt.Errorf("sixlo: unsupported multicast DAM %d", am)
 	}
 }
 
-func decompressUDPHeader(b []byte) ([]byte, error) {
+// readUDPNHC parses a UDP NHC header into u (ports and inline checksum).
+func readUDPNHC(b []byte, u *udpNHCInfo) (int, error) {
 	if len(b) < 1 {
-		return nil, fmt.Errorf("sixlo: missing UDP NHC")
+		return 0, fmt.Errorf("sixlo: missing UDP NHC")
 	}
 	if b[0]&0xF8 != udpNHCBase {
-		return nil, fmt.Errorf("sixlo: bad UDP NHC dispatch %#x", b[0])
+		return 0, fmt.Errorf("sixlo: bad UDP NHC dispatch %#x", b[0])
 	}
 	mode := b[0] & 0x03
 	p := 1
@@ -419,49 +554,39 @@ func decompressUDPHeader(b []byte) ([]byte, error) {
 		}
 		return nil
 	}
-	var srcPort, dstPort uint16
 	switch mode {
 	case 0x03:
 		if err := need(1); err != nil {
-			return nil, err
+			return 0, err
 		}
-		srcPort = 0xF0B0 | uint16(b[p]>>4)
-		dstPort = 0xF0B0 | uint16(b[p]&0x0F)
+		u.srcPort = 0xF0B0 | uint16(b[p]>>4)
+		u.dstPort = 0xF0B0 | uint16(b[p]&0x0F)
 		p++
 	case 0x01:
 		if err := need(3); err != nil {
-			return nil, err
+			return 0, err
 		}
-		srcPort = uint16(b[p])<<8 | uint16(b[p+1])
-		dstPort = 0xF000 | uint16(b[p+2])
+		u.srcPort = uint16(b[p])<<8 | uint16(b[p+1])
+		u.dstPort = 0xF000 | uint16(b[p+2])
 		p += 3
 	case 0x02:
 		if err := need(3); err != nil {
-			return nil, err
+			return 0, err
 		}
-		srcPort = 0xF000 | uint16(b[p])
-		dstPort = uint16(b[p+1])<<8 | uint16(b[p+2])
+		u.srcPort = 0xF000 | uint16(b[p])
+		u.dstPort = uint16(b[p+1])<<8 | uint16(b[p+2])
 		p += 3
 	default:
 		if err := need(4); err != nil {
-			return nil, err
+			return 0, err
 		}
-		srcPort = uint16(b[p])<<8 | uint16(b[p+1])
-		dstPort = uint16(b[p+2])<<8 | uint16(b[p+3])
+		u.srcPort = uint16(b[p])<<8 | uint16(b[p+1])
+		u.dstPort = uint16(b[p+2])<<8 | uint16(b[p+3])
 		p += 4
 	}
 	if err := need(2); err != nil {
-		return nil, err
+		return 0, err
 	}
-	cksum := []byte{b[p], b[p+1]}
-	p += 2
-	payload := b[p:]
-
-	dgram := make([]byte, ip6.UDPHeaderLen+len(payload))
-	binary.BigEndian.PutUint16(dgram[0:], srcPort)
-	binary.BigEndian.PutUint16(dgram[2:], dstPort)
-	binary.BigEndian.PutUint16(dgram[4:], uint16(len(dgram)))
-	dgram[6], dgram[7] = cksum[0], cksum[1]
-	copy(dgram[ip6.UDPHeaderLen:], payload)
-	return dgram, nil
+	u.ck0, u.ck1 = b[p], b[p+1]
+	return p + 2, nil
 }

@@ -1,0 +1,27 @@
+#!/bin/sh
+# check-rawalloc.sh — ban raw byte-slice allocation in the datapath packages.
+#
+# The zero-copy datapath gets its allocation guarantees from internal/pktbuf;
+# a stray make([]byte, ...) in a packet-handling package silently reintroduces
+# the per-hop copies the pool removed, and nothing else would catch it until
+# the allocs/op gate in blemesh-bench drifts. Deliberate fallbacks ([]byte
+# compatibility APIs, cold signaling/diagnostic paths) carry a
+# "// pktbuf:ignore — <reason>" marker on the same line; everything else is an
+# error. Test files are exempt.
+#
+# Usage: scripts/check-rawalloc.sh   (from the repo root; exits 1 on offence)
+set -eu
+
+DATAPATH="internal/ip6 internal/sixlo internal/l2cap internal/core internal/ble internal/dot15d4"
+
+offences=$(grep -rn 'make(\[\]byte' $DATAPATH --include='*.go' \
+    | grep -v '_test\.go:' \
+    | grep -v 'pktbuf:ignore' || true)
+
+if [ -n "$offences" ]; then
+    echo "raw make([]byte in the pooled datapath — use pktbuf.Get or add a" >&2
+    echo "'// pktbuf:ignore — <reason>' marker if the copy is deliberate:" >&2
+    echo "$offences" >&2
+    exit 1
+fi
+echo "check-rawalloc: datapath packages clean"

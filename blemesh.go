@@ -91,6 +91,11 @@ type (
 	// default, binary heap as the reference).
 	Engine = sim.Engine
 
+	// RoutingMode selects the routing plane for NetworkConfig.Routing:
+	// static precomputed host routes (the default, byte-identical to the
+	// pre-routing harness) or the dynamic RPL-lite DODAG.
+	RoutingMode = exp.RoutingMode
+
 	// SweepConfig, CellResult, and IntervalConfig drive the parallel
 	// producer×interval sweep engine.
 	SweepConfig    = exp.SweepConfig
@@ -141,8 +146,17 @@ const (
 	EngineHeap  = sim.EngineHeap
 )
 
+// Routing planes for NetworkConfig.Routing.
+const (
+	RoutingStatic  = exp.RoutingStatic
+	RoutingDynamic = exp.RoutingDynamic
+)
+
 // ParseEngine maps a flag value ("wheel" or "heap") to an Engine.
 func ParseEngine(name string) (Engine, error) { return sim.ParseEngine(name) }
+
+// ParseRouting maps a flag value ("static" or "dynamic") to a RoutingMode.
+func ParseRouting(name string) (RoutingMode, error) { return exp.ParseRouting(name) }
 
 // RunSweep executes a producer×interval sweep across a work-stealing worker
 // pool; results are byte-identical for any worker count.
@@ -217,6 +231,11 @@ func Tree() Topology { return testbed.Tree() }
 
 // Line returns the paper's 15-node line topology (Fig. 6c).
 func Line() Topology { return testbed.Line() }
+
+// Mesh returns the braided 15-node mesh: the tree's node count and depth,
+// but every node below the first hop has two parent candidates, so the
+// dynamic routing plane always has an alternate path to repair onto.
+func Mesh() Topology { return testbed.Mesh() }
 
 // BuildNetwork assembles a full testbed network with traffic and metrics
 // plumbing (the experiment harness's builder).

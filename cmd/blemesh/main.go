@@ -47,7 +47,7 @@ func usage() {
   blemesh list                                   list experiments
   blemesh run <id> [-seed N] [-scale F] [-runs N] [-workers N] [-engine wheel|heap] [-values]
   blemesh all [-scale F] [-seed N] [-workers N]  run everything
-  blemesh trace [-topo tree|line] [-minutes N] [-seed N] [-node NAME]
+  blemesh trace [-topo tree|line|mesh] [-minutes N] [-seed N] [-node NAME] [-routing static|dynamic]
                                                  dump the link event log of a run`)
 }
 
@@ -98,22 +98,40 @@ func run(args []string) {
 
 func traceRun(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	topoName := fs.String("topo", "tree", "tree or line")
+	topoName := fs.String("topo", "tree", "tree, line, or mesh")
 	minutes := fs.Int("minutes", 10, "simulated minutes")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	node := fs.String("node", "", "restrict to one node name")
+	routingName := fs.String("routing", "static", "routing plane: static or dynamic (RPL-lite)")
 	_ = fs.Parse(args)
-	topo := blemesh.Tree()
-	if *topoName == "line" {
+	var topo blemesh.Topology
+	switch *topoName {
+	case "tree":
+		topo = blemesh.Tree()
+	case "line":
 		topo = blemesh.Line()
+	case "mesh":
+		topo = blemesh.Mesh()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown topology %q (tree, line, or mesh)\n", *topoName)
+		os.Exit(2)
+	}
+	routing, err := blemesh.ParseRouting(*routingName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	nw := blemesh.BuildNetwork(blemesh.NetworkConfig{
 		Seed:         *seed,
 		Topology:     topo,
 		JamChannel22: true,
 		Trace:        true,
+		Routing:      routing,
 	})
 	nw.WaitTopology(60 * blemesh.Second)
+	if routing == blemesh.RoutingDynamic && !nw.WaitConverged(120*blemesh.Second) {
+		fmt.Fprintln(os.Stderr, "warning: DODAG did not converge within 120s; tracing anyway")
+	}
 	nw.StartTraffic(blemesh.TrafficConfig{})
 	nw.Run(blemesh.Duration(*minutes) * blemesh.Minute)
 	fmt.Print(nw.Trace.Render(*node))

@@ -5,6 +5,7 @@ import (
 	"blemesh/internal/coap"
 	"blemesh/internal/ip6"
 	"blemesh/internal/phy"
+	"blemesh/internal/rpl"
 	"blemesh/internal/sim"
 	"blemesh/internal/statconn"
 	"blemesh/internal/trace"
@@ -36,6 +37,11 @@ type NodeConfig struct {
 	// Trace, when non-nil and enabled, receives the node's link events
 	// (the paper's §4.2 STDIO event stream).
 	Trace *trace.Log
+	// Routing, when non-nil, runs an RPL-lite instance (internal/rpl) on
+	// the node instead of relying on provisioned static routes. Nil keeps
+	// the node fully static — no extra timers, no extra RNG draws, so
+	// static runs stay byte-identical with pre-routing builds.
+	Routing *rpl.Config
 }
 
 // Node is one fully assembled node: radio, drifting clock, BLE controller,
@@ -51,6 +57,8 @@ type Node struct {
 	NetIf    *NetIf
 	Stack    *ip6.Stack
 	Coap     *coap.Endpoint
+	// RPL is the node's dynamic-routing instance; nil on static nodes.
+	RPL *rpl.Instance
 
 	running bool
 	prov    provisioned
@@ -91,16 +99,35 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 	ctrl.SetTrace(tr, name)
 	stack.SetTrace(tr, name)
 	netif.SetTrace(tr, name)
+	var router *rpl.Instance
+	if cfg.Routing != nil {
+		router = rpl.New(s, stack, *cfg.Routing)
+		router.SetTrace(tr, name)
+		// The routing metric reads statconn's per-peer retransmission
+		// EWMA; the sampler keeps it fresh on the same cadence for every
+		// dynamic node.
+		router.SetETX(func(mac uint64) float64 { return mgr.PeerETX(ble.DevAddr(mac)) })
+		mgr.EnableQualitySampling(0)
+	}
 	mgr.OnLinkUp = func(c *ble.Conn) {
 		tr.Emit(name, trace.KindConnOpen, "peer=%v role=%v itvl=%v", c.Peer(), c.Role(), c.Interval())
 		netif.AddLink(c)
+		if router != nil {
+			router.LinkUp(uint64(c.Peer()))
+		}
 	}
 	mgr.OnLinkDown = func(c *ble.Conn, reason ble.LossReason) {
 		tr.Emit(name, trace.KindConnLoss, "peer=%v reason=%v", c.Peer(), reason)
 		netif.RemoveLink(c)
+		if router != nil {
+			router.LinkDown(uint64(c.Peer()))
+		}
 	}
 	ep := coap.NewEndpoint(s, stack, 0)
 	ep.SetTrace(tr, name)
+	if router != nil {
+		router.Start()
+	}
 	return &Node{
 		Name:     cfg.Name,
 		Sim:      s,
@@ -111,6 +138,7 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 		NetIf:    netif,
 		Stack:    stack,
 		Coap:     ep,
+		RPL:      router,
 		running:  true,
 	}
 }
@@ -166,9 +194,14 @@ func (n *Node) Stop() {
 		return
 	}
 	n.running = false
-	// Order matters: the manager must stop restoring topology before the
-	// controller kills the links, and interface queues must release their
-	// pktbuf charges before the stack zeroes the pool.
+	// Order matters: routing must go quiet before the links report down
+	// (a crashing node does not poison anyone), the manager must stop
+	// restoring topology before the controller kills the links, and
+	// interface queues must release their pktbuf charges before the stack
+	// zeroes the pool.
+	if n.RPL != nil {
+		n.RPL.Stop()
+	}
 	n.Statconn.Shutdown()
 	n.Ctrl.Shutdown()
 	n.NetIf.Reset()
@@ -193,5 +226,10 @@ func (n *Node) Restart() {
 	}
 	for _, p := range n.prov.outbound {
 		n.Statconn.Connect(p)
+	}
+	if n.RPL != nil {
+		// Rejoin from scratch once links re-form; a rebooting root bumps
+		// the DODAG version (global repair).
+		n.RPL.Start()
 	}
 }

@@ -15,11 +15,43 @@ import (
 	"blemesh/internal/ip6"
 	"blemesh/internal/metrics"
 	"blemesh/internal/phy"
+	"blemesh/internal/rpl"
 	"blemesh/internal/sim"
 	"blemesh/internal/statconn"
 	"blemesh/internal/testbed"
 	"blemesh/internal/trace"
 )
+
+// RoutingMode selects how a network's IP routes come to exist.
+type RoutingMode int
+
+const (
+	// RoutingStatic provisions host routes along the unique topology paths
+	// at build time, exactly as the paper configures its testbed (§4.3).
+	// The default: every pre-existing experiment runs byte-identically.
+	RoutingStatic RoutingMode = iota
+	// RoutingDynamic runs RPL-lite (internal/rpl) on every node instead:
+	// routes are discovered, advertised, and repaired at runtime.
+	RoutingDynamic
+)
+
+func (m RoutingMode) String() string {
+	if m == RoutingDynamic {
+		return "dynamic"
+	}
+	return "static"
+}
+
+// ParseRouting parses a -routing flag value.
+func ParseRouting(s string) (RoutingMode, error) {
+	switch s {
+	case "", "static":
+		return RoutingStatic, nil
+	case "dynamic":
+		return RoutingDynamic, nil
+	}
+	return RoutingStatic, fmt.Errorf("unknown routing mode %q (static|dynamic)", s)
+}
 
 // NetworkConfig parameterises a BLE testbed network.
 type NetworkConfig struct {
@@ -62,6 +94,12 @@ type NetworkConfig struct {
 	// none). Bursts are what actually break links: a diffuse PER of the
 	// same average intensity is absorbed by per-event retransmission.
 	Burst *phy.BurstParams
+	// Routing selects static provisioned routes (default, the paper's
+	// configuration) or the RPL-lite dynamic routing plane.
+	Routing RoutingMode
+	// RPL overrides the per-node RPL-lite configuration in dynamic mode
+	// (Root is set per node regardless; nil uses rpl defaults).
+	RPL *rpl.Config
 }
 
 func (c *NetworkConfig) defaults() {
@@ -186,6 +224,15 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		names[d.ID] = d.Name
 	}
 	for _, id := range ids {
+		var rcfg *rpl.Config
+		if cfg.Routing == RoutingDynamic {
+			c := rpl.Config{}
+			if cfg.RPL != nil {
+				c = *cfg.RPL
+			}
+			c.Root = id == cfg.Topology.Consumer
+			rcfg = &c
+		}
 		n := core.NewNode(s, medium, core.NodeConfig{
 			Name:     names[id],
 			MAC:      uint64(0x5A0000000000) + uint64(id),
@@ -199,6 +246,7 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 			Arbitration:           cfg.Arbitration,
 			DisableWindowWidening: cfg.DisableWindowWidening,
 			Trace:                 nw.Trace,
+			Routing:               rcfg,
 		})
 		nw.Nodes[id] = n
 		nw.Meters[id] = energy.NewMeter(energy.DefaultParams(), n.Ctrl, n.Radio)
@@ -215,11 +263,14 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	for _, l := range cfg.Topology.Links {
 		nw.Nodes[l.Coordinator].ConnectTo(nw.Nodes[l.Subordinate])
 	}
-	// Manual IP routes along the unique topology paths (§4.3).
-	for _, from := range ids {
-		next := cfg.Topology.NextHops(from)
-		for dst, hop := range next {
-			nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+	// Manual IP routes along the unique topology paths (§4.3). In dynamic
+	// mode RPL-lite discovers and maintains routes instead.
+	if cfg.Routing == RoutingStatic {
+		for _, from := range ids {
+			next := cfg.Topology.NextHops(from)
+			for dst, hop := range next {
+				nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+			}
 		}
 	}
 	nw.llSeries = newLLSampler(nw, 60*sim.Second)
@@ -275,6 +326,40 @@ func (nw *Network) registerMetrics(ids []int) {
 				"interval_rejects", st.IntervalRejects,
 				"reconnects", st.Reconnects)
 		})
+		// Dynamic-routing collectors only exist in dynamic mode, so static
+		// runs' registry output stays byte-identical with pre-routing builds.
+		if router := n.RPL; router != nil {
+			nw.Registry.Register(name+".rpl", func() []metrics.Sample {
+				st := router.Stats()
+				out := counterSamples(name+".rpl",
+					"dio_sent", st.DIOSent,
+					"dio_recv", st.DIORecv,
+					"dao_sent", st.DAOSent,
+					"dao_recv", st.DAORecv,
+					"dis_sent", st.DISSent,
+					"dis_recv", st.DISRecv,
+					"decode_errors", st.DecodeErrors,
+					"trickle_resets", st.TrickleResets,
+					"trickle_suppressed", st.TrickleSuppress,
+					"parent_switches", st.ParentSwitches,
+					"local_repairs", st.LocalRepairs,
+					"joins", st.Joins)
+				return append(out, metrics.Sample{Name: name + ".rpl",
+					Label: "rank", Kind: metrics.KindGauge,
+					Value: float64(st.Rank)})
+			})
+			// Per-peer link quality: the exact ETX the routing metric reads,
+			// so dashboards and parent choices can be cross-checked.
+			nw.Registry.Register(name+".links", func() []metrics.Sample {
+				var out []metrics.Sample
+				for _, l := range mgr.Stats().Links {
+					out = append(out, metrics.Sample{Name: name + ".links",
+						Label: fmt.Sprintf("etx_%012x", uint64(l.Peer)),
+						Kind:  metrics.KindGauge, Value: l.ETX})
+				}
+				return out
+			})
+		}
 	}
 	nw.Registry.RegisterGauge("net.coap_pdr", func() float64 { return nw.CoAPPDR().Rate() })
 	nw.Registry.RegisterGauge("net.ll_pdr", nw.LLPDR)
@@ -334,6 +419,77 @@ func (nw *Network) linksUp() bool {
 		}
 	}
 	return true
+}
+
+// nodeByMAC maps a BLE device address back to its node (MACs embed the
+// testbed ID).
+func (nw *Network) nodeByMAC(mac uint64) *core.Node {
+	return nw.Nodes[int(mac-0x5A0000000000)]
+}
+
+// Converged reports whether the routing plane can carry traffic between
+// every running producer and the consumer. Static networks converge when the
+// topology is up. Dynamic networks additionally require each running node to
+// have joined the DODAG, its preferred-parent chain to reach the root over
+// open links, and the root to hold a downward host route for it — i.e. both
+// the upward default route and the DAO state are in place.
+func (nw *Network) Converged() bool {
+	if nw.Cfg.Routing != RoutingDynamic {
+		return nw.linksUp()
+	}
+	root := nw.Consumer()
+	if !root.Running() {
+		return false
+	}
+	for _, id := range nw.Cfg.Topology.Nodes() {
+		n := nw.Nodes[id]
+		if id == nw.consumerID || !n.Running() {
+			continue
+		}
+		if n.RPL == nil || !n.RPL.Joined() {
+			return false
+		}
+		// Walk the preferred-parent chain up to the root; every hop must be
+		// a running node reachable over an open IPSP channel.
+		cur := n
+		for hops := 0; cur != root; hops++ {
+			if hops > len(nw.Nodes) {
+				return false // would be a loop; the rank invariant forbids it
+			}
+			pmac := cur.RPL.Preferred()
+			if pmac == 0 {
+				return false
+			}
+			ch := cur.NetIf.Channel(pmac)
+			if ch == nil || !ch.Open() {
+				return false
+			}
+			next := nw.nodeByMAC(pmac)
+			if next == nil || !next.Running() {
+				return false
+			}
+			cur = next
+		}
+		// Downward: the root must have learned a DAO host route for n (an
+		// on-link sentinel left by a no-path purge does not count).
+		if r, ok := root.Stack.LookupRoute(n.Addr()); !ok || r.NextHop.IsUnspecified() {
+			return false
+		}
+	}
+	return true
+}
+
+// WaitConverged runs the simulation until Converged (or the deadline
+// passes), polling every 100ms; it returns whether convergence was reached.
+func (nw *Network) WaitConverged(deadline sim.Duration) bool {
+	end := nw.Sim.Now() + deadline
+	for nw.Sim.Now() < end {
+		if nw.Converged() {
+			return true
+		}
+		nw.Sim.Run(nw.Sim.Now() + 100*sim.Millisecond)
+	}
+	return nw.Converged()
 }
 
 // StartTraffic installs the consumer handler and schedules every producer's

@@ -249,6 +249,77 @@ func TestRoutingLongestPrefix(t *testing.T) {
 	}
 }
 
+func TestAddRouteUpserts(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	ifc := &fakeIf{neighbors: map[uint64]bool{0x02: true, 0x03: true}}
+	st.AddInterface(ifc)
+	target := ULA(DefaultPrefix, 0x99)
+	st.AddRoute(Route{Dst: target, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x02)})
+	// Re-adding the same (Dst, PrefixLen) must replace, not shadow.
+	st.AddRoute(Route{Dst: target, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x03)})
+	if n := len(st.Routes()); n != 1 {
+		t.Fatalf("routes=%d after upsert, want 1", n)
+	}
+	if err := st.SendUDP(target, 1, 2, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if ifc.sent[0].mac != 0x03 {
+		t.Fatalf("upserted next hop ignored: went via %x", ifc.sent[0].mac)
+	}
+	// Same Dst under a different prefix length is a distinct entry.
+	st.AddRoute(Route{Dst: target, PrefixLen: 64, NextHop: ULA(DefaultPrefix, 0x02)})
+	if n := len(st.Routes()); n != 2 {
+		t.Fatalf("routes=%d after distinct prefix add, want 2", n)
+	}
+}
+
+func TestRemoveRoute(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	st.AddInterface(&fakeIf{neighbors: map[uint64]bool{}})
+	target := ULA(DefaultPrefix, 0x99)
+	st.AddRoute(Route{Dst: target, PrefixLen: 128, NextHop: ULA(DefaultPrefix, 0x02)})
+	st.AddRoute(Route{Dst: Unspecified, PrefixLen: 0, NextHop: ULA(DefaultPrefix, 0x03)})
+	if !st.RemoveRoute(target, 128) {
+		t.Fatal("RemoveRoute of existing host route returned false")
+	}
+	if st.RemoveRoute(target, 128) {
+		t.Fatal("RemoveRoute of absent route returned true")
+	}
+	if _, ok := st.LookupRoute(target); !ok {
+		t.Fatal("default route should still match after host-route removal")
+	}
+	if !st.RemoveRoute(Unspecified, 0) {
+		t.Fatal("RemoveRoute of default route returned false")
+	}
+	if _, ok := st.LookupRoute(target); ok {
+		t.Fatal("route table should be empty")
+	}
+}
+
+func TestRemoveRoutesVia(t *testing.T) {
+	s := sim.New(1)
+	st := NewStack(s, 0x01)
+	st.AddInterface(&fakeIf{neighbors: map[uint64]bool{}})
+	via2, via3 := LinkLocal(0x02), LinkLocal(0x03)
+	st.AddRoute(Route{Dst: ULA(DefaultPrefix, 0x10), PrefixLen: 128, NextHop: via2})
+	st.AddRoute(Route{Dst: ULA(DefaultPrefix, 0x11), PrefixLen: 128, NextHop: via2})
+	st.AddRoute(Route{Dst: ULA(DefaultPrefix, 0x12), PrefixLen: 128, NextHop: via3})
+	if n := st.RemoveRoutesVia(via2); n != 2 {
+		t.Fatalf("RemoveRoutesVia removed %d, want 2", n)
+	}
+	if n := len(st.Routes()); n != 1 {
+		t.Fatalf("routes=%d after bulk removal, want 1", n)
+	}
+	if r, ok := st.LookupRoute(ULA(DefaultPrefix, 0x12)); !ok || r.NextHop != via3 {
+		t.Fatal("unrelated route lost in bulk removal")
+	}
+	if n := st.RemoveRoutesVia(via2); n != 0 {
+		t.Fatalf("second RemoveRoutesVia removed %d, want 0", n)
+	}
+}
+
 func TestNoRouteCounted(t *testing.T) {
 	s := sim.New(1)
 	st := NewStack(s, 0x01)

@@ -184,8 +184,11 @@ func (st *Stack) Stats() StackStats { return st.stats }
 // AddInterface attaches a netif to the stack.
 func (st *Stack) AddInterface(ifc NetIf) { st.ifaces = append(st.ifaces, ifc) }
 
-// AddRoute installs a route. Host routes (prefix length 128) are how the
-// experiments build their tree/line forwarding state.
+// AddRoute installs a route, upserting on (Dst, PrefixLen): re-adding a
+// destination replaces the previous entry in place instead of shadowing it
+// forever. Host routes (prefix length 128) are how the experiments build
+// their tree/line forwarding state; dynamic routing (internal/rpl) refreshes
+// routes through this same call.
 func (st *Stack) AddRoute(r Route) error {
 	if r.PrefixLen < 0 || r.PrefixLen > 128 {
 		return fmt.Errorf("ip6: prefix length %d", r.PrefixLen)
@@ -193,9 +196,51 @@ func (st *Stack) AddRoute(r Route) error {
 	if r.If == nil && len(st.ifaces) == 1 {
 		r.If = st.ifaces[0]
 	}
+	for i := range st.routes {
+		if st.routes[i].Dst == r.Dst && st.routes[i].PrefixLen == r.PrefixLen {
+			st.routes[i] = r
+			return nil
+		}
+	}
 	st.routes = append(st.routes, r)
 	return nil
 }
+
+// RemoveRoute deletes the route matching (dst, prefixLen) exactly,
+// reporting whether one existed.
+func (st *Stack) RemoveRoute(dst Addr, prefixLen int) bool {
+	for i := range st.routes {
+		if st.routes[i].Dst == dst && st.routes[i].PrefixLen == prefixLen {
+			st.routes = append(st.routes[:i], st.routes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// RemoveRoutesVia deletes every route whose next hop is nexthop and returns
+// how many were removed — the bulk invalidation a dead link triggers during
+// dynamic-route repair.
+func (st *Stack) RemoveRoutesVia(nexthop Addr) int {
+	kept := st.routes[:0]
+	removed := 0
+	for _, r := range st.routes {
+		if r.NextHop == nexthop {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	st.routes = kept
+	return removed
+}
+
+// Routes returns a copy of the routing table in installation order.
+func (st *Stack) Routes() []Route { return append([]Route(nil), st.routes...) }
+
+// LookupRoute returns the longest-prefix match for dst (diagnostics and the
+// experiment harness's convergence probes).
+func (st *Stack) LookupRoute(dst Addr) (Route, bool) { return st.lookupRoute(dst) }
 
 // ClearRoutes removes all routes (topology reconfiguration).
 func (st *Stack) ClearRoutes() { st.routes = nil }
@@ -362,11 +407,16 @@ func (st *Stack) output(b *pktbuf.Buf, pid uint64) error {
 func (st *Stack) transmit(dst Addr, pkt *pktbuf.Buf, pid uint64) error {
 	nh := dst
 	var viaIf NetIf
-	if r, ok := st.lookupRoute(dst); ok {
-		if !r.NextHop.IsUnspecified() {
-			nh = r.NextHop
+	// Link-local destinations are on-link by definition (RFC 4861 §5.2):
+	// they must resolve directly, never through the route table — a default
+	// route would otherwise bounce a neighbor's fe80:: address upstream.
+	if !dst.IsLinkLocal() {
+		if r, ok := st.lookupRoute(dst); ok {
+			if !r.NextHop.IsUnspecified() {
+				nh = r.NextHop
+			}
+			viaIf = r.If
 		}
-		viaIf = r.If
 	}
 	mac, ifc, ok := st.resolve(nh)
 	if !ok {

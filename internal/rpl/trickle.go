@@ -1,0 +1,95 @@
+package rpl
+
+import (
+	"blemesh/internal/sim"
+)
+
+// trickle is an RFC 6206 trickle timer: the DIO beacon scheduler. The
+// interval I starts at Imin, doubles after every quiet interval up to
+// Imax = Imin << doublings, and snaps back to Imin when the caller reports
+// an inconsistency. Within each interval, the timer fires once at a uniform
+// random point in [I/2, I); the fire callback is told whether to actually
+// transmit (fewer than k consistent messages heard this interval) or
+// suppress (k-redundancy: enough neighbors already said the same thing).
+//
+// Timers armed before stop/reset are invalidated by an epoch counter, not
+// cancelled — the simulator's timers are cheap and a stale closure exiting
+// early draws no randomness, which keeps runs deterministic.
+type trickle struct {
+	s    *sim.Sim
+	imin sim.Duration
+	imax sim.Duration
+	k    int
+	// fire is invoked once per interval; send is false when the interval's
+	// consistency counter reached k (suppression).
+	fire func(send bool)
+
+	i       sim.Duration // current interval length
+	c       int          // consistent messages heard this interval
+	epoch   int          // invalidates timers from earlier starts/resets
+	running bool
+}
+
+func newTrickle(s *sim.Sim, imin sim.Duration, doublings, k int, fire func(send bool)) *trickle {
+	imax := imin
+	for d := 0; d < doublings; d++ {
+		imax *= 2
+	}
+	return &trickle{s: s, imin: imin, imax: imax, k: k, fire: fire}
+}
+
+// start (re)starts the timer at Imin. Idempotent in effect: a running timer
+// restarts its interval.
+func (t *trickle) start() {
+	t.running = true
+	t.epoch++
+	t.i = t.imin
+	t.beginInterval()
+}
+
+// stop halts the timer; pending interval timers become no-ops.
+func (t *trickle) stop() {
+	t.running = false
+	t.epoch++
+}
+
+// hear counts a consistent message toward this interval's suppression
+// threshold.
+func (t *trickle) hear() { t.c++ }
+
+// reset reacts to an inconsistency: snap the interval back to Imin. Per
+// RFC 6206 §4.2 step 6, a reset while already at Imin does nothing (the
+// short interval is still in progress).
+func (t *trickle) reset() {
+	if !t.running || t.i == t.imin {
+		return
+	}
+	t.epoch++
+	t.i = t.imin
+	t.beginInterval()
+}
+
+// beginInterval starts one trickle interval: zero the counter, pick the
+// fire point t ∈ [I/2, I), and arm the interval-end doubling.
+func (t *trickle) beginInterval() {
+	t.c = 0
+	ep := t.epoch
+	half := t.i / 2
+	at := half + sim.Duration(t.s.Rand().Int63n(int64(half)))
+	t.s.Post(at, func() {
+		if t.epoch != ep {
+			return
+		}
+		t.fire(t.k <= 0 || t.c < t.k)
+	})
+	t.s.Post(t.i, func() {
+		if t.epoch != ep {
+			return
+		}
+		t.i *= 2
+		if t.i > t.imax {
+			t.i = t.imax
+		}
+		t.beginInterval()
+	})
+}

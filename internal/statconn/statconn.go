@@ -173,6 +173,27 @@ func (c *Config) defaults() {
 	}
 }
 
+// PeerLink is one neighbor's link-quality snapshot: the retransmission-EWMA
+// delivery estimate and the per-peer loss/reconnect history. The routing
+// metric (internal/rpl) and the metrics dashboards both read this — one
+// number, two consumers.
+type PeerLink struct {
+	Peer ble.DevAddr
+	// Up reports whether a usable connection to the peer is active.
+	Up bool
+	// PDR is the EWMA link-layer delivery estimate (1 = no retransmissions),
+	// including the active connection's counters since the last sample.
+	PDR float64
+	// ETX is the expected-transmission-count form of PDR (1/PDR, clamped
+	// to [1, 4]) — the unit the routing metric consumes.
+	ETX float64
+	// Reconnects counts completed re-establishments to this peer.
+	Reconnects uint64
+	// Losses counts established-link losses on this peer (supervision
+	// timeouts of proven links, counted on this side).
+	Losses uint64
+}
+
 // Stats counts manager-level events; Fig. 13/14 report the loss counts.
 type Stats struct {
 	LinksOpened     uint64
@@ -192,6 +213,65 @@ type Stats struct {
 	RecoveryP50 sim.Duration
 	RecoveryP95 sim.Duration
 	RecoveryMax sim.Duration
+
+	// Links is the per-peer link-quality snapshot, sorted by peer address.
+	// Before this existed, reconnect counts were aggregate-only.
+	Links []PeerLink
+}
+
+// peerQual is the per-peer link-quality state behind PeerLink. The PDR
+// estimate folds each connection's (TXPDUs, Retrans) deltas into an EWMA;
+// baselines mark how much of the active connection's counters were already
+// consumed, so a connection can be sampled repeatedly without double counting.
+type peerQual struct {
+	ewmaPDR             float64
+	sampled             bool
+	baseTX, baseRetrans uint64
+	reconnects, losses  uint64
+}
+
+// qualAlpha is the EWMA weight of a new PDR sample.
+const qualAlpha = 0.3
+
+// fold consumes the counters a connection accumulated since the last fold.
+func (q *peerQual) fold(st ble.ConnStats) {
+	if st.TXPDUs < q.baseTX || st.Retrans < q.baseRetrans {
+		// Counters restarted (new connection object): re-baseline.
+		q.baseTX, q.baseRetrans = 0, 0
+	}
+	dTX := st.TXPDUs - q.baseTX
+	dRe := st.Retrans - q.baseRetrans
+	q.baseTX, q.baseRetrans = st.TXPDUs, st.Retrans
+	if dTX == 0 {
+		return
+	}
+	pdr := float64(dTX) / float64(dTX+dRe)
+	if !q.sampled {
+		q.ewmaPDR = pdr
+		q.sampled = true
+		return
+	}
+	q.ewmaPDR = qualAlpha*pdr + (1-qualAlpha)*q.ewmaPDR
+}
+
+// pdr returns the current estimate with the given live deltas mixed in
+// transiently (without advancing the baselines).
+func (q *peerQual) pdr(liveTX, liveRe uint64) (float64, bool) {
+	est, have := q.ewmaPDR, q.sampled
+	if liveTX >= q.baseTX && liveTX > q.baseTX {
+		dTX := liveTX - q.baseTX
+		dRe := uint64(0)
+		if liveRe > q.baseRetrans {
+			dRe = liveRe - q.baseRetrans
+		}
+		pdr := float64(dTX) / float64(dTX+dRe)
+		if have {
+			est = qualAlpha*pdr + (1-qualAlpha)*est
+		} else {
+			est, have = pdr, true
+		}
+	}
+	return est, have
 }
 
 // Manager maintains a node's configured BLE connections.
@@ -225,6 +305,11 @@ type Manager struct {
 	stopped bool
 	gen     int
 
+	// qual is the per-peer link-quality state (retransmission EWMA plus
+	// loss/reconnect counters). Observer state: it survives Shutdown.
+	qual      map[ble.DevAddr]*peerQual
+	samplerOn bool
+
 	stats Stats
 
 	// OnLinkUp fires for every usable connection (colliding-interval
@@ -247,6 +332,7 @@ func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
 		up:        make(map[*ble.Conn]bool),
 		attempts:  make(map[ble.DevAddr]int),
 		downSince: make(map[ble.DevAddr]sim.Time),
+		qual:      make(map[ble.DevAddr]*peerQual),
 	}
 	ctrl.SetScanParams(ble.ScanParams{Interval: cfg.ScanInterval, Window: cfg.ScanWindow})
 	ctrl.OnConnect = m.handleConnect
@@ -265,6 +351,7 @@ func (m *Manager) Stats() Stats {
 		st.RecoveryP95 = sorted[(len(sorted)-1)*95/100]
 		st.RecoveryMax = sorted[len(sorted)-1]
 	}
+	st.Links = m.peerLinks()
 	return st
 }
 
@@ -434,12 +521,15 @@ func (m *Manager) handleConnect(c *ble.Conn) {
 			m.recovery = append(m.recovery, m.s.Now()-t0)
 		}
 	}
+	q := m.quality(c.Peer())
+	q.baseTX, q.baseRetrans = 0, 0 // fresh connection: counters start at zero
 	m.up[c] = true
 	m.stats.LinksOpened++
 	if m.pendingReopens > 0 {
 		m.pendingReopens--
 		m.reconnectEnds = append(m.reconnectEnds, m.s.Now())
 		m.stats.Reconnects++
+		q.reconnects++
 	}
 	if m.OnLinkUp != nil {
 		m.OnLinkUp(c)
@@ -477,6 +567,7 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 		return
 	}
 	delete(m.up, c)
+	m.quality(c.Peer()).fold(c.Stats()) // bank the dying connection's counters
 	switch {
 	case reason == ble.LossSupervision && c.Stats().EventsOK == 0:
 		// The six-interval establishment timeout: the CONNECT_IND was
@@ -491,6 +582,7 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 		if c.Role() == ble.Coordinator {
 			m.stats.LinkLosses++
 		}
+		m.quality(c.Peer()).losses++
 		m.lossTimes = append(m.lossTimes, m.s.Now())
 	default:
 		m.stats.OtherLoss++
@@ -521,4 +613,107 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 	if m.OnLinkDown != nil {
 		m.OnLinkDown(c, reason)
 	}
+}
+
+// quality returns (creating if needed) the peer's link-quality state.
+func (m *Manager) quality(peer ble.DevAddr) *peerQual {
+	q := m.qual[peer]
+	if q == nil {
+		q = &peerQual{}
+		m.qual[peer] = q
+	}
+	return q
+}
+
+// SampleLinkQuality folds the retransmission counters of every active
+// connection into the per-peer PDR EWMAs. The periodic sampler calls this;
+// it is also safe to call directly (e.g. from tests).
+func (m *Manager) SampleLinkQuality() {
+	for c := range m.up {
+		m.quality(c.Peer()).fold(c.Stats())
+	}
+}
+
+// EnableQualitySampling arms a periodic SampleLinkQuality (default every 2s).
+// Idempotent; only dynamic-routing deployments call it, so static runs pay
+// zero extra timer events and stay byte-identical.
+func (m *Manager) EnableQualitySampling(interval sim.Duration) {
+	if m.samplerOn {
+		return
+	}
+	m.samplerOn = true
+	if interval <= 0 {
+		interval = 2 * sim.Second
+	}
+	var tick func()
+	tick = func() {
+		m.SampleLinkQuality()
+		m.s.Post(interval, tick)
+	}
+	m.s.Post(interval, tick)
+}
+
+// PeerETX returns the expected transmission count toward the peer: 1/PDR
+// with PDR clamped to [0.25, 1], so ETX ∈ [1, 4]. A peer with no delivery
+// history yet reads as a perfect link (ETX 1) — optimistic bootstrap keeps
+// the first parent selection from starving. The query is pure: the active
+// connection's live counters are mixed in transiently without advancing the
+// sampling baselines.
+func (m *Manager) PeerETX(peer ble.DevAddr) float64 {
+	q := m.qual[peer]
+	if q == nil {
+		return 1
+	}
+	var liveTX, liveRe uint64
+	for c := range m.up {
+		if c.Peer() == peer {
+			st := c.Stats()
+			liveTX, liveRe = st.TXPDUs, st.Retrans
+			break
+		}
+	}
+	pdr, have := q.pdr(liveTX, liveRe)
+	if !have {
+		return 1
+	}
+	if pdr < 0.25 {
+		pdr = 0.25
+	}
+	if pdr > 1 {
+		pdr = 1
+	}
+	return 1 / pdr
+}
+
+// peerLinks builds the sorted per-peer snapshot for Stats.
+func (m *Manager) peerLinks() []PeerLink {
+	if len(m.qual) == 0 {
+		return nil
+	}
+	peers := make([]ble.DevAddr, 0, len(m.qual))
+	for p := range m.qual {
+		peers = append(peers, p)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	out := make([]PeerLink, 0, len(peers))
+	for _, p := range peers {
+		q := m.qual[p]
+		up := false
+		for c := range m.up {
+			if c.Peer() == p {
+				up = true
+				break
+			}
+		}
+		etx := m.PeerETX(p)
+		out = append(out, PeerLink{
+			Peer:       p,
+			Up:         up,
+			PDR:        1 / etx,
+			ETX:        etx,
+			Reconnects: q.reconnects,
+			Losses:     q.losses,
+		})
+	}
+	return out
 }

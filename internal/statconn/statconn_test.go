@@ -259,3 +259,68 @@ func TestLossTimesRecorded(t *testing.T) {
 		t.Fatal("Config() accessor broken")
 	}
 }
+
+func TestLinkQualitySnapshot(t *testing.T) {
+	s, mgrA, mgrB, ctrlA, ctrlB := buildPair(9, Config{})
+	mgrA.ExpectInbound(1)
+	mgrB.Connect(ctrlA.Addr())
+	s.Run(5 * sim.Second)
+	// No traffic yet: ETX reads as a perfect link (optimistic bootstrap).
+	if etx := mgrB.PeerETX(ctrlA.Addr()); etx != 1 {
+		t.Fatalf("bootstrap ETX = %v, want 1", etx)
+	}
+	// Drive some LL traffic so the connection accumulates TX counters.
+	c := ctrlB.FindConn(ctrlA.Addr())
+	if c == nil {
+		t.Fatal("connection missing")
+	}
+	for i := 0; i < 20; i++ {
+		c.Send(ble.LLIDDataStart, make([]byte, 20), 0, nil)
+	}
+	s.Run(10 * sim.Second)
+	mgrB.SampleLinkQuality()
+	st := mgrB.Stats()
+	if len(st.Links) != 1 {
+		t.Fatalf("Links = %+v, want one entry", st.Links)
+	}
+	l := st.Links[0]
+	if l.Peer != ctrlA.Addr() || !l.Up {
+		t.Fatalf("link snapshot: %+v", l)
+	}
+	if l.PDR <= 0 || l.PDR > 1 {
+		t.Fatalf("PDR out of range: %v", l.PDR)
+	}
+	if l.ETX < 1 || l.ETX > 4 {
+		t.Fatalf("ETX out of range: %v", l.ETX)
+	}
+	if got := mgrB.PeerETX(ctrlA.Addr()); got != l.ETX {
+		t.Fatalf("PeerETX %v != snapshot ETX %v", got, l.ETX)
+	}
+	// Sampling must be repeatable without double counting: a second fold of
+	// the same counters cannot move the estimate.
+	before := mgrB.PeerETX(ctrlA.Addr())
+	mgrB.SampleLinkQuality()
+	if after := mgrB.PeerETX(ctrlA.Addr()); after != before {
+		t.Fatalf("resample moved ETX %v -> %v with no new traffic", before, after)
+	}
+}
+
+func TestPeerQualFold(t *testing.T) {
+	q := &peerQual{}
+	q.fold(ble.ConnStats{TXPDUs: 10, Retrans: 0})
+	if pdr, ok := q.pdr(0, 0); !ok || pdr != 1 {
+		t.Fatalf("clean fold: pdr=%v ok=%v", pdr, ok)
+	}
+	// 10 more PDUs, 10 retransmissions: sample PDR 0.5, EWMA pulls down.
+	q.fold(ble.ConnStats{TXPDUs: 20, Retrans: 10})
+	pdr, _ := q.pdr(0, 0)
+	if pdr >= 1 || pdr <= 0.5 {
+		t.Fatalf("ewma pdr = %v, want in (0.5, 1)", pdr)
+	}
+	// Counter restart (fresh connection object) must re-baseline, not
+	// produce a bogus huge delta.
+	q.fold(ble.ConnStats{TXPDUs: 2, Retrans: 0})
+	if q.baseTX != 2 {
+		t.Fatalf("baseline after restart = %d", q.baseTX)
+	}
+}

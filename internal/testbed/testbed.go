@@ -121,6 +121,37 @@ func Line() Topology {
 	return t
 }
 
+// Mesh returns a 15-node braided tree for the dynamic-routing experiments:
+// the tree of Fig. 6(b) thickened so every node below depth 1 has two
+// parents at equal depth. Static routing can only use one path per node;
+// with dynamic routing (internal/rpl) the redundant links are what local
+// repair falls back to when a forwarder dies. Children coordinate toward
+// parents, as in the other topologies.
+func Mesh() Topology {
+	t := Topology{Name: "mesh", Consumer: 1}
+	links := [][2]int{
+		// depth 1: three spine nodes under the consumer
+		{2, 1}, {3, 1}, {4, 1},
+		// depth 2: each braided across two depth-1 parents
+		{5, 2}, {5, 3},
+		{6, 2}, {6, 3},
+		{7, 3}, {7, 4},
+		{8, 3}, {8, 4},
+		{9, 4}, {9, 2},
+		{10, 4}, {10, 2},
+		// depth 3: each braided across two depth-2 parents
+		{11, 5}, {11, 6},
+		{12, 6}, {12, 7},
+		{13, 7}, {13, 8},
+		{14, 8}, {14, 9},
+		{15, 9}, {15, 10},
+	}
+	for _, l := range links {
+		t.Links = append(t.Links, Link{Coordinator: l[0], Subordinate: l[1]})
+	}
+	return t
+}
+
 // Nodes returns the sorted IDs appearing in the topology.
 func (t Topology) Nodes() []int {
 	seen := map[int]bool{t.Consumer: true}

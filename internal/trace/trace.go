@@ -50,6 +50,14 @@ const (
 	// KindLLRx marks the receiver-side delivery of a tagged LL payload
 	// (Dur = airtime of the delivering PDU).
 	KindLLRx
+	// KindRPLCtrl marks a routing control-plane message (DIO/DAO/DIS)
+	// sent or received; sends carry the packet's provenance ID so control
+	// traffic shows up in journey reconstructions.
+	KindRPLCtrl
+	// KindRPLRank marks a node's DODAG rank change (join, parent switch,
+	// detach). The selfheal experiment replays these into per-node rank
+	// timelines for the monotone-rank loop check.
+	KindRPLRank
 	numKinds
 )
 
@@ -58,6 +66,7 @@ var kindNames = [numKinds]string{
 	"pkt-tx", "pkt-rx", "pkt-drop", "coap-req", "coap-rsp",
 	"reconnect", "param-update",
 	"pkt-fwd", "ll-ready", "ll-tx", "ll-rx",
+	"rpl-ctrl", "rpl-rank",
 }
 
 func (k Kind) String() string {

@@ -108,10 +108,14 @@ type (
 	TrafficConfig = exp.TrafficConfig
 	Network       = exp.Network
 
-	// CDF is the quantile accumulator used throughout the harness.
+	// CDF is the quantile accumulator used throughout the harness. It is
+	// backed by a mergeable quantile sketch by default; SetExactCDF flips
+	// new CDFs to the exact sorted-sample store.
 	CDF = metrics.CDF
 	// MetricsRegistry is the unified metrics surface a Network exposes.
 	MetricsRegistry = metrics.Registry
+	// MetricsStreamer emits periodic registry snapshots as NDJSON.
+	MetricsStreamer = metrics.Streamer
 
 	// TraceLog is the flight recorder; Journey, HopSpan, and Decomposition
 	// are its per-packet provenance reconstructions.
@@ -179,6 +183,15 @@ func SweepText(cells []CellResult) string { return exp.SweepText(cells) }
 // NewMetricsRegistry creates an empty metrics registry (for sweep progress
 // gauges and custom studies).
 func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
+
+// SetExactCDF selects the backing store for CDFs created afterwards: exact
+// sorted samples (unbounded memory, exact quantiles) instead of the default
+// mergeable t-digest sketch (bounded memory, ≤1% quantile error). The
+// BLEMESH_EXACT_CDF environment variable sets the same switch at startup.
+func SetExactCDF(on bool) { metrics.SetExact(on) }
+
+// ExactCDFMode reports the current CDF backend selection.
+func ExactCDFMode() bool { return metrics.ExactMode() }
 
 // CoAP message constants, re-exported for building requests.
 const (

@@ -22,12 +22,15 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
+	"math/rand"
 	"os"
 	"sort"
 	"strings"
 	"testing"
 
 	"blemesh/internal/exp"
+	"blemesh/internal/metrics/sketch"
 	"blemesh/internal/pktbuf"
 	"blemesh/internal/prof"
 	"blemesh/internal/sim"
@@ -44,6 +47,19 @@ const (
 	// allocation gate. The pooled path must stay at or below half of it.
 	allocsPrePool        = 1914
 	maxAllocsFracOfFixed = 0.5
+	// sketchSamples sizes the quantile-sketch accuracy/memory measurement.
+	sketchSamples = 1_000_000
+	// maxSketchRelErr bounds the sketch's p50/p95/p99 relative error against
+	// the exact quantiles of the same 1e6-sample stream.
+	maxSketchRelErr = 0.01
+	// minSketchMemReduction is the acceptance bar of the sketch backend: at
+	// least 10× smaller than the exact sorted-sample store at 1e6 samples.
+	minSketchMemReduction = 10.0
+	// traceSampleRate is the packet keep rate of the sampled-trace
+	// measurement; maxTraceSampledOverhead bounds the surviving event
+	// fraction (sampling at 10% must shed well over half the event volume).
+	traceSampleRate         = 0.10
+	maxTraceSampledOverhead = 0.35
 )
 
 func stormNsPerEvent(engine sim.Engine, timers int) float64 {
@@ -75,6 +91,74 @@ func packetPathStats(pooled bool) (allocs, bytes float64) {
 	defer pktbuf.SetPooling(os.Getenv("BLEMESH_NO_PKTBUF_POOL") == "")
 	r := testing.Benchmark(exp.PacketPathBench)
 	return float64(r.AllocsPerOp()), float64(r.AllocedBytesPerOp())
+}
+
+// sketchStats feeds one deterministic heavy-tailed stream (lognormal, the
+// shape of the simulator's RTT distributions) into the t-digest and into an
+// exact sorted store, and reports the relative quantile errors and the
+// memory reduction. Both are deterministic properties of the sketch, not of
+// the machine, which is what makes them gateable.
+func sketchStats() map[string]float64 {
+	rng := rand.New(rand.NewSource(1))
+	sk := sketch.New()
+	samples := make([]float64, sketchSamples)
+	for i := range samples {
+		v := 0.001 * math.Exp(rng.NormFloat64())
+		samples[i] = v
+		sk.Add(v)
+	}
+	sort.Float64s(samples)
+	exactQ := func(q float64) float64 {
+		pos := q * float64(len(samples)-1)
+		i := int(pos)
+		if i >= len(samples)-1 {
+			return samples[len(samples)-1]
+		}
+		f := pos - float64(i)
+		return samples[i]*(1-f) + samples[i+1]*f
+	}
+	out := map[string]float64{}
+	for _, p := range []struct {
+		key string
+		q   float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}} {
+		got, _ := sk.Quantile(p.q)
+		want := exactQ(p.q)
+		out["sketch_q_relerr_"+p.key] = absf(got-want) / absf(want)
+	}
+	exactBytes := float64(8 * len(samples))
+	out["sketch_mem_reduction_1e6"] = exactBytes / float64(sk.MemBytes())
+	return out
+}
+
+func absf(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// traceSampledOverhead runs the same short traced workload twice — full
+// flight recorder vs 10% packet sampling — and returns the surviving event
+// fraction. The runs are deterministic, so the ratio is machine-independent.
+func traceSampledOverhead() float64 {
+	run := func(rate float64) float64 {
+		nw := exp.BuildNetwork(exp.NetworkConfig{
+			Seed:        1,
+			Trace:       true,
+			TraceSample: rate,
+		})
+		if !nw.WaitTopology(60 * sim.Second) {
+			fmt.Fprintln(os.Stderr, "blemesh-bench: trace topology did not form")
+			os.Exit(1)
+		}
+		nw.StartTraffic(exp.TrafficConfig{})
+		nw.Run(2 * sim.Minute)
+		return float64(nw.Trace.Total())
+	}
+	full := run(0)
+	sampled := run(traceSampleRate)
+	return sampled / full
 }
 
 func main() {
@@ -112,6 +196,10 @@ func main() {
 
 	m["allocs_per_pkt_exchange"], m["bytes_per_pkt_exchange"] = packetPathStats(true)
 	m["allocs_per_pkt_unpooled"], m["bytes_per_pkt_unpooled"] = packetPathStats(false)
+	for k, v := range sketchStats() {
+		m[k] = v
+	}
+	m["trace_sampled_overhead"] = traceSampledOverhead()
 	stopProf() // the measurements are done; file I/O below is not of interest
 
 	keys := make([]string, 0, len(m))
@@ -150,6 +238,23 @@ func main() {
 				m["allocs_per_pkt_exchange"], bar, allocsPrePool)
 			failed = true
 		}
+		for _, k := range []string{"sketch_q_relerr_p50", "sketch_q_relerr_p95", "sketch_q_relerr_p99"} {
+			if m[k] > maxSketchRelErr {
+				fmt.Fprintf(os.Stderr, "FAIL: %s = %.4f, want ≤ %.2f (sketch quantiles within 1%% of exact)\n",
+					k, m[k], maxSketchRelErr)
+				failed = true
+			}
+		}
+		if m["sketch_mem_reduction_1e6"] < minSketchMemReduction {
+			fmt.Fprintf(os.Stderr, "FAIL: sketch_mem_reduction_1e6 = %.1f, want ≥ %.0f (sketch must stay ≥10x below exact)\n",
+				m["sketch_mem_reduction_1e6"], minSketchMemReduction)
+			failed = true
+		}
+		if m["trace_sampled_overhead"] > maxTraceSampledOverhead {
+			fmt.Fprintf(os.Stderr, "FAIL: trace_sampled_overhead = %.3f, want ≤ %.2f (10%% sampling must shed most event volume)\n",
+				m["trace_sampled_overhead"], maxTraceSampledOverhead)
+			failed = true
+		}
 		buf, err := os.ReadFile(*baseline)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -176,6 +281,23 @@ func main() {
 				if m[k] > ceil {
 					fmt.Fprintf(os.Stderr, "FAIL: %s = %.0f regressed above %.0f (baseline %.0f + %d%%)\n",
 						k, m[k], ceil, want, int(*tolerance*100))
+					failed = true
+				}
+			case strings.HasPrefix(k, "sketch_q_relerr_") || k == "trace_sampled_overhead":
+				// Deterministic quality ratios must not rise above the
+				// baseline (lower is better for both).
+				ceil := want * (1 + *tolerance)
+				if m[k] > ceil {
+					fmt.Fprintf(os.Stderr, "FAIL: %s = %.4f regressed above %.4f (baseline %.4f + %d%%)\n",
+						k, m[k], ceil, want, int(*tolerance*100))
+					failed = true
+				}
+			case k == "sketch_mem_reduction_1e6":
+				// Memory advantage must not fall below the baseline.
+				floor := want * (1 - *tolerance)
+				if m[k] < floor {
+					fmt.Fprintf(os.Stderr, "FAIL: %s = %.1f regressed below %.1f (baseline %.1f − %d%%)\n",
+						k, m[k], floor, want, int(*tolerance*100))
 					failed = true
 				}
 			default:

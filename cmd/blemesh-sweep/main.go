@@ -34,8 +34,10 @@ func main() {
 	producersFlag := flag.String("producers", "", "comma-separated producer intervals in ms (default: full Fig. 15 grid)")
 	intervalsFlag := flag.String("intervals", "", "comma-separated interval config names, e.g. 25,75,[65:85] (default: all ten)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
+	exact := flag.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
+	blemesh.SetExactCDF(*exact)
 	defer pf.Start()()
 
 	engine, err := blemesh.ParseEngine(*engineName)

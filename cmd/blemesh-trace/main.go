@@ -38,19 +38,35 @@ func main() {
 	metricsFmt := fs.String("metrics", "", "print the unified metrics snapshot: text, ndjson, or csv")
 	out := fs.String("o", "", "write export/metrics output to a file instead of stdout")
 	events := fs.Bool("events", false, "dump the (filtered) event log")
+	sample := fs.Float64("sample", 0, "keep provenance spans for only this fraction of packets (0 or 1 = all)")
+	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
+	streamPath := fs.String("stream", "", "stream periodic registry snapshots (NDJSON) to this file during the run")
+	streamEvery := fs.Int("stream-every", 60, "streaming period in simulated seconds")
 	_ = fs.Parse(os.Args[1:])
 
+	blemesh.SetExactCDF(*exact)
 	topo := blemesh.Tree()
 	if *topoName == "line" {
 		topo = blemesh.Line()
 	}
-	nw := blemesh.BuildNetwork(blemesh.NetworkConfig{
+	cfg := blemesh.NetworkConfig{
 		Seed:          *seed,
 		Topology:      topo,
 		JamChannel22:  true,
 		Trace:         true,
 		TraceCapacity: 1 << 20,
-	})
+		TraceSample:   *sample,
+	}
+	if *streamPath != "" {
+		f, err := os.Create(*streamPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		cfg.StreamMetrics = f
+		cfg.StreamEvery = blemesh.Duration(*streamEvery) * blemesh.Second
+	}
+	nw := blemesh.BuildNetwork(cfg)
 	nw.WaitTopology(60 * blemesh.Second)
 	nw.Run(10 * blemesh.Second)
 	nw.StartTraffic(blemesh.TrafficConfig{})
@@ -142,6 +158,10 @@ func summarize(w *os.File, nw *blemesh.Network, nWaterfalls int) {
 	pdr := nw.CoAPPDR()
 	fmt.Fprintf(w, "run: %d trace events, CoAP PDR %.4f (%d/%d), %d connection losses\n",
 		nw.Trace.Total(), pdr.Rate(), pdr.Delivered, pdr.Sent, nw.ConnLosses())
+	if nw.Trace.Sampling() {
+		fmt.Fprintf(w, "sampling: rate %.4f — %d packets kept, %d dropped\n",
+			nw.Trace.SampleRate(), nw.Trace.PktKept(), nw.Trace.PktDropped())
+	}
 
 	fmt.Fprintln(w, "\nevents by kind:")
 	byKind := nw.Trace.CountByKind()

@@ -66,6 +66,7 @@ func run(args []string) {
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
 	engineName := fs.String("engine", "wheel", "sim event-queue engine: wheel or heap")
 	values := fs.Bool("values", false, "also print the key-number table")
+	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	pf := prof.Register(fs)
 	if len(args) < 1 {
 		usage()
@@ -73,6 +74,7 @@ func run(args []string) {
 	}
 	id := args[0]
 	_ = fs.Parse(args[1:])
+	blemesh.SetExactCDF(*exact)
 	defer pf.Start()()
 	engine, err := blemesh.ParseEngine(*engineName)
 	if err != nil {
@@ -145,8 +147,10 @@ func all(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "duration scale")
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
+	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	pf := prof.Register(fs)
 	_ = fs.Parse(args)
+	blemesh.SetExactCDF(*exact)
 	defer pf.Start()()
 	for _, e := range blemesh.Experiments() {
 		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale, Workers: *workers})

@@ -7,6 +7,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 
 	"blemesh/internal/ble"
 	"blemesh/internal/coap"
@@ -84,9 +85,21 @@ type NetworkConfig struct {
 	PPMOverride map[int]float64
 	// Trace enables the per-node link event log (§4.2-style records).
 	Trace bool
-	// TraceCapacity overrides the trace ring capacity in events (default
-	// 65536). Provenance-heavy runs (latency decomposition) need more.
+	// TraceCapacity overrides the per-node trace ring capacity in events
+	// (default 65536). Provenance-heavy runs (latency decomposition) need
+	// more.
 	TraceCapacity int
+	// TraceSample keeps provenance spans for only this fraction of packets
+	// (0 or ≥1 = keep all). The decision is a pure hash of the packet ID
+	// made at mint time, so kept packets retain their complete multi-layer
+	// journeys and decompositions still tile exactly.
+	TraceSample float64
+	// StreamMetrics, when set, receives periodic registry snapshots as
+	// NDJSON during the run (one Gather pass every StreamEvery, each line
+	// tagged with snapshot index and sim time).
+	StreamMetrics io.Writer
+	// StreamEvery is the metrics streaming period (default 60s).
+	StreamEvery sim.Duration
 	// SeriesBucket overrides the PDR time-series bucket (default 60s; the
 	// churn experiment uses finer buckets to localise outage windows).
 	SeriesBucket sim.Duration
@@ -218,6 +231,7 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	medium.AddInterference(nw.blackout)
 	if cfg.Trace {
 		nw.Trace.Enable()
+		nw.Trace.SetSampleRate(cfg.TraceSample)
 	}
 	names := make(map[int]string)
 	for _, d := range testbed.BLENodes() {
@@ -275,6 +289,21 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	}
 	nw.llSeries = newLLSampler(nw, 60*sim.Second)
 	nw.registerMetrics(ids)
+	if cfg.StreamMetrics != nil {
+		every := cfg.StreamEvery
+		if every <= 0 {
+			every = 60 * sim.Second
+		}
+		st := nw.Registry.StreamNDJSON(cfg.StreamMetrics)
+		// The tick only reads collectors and writes to an external sink —
+		// it never touches the sim RNG, so streaming cannot perturb a run.
+		var tick func()
+		tick = func() {
+			_ = st.Snapshot(int64(s.Now()))
+			s.Post(every, tick)
+		}
+		s.Post(every, tick)
+	}
 	return nw
 }
 
@@ -367,8 +396,19 @@ func (nw *Network) registerMetrics(ids []int) {
 	nw.Registry.RegisterCounter("net.buffer_drops", func() float64 { return float64(nw.BufferDrops()) })
 	nw.Registry.RegisterCDF("net.rtt_seconds", nw.RTTs)
 	nw.Registry.Register("net.trace", func() []metrics.Sample {
-		return []metrics.Sample{{Name: "net.trace", Label: "events_total",
+		out := []metrics.Sample{{Name: "net.trace", Label: "events_total",
 			Kind: metrics.KindCounter, Value: float64(nw.Trace.Total())}}
+		// Sampling counters appear only when sampling is armed, so
+		// full-trace runs' registry output stays byte-identical with
+		// pre-sampling builds.
+		if nw.Trace.Sampling() {
+			out = append(out,
+				metrics.Sample{Name: "net.trace", Label: "pkt_kept",
+					Kind: metrics.KindCounter, Value: float64(nw.Trace.PktKept())},
+				metrics.Sample{Name: "net.trace", Label: "pkt_dropped",
+					Kind: metrics.KindCounter, Value: float64(nw.Trace.PktDropped())})
+		}
+		return out
 	})
 }
 
@@ -621,13 +661,12 @@ func (nw *Network) CoAPGiveUps() uint64 {
 }
 
 // ReconnectLatencies aggregates every node's completed loss→re-up latencies
-// into one CDF (seconds). Nodes are visited in ID order for determinism.
+// into one CDF (seconds) by merging the per-node distributions. Nodes are
+// visited in ID order, so the merged result is deterministic.
 func (nw *Network) ReconnectLatencies() *metrics.CDF {
 	cdf := &metrics.CDF{}
 	for _, id := range nw.Cfg.Topology.Nodes() {
-		for _, d := range nw.Nodes[id].Statconn.ReconnectLatencies() {
-			cdf.AddDuration(d)
-		}
+		cdf.Merge(nw.Nodes[id].Statconn.RecoveryDist())
 	}
 	return cdf
 }

@@ -148,9 +148,16 @@ func (st *Stack) SetTrace(l *trace.Log, node string) {
 // mintPID assigns the next provenance ID for a locally originated packet:
 // the low 16 bits of the node's MAC in the high word, a per-stack sequence
 // below — unique across the network and stable across traced/untraced runs.
+// The sampling verdict is registered here, once per packet, so the trace
+// log's kept/dropped population counts are exact; the sequence advances
+// unconditionally to keep IDs identical under any sample rate.
 func (st *Stack) mintPID() uint64 {
 	st.pidSeq++
-	return (st.mac&0xFFFF)<<48 | st.pidSeq
+	pid := (st.mac&0xFFFF)<<48 | st.pidSeq
+	if st.tr.Enabled() {
+		st.tr.DecidePkt(pid)
+	}
+	return pid
 }
 
 // NewStack builds a stack for a node with the given 48-bit link-layer

@@ -7,134 +7,178 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 
+	"blemesh/internal/metrics/sketch"
 	"blemesh/internal/sim"
 )
 
 // CDF accumulates samples and answers quantile queries.
 //
-// Sorting is incremental: samples[:nSorted] stays sorted across queries and
-// only the appendix added since the last query is sorted and merged in. The
-// harness interleaves Add with Quantile/ASCII (per-phase reports over a
-// growing run), where re-sorting the whole slice on every query is the
-// dominant cost.
+// The backing store is a Distribution, latched at the first Add: by default
+// the mergeable quantile sketch (internal/metrics/sketch — O(compression)
+// memory, ≤1% quantile error, exact N/mean/min/max), or the exact
+// sorted-sample store when SetExact(true) / BLEMESH_EXACT_CDF is in effect
+// (every sample retained, exact quantiles — the equivalence-suite mode).
+//
+// Scalar accessors (Quantile, Mean, Min, Max, Median, FractionBelow)
+// return 0 for an empty CDF; use the OK variants to distinguish "empty"
+// from a genuine zero.
 type CDF struct {
-	samples []float64
-	nSorted int // samples[:nSorted] is sorted
+	d Distribution
+}
+
+// dist returns the backing store, latching the mode-selected backend on
+// first use.
+func (c *CDF) dist() Distribution {
+	if c.d == nil {
+		c.d = newDistribution()
+	}
+	return c.d
+}
+
+// Exact reports whether this CDF is backed by the exact sample store (an
+// empty CDF reports the mode it would latch).
+func (c *CDF) Exact() bool {
+	if c.d == nil {
+		return ExactMode()
+	}
+	_, exact := c.d.(*exactDist)
+	return exact
 }
 
 // Add inserts a sample.
-func (c *CDF) Add(v float64) {
-	c.samples = append(c.samples, v)
-}
+func (c *CDF) Add(v float64) { c.dist().Add(v) }
 
 // AddDuration inserts a sim duration as seconds.
 func (c *CDF) AddDuration(d sim.Duration) { c.Add(d.Seconds()) }
 
 // N returns the sample count.
-func (c *CDF) N() int { return len(c.samples) }
+func (c *CDF) N() int {
+	if c.d == nil {
+		return 0
+	}
+	return c.d.N()
+}
 
-// sort establishes the sorted invariant over all samples. Cost is
-// O(k log k + n) for k samples added since the last query — a no-op when
-// nothing was added.
-func (c *CDF) sort() {
-	if c.nSorted == len(c.samples) {
+// MemBytes estimates the backing store's retained heap bytes — the number
+// blemesh-bench compares across sketch and exact modes.
+func (c *CDF) MemBytes() int {
+	if c.d == nil {
+		return 0
+	}
+	return c.d.MemBytes()
+}
+
+// Merge folds another CDF's samples into this one. Same-backend merges are
+// native (sketch centroid merge / sorted-sample append) and deterministic
+// for a deterministic merge order. Mixed-backend merges (possible only if
+// the mode was flipped between the two CDFs' first samples) degrade to
+// replaying the other side through its quantile function.
+func (c *CDF) Merge(o *CDF) {
+	if o == nil || o.d == nil || o.d.N() == 0 {
 		return
 	}
-	appendix := c.samples[c.nSorted:]
-	sort.Float64s(appendix)
-	if c.nSorted > 0 {
-		merged := make([]float64, 0, len(c.samples))
-		i, j := 0, 0
-		prefix := c.samples[:c.nSorted]
-		for i < len(prefix) && j < len(appendix) {
-			if prefix[i] <= appendix[j] {
-				merged = append(merged, prefix[i])
-				i++
-			} else {
-				merged = append(merged, appendix[j])
-				j++
-			}
+	d := c.dist()
+	switch od := o.d.(type) {
+	case *sketch.Sketch:
+		if sd, ok := d.(*sketch.Sketch); ok {
+			sd.Merge(od)
+			return
 		}
-		merged = append(merged, prefix[i:]...)
-		merged = append(merged, appendix[j:]...)
-		c.samples = merged
+	case *exactDist:
+		if ed, ok := d.(*exactDist); ok {
+			ed.merge(od)
+			return
+		}
 	}
-	c.nSorted = len(c.samples)
+	n := o.d.N()
+	for i := 0; i < n; i++ {
+		v, _ := o.d.Quantile((float64(i) + 0.5) / float64(n))
+		d.Add(v)
+	}
 }
 
-// Quantile returns the q-quantile (0..1) by linear interpolation.
+// QuantileOK returns the q-quantile (0..1), and false when empty.
+func (c *CDF) QuantileOK(q float64) (float64, bool) {
+	if c.d == nil {
+		return 0, false
+	}
+	return c.d.Quantile(q)
+}
+
+// Quantile returns the q-quantile (0..1); 0 when empty.
 func (c *CDF) Quantile(q float64) float64 {
-	if len(c.samples) == 0 {
-		return math.NaN()
-	}
-	c.sort()
-	if q <= 0 {
-		return c.samples[0]
-	}
-	if q >= 1 {
-		return c.samples[len(c.samples)-1]
-	}
-	pos := q * float64(len(c.samples)-1)
-	lo := int(pos)
-	frac := pos - float64(lo)
-	if lo+1 >= len(c.samples) {
-		return c.samples[len(c.samples)-1]
-	}
-	return c.samples[lo]*(1-frac) + c.samples[lo+1]*frac
+	v, _ := c.QuantileOK(q)
+	return v
 }
 
-// Median returns the 0.5 quantile.
+// Median returns the 0.5 quantile; 0 when empty.
 func (c *CDF) Median() float64 { return c.Quantile(0.5) }
 
-// Mean returns the arithmetic mean.
+// MeanOK returns the arithmetic mean, and false when empty.
+func (c *CDF) MeanOK() (float64, bool) {
+	if c.d == nil {
+		return 0, false
+	}
+	return c.d.Mean()
+}
+
+// Mean returns the arithmetic mean; 0 when empty.
 func (c *CDF) Mean() float64 {
-	if len(c.samples) == 0 {
-		return math.NaN()
-	}
-	sum := 0.0
-	for _, v := range c.samples {
-		sum += v
-	}
-	return sum / float64(len(c.samples))
+	v, _ := c.MeanOK()
+	return v
 }
 
-// Max returns the largest sample.
+// MaxOK returns the largest sample, and false when empty.
+func (c *CDF) MaxOK() (float64, bool) {
+	if c.d == nil {
+		return 0, false
+	}
+	return c.d.Max()
+}
+
+// Max returns the largest sample; 0 when empty.
 func (c *CDF) Max() float64 {
-	if len(c.samples) == 0 {
-		return math.NaN()
-	}
-	c.sort()
-	return c.samples[len(c.samples)-1]
+	v, _ := c.MaxOK()
+	return v
 }
 
-// Min returns the smallest sample.
+// MinOK returns the smallest sample, and false when empty.
+func (c *CDF) MinOK() (float64, bool) {
+	if c.d == nil {
+		return 0, false
+	}
+	return c.d.Min()
+}
+
+// Min returns the smallest sample; 0 when empty.
 func (c *CDF) Min() float64 {
-	if len(c.samples) == 0 {
-		return math.NaN()
-	}
-	c.sort()
-	return c.samples[0]
+	v, _ := c.MinOK()
+	return v
 }
 
-// FractionBelow returns the empirical CDF value at x.
-func (c *CDF) FractionBelow(x float64) float64 {
-	if len(c.samples) == 0 {
-		return math.NaN()
+// FractionBelowOK returns the empirical CDF value at x, and false when
+// empty. Exact mode counts samples strictly below x; sketch mode
+// interpolates the centroid CDF.
+func (c *CDF) FractionBelowOK(x float64) (float64, bool) {
+	if c.d == nil {
+		return 0, false
 	}
-	c.sort()
-	i := sort.SearchFloat64s(c.samples, x)
-	return float64(i) / float64(len(c.samples))
+	return c.d.Fraction(x)
+}
+
+// FractionBelow returns the empirical CDF value at x; 0 when empty.
+func (c *CDF) FractionBelow(x float64) float64 {
+	v, _ := c.FractionBelowOK(x)
+	return v
 }
 
 // Points returns n evenly spaced (x, F(x)) pairs for plotting.
 func (c *CDF) Points(n int) [][2]float64 {
-	if len(c.samples) == 0 || n < 2 {
+	if c.N() == 0 || n < 2 {
 		return nil
 	}
-	c.sort()
 	out := make([][2]float64, 0, n)
 	for i := 0; i < n; i++ {
 		q := float64(i) / float64(n-1)

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -91,18 +92,20 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 }
 
 // RegisterCDF registers a histogram-style source exporting count, mean,
-// and standard quantiles of a CDF.
+// and standard quantiles of a CDF. An empty CDF exports NaN values (JSON
+// null), matching the pre-sketch export bytes.
 func (r *Registry) RegisterCDF(name string, c *CDF) {
 	r.Register(name, func() []Sample {
 		out := []Sample{
 			{Name: name, Label: "count", Kind: KindGauge, Value: float64(c.N())},
-			{Name: name, Label: "mean", Kind: KindQuantile, Value: c.Mean()},
+			{Name: name, Label: "mean", Kind: KindQuantile, Value: nanIfEmpty(c.MeanOK())},
 		}
 		for _, q := range [...]struct {
 			label string
 			q     float64
 		}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1}} {
-			out = append(out, Sample{Name: name, Label: q.label, Kind: KindQuantile, Value: c.Quantile(q.q)})
+			out = append(out, Sample{Name: name, Label: q.label, Kind: KindQuantile,
+				Value: nanIfEmpty(c.QuantileOK(q.q))})
 		}
 		return out
 	})
@@ -126,33 +129,73 @@ func (r *Registry) Gather() []Sample {
 }
 
 // WriteNDJSON writes a Gather snapshot as newline-delimited JSON with a
-// fixed key order; NaN exports as null.
+// fixed key order; NaN exports as null. Output is buffered: the underlying
+// writer sees large chunks, not one syscall-sized write per sample.
 func (r *Registry) WriteNDJSON(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
 	for _, s := range r.Gather() {
-		_, err := fmt.Fprintf(w, "{\"name\":%s,\"label\":%s,\"kind\":%s,\"value\":%s}\n",
+		_, err := fmt.Fprintf(bw, "{\"name\":%s,\"label\":%s,\"kind\":%s,\"value\":%s}\n",
 			strconv.Quote(s.Name), strconv.Quote(s.Label),
 			strconv.Quote(s.Kind.String()), jsonFloat(s.Value))
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
-// WriteCSV writes a Gather snapshot as CSV with a header row.
+// WriteCSV writes a Gather snapshot as CSV with a header row, buffered like
+// WriteNDJSON.
 func (r *Registry) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "name,label,kind,value\n"); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := io.WriteString(bw, "name,label,kind,value\n"); err != nil {
 		return err
 	}
 	for _, s := range r.Gather() {
-		_, err := fmt.Fprintf(w, "%s,%s,%s,%s\n",
+		_, err := fmt.Fprintf(bw, "%s,%s,%s,%s\n",
 			s.Name, s.Label, s.Kind, csvNum(s.Value))
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
+
+// Streamer emits a registry's snapshots incrementally as NDJSON: each
+// Snapshot call appends one full Gather pass, every line tagged with the
+// snapshot index and the capture timestamp, then flushes. Long runs stream
+// their metrics as they go instead of materializing one terminal dump —
+// a consumer can tail the file and watch any series evolve.
+type Streamer struct {
+	r     *Registry
+	w     *bufio.Writer
+	snaps uint64
+}
+
+// StreamNDJSON creates a Streamer writing this registry's snapshots to w.
+func (r *Registry) StreamNDJSON(w io.Writer) *Streamer {
+	return &Streamer{r: r, w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Snapshot appends one registry snapshot captured at time at (ns) and
+// flushes it to the underlying writer. Lines carry the fixed key order
+// {"snap":...,"at":...,"name":...,"label":...,"kind":...,"value":...}, so
+// streamed output is as deterministic as a terminal WriteNDJSON dump.
+func (st *Streamer) Snapshot(at int64) error {
+	for _, s := range st.r.Gather() {
+		_, err := fmt.Fprintf(st.w, "{\"snap\":%d,\"at\":%d,\"name\":%s,\"label\":%s,\"kind\":%s,\"value\":%s}\n",
+			st.snaps, at, strconv.Quote(s.Name), strconv.Quote(s.Label),
+			strconv.Quote(s.Kind.String()), jsonFloat(s.Value))
+		if err != nil {
+			return err
+		}
+	}
+	st.snaps++
+	return st.w.Flush()
+}
+
+// Snapshots returns how many snapshots have been written.
+func (st *Streamer) Snapshots() uint64 { return st.snaps }
 
 // Render formats a Gather snapshot as aligned "name{label} value" lines.
 func (r *Registry) Render() string {

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"blemesh/internal/ble"
+	"blemesh/internal/metrics"
 	"blemesh/internal/sim"
 )
 
@@ -295,10 +296,11 @@ type Manager struct {
 	// Self-healing state: per-peer consecutive failed initiation attempts
 	// (drives the exponential backoff), when each proven link went down
 	// (drives recovery-latency measurement), and the completed recovery
-	// latencies.
+	// latencies as a mergeable distribution (seconds) — bounded memory in
+	// sketch mode, so long churny runs don't accumulate per-sample state.
 	attempts  map[ble.DevAddr]int
 	downSince map[ble.DevAddr]sim.Time
-	recovery  []sim.Duration
+	recovery  metrics.CDF
 
 	// stopped gates all topology-restoring reactions while the host is
 	// down; gen invalidates backoff timers armed before a shutdown.
@@ -341,25 +343,25 @@ func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
 }
 
 // Stats returns a copy of the manager counters, with the recovery-latency
-// percentiles computed from the recoveries completed so far.
+// percentiles computed from the recovery distribution accumulated so far
+// (quantile-sketch approximations by default, exact in exact-CDF mode).
 func (m *Manager) Stats() Stats {
 	st := m.stats
-	if len(m.recovery) > 0 {
-		sorted := append([]sim.Duration(nil), m.recovery...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		st.RecoveryP50 = sorted[(len(sorted)-1)*50/100]
-		st.RecoveryP95 = sorted[(len(sorted)-1)*95/100]
-		st.RecoveryMax = sorted[len(sorted)-1]
+	if m.recovery.N() > 0 {
+		st.RecoveryP50 = secondsToDuration(m.recovery.Quantile(0.5))
+		st.RecoveryP95 = secondsToDuration(m.recovery.Quantile(0.95))
+		st.RecoveryMax = secondsToDuration(m.recovery.Max())
 	}
 	st.Links = m.peerLinks()
 	return st
 }
 
-// ReconnectLatencies returns the completed loss→re-up latencies of this
-// node's coordinator-side links, in completion order.
-func (m *Manager) ReconnectLatencies() []sim.Duration {
-	return append([]sim.Duration(nil), m.recovery...)
-}
+func secondsToDuration(s float64) sim.Duration { return sim.Duration(s*1e9 + 0.5) }
+
+// RecoveryDist returns the completed loss→re-up latency distribution of
+// this node's coordinator-side links (seconds). The caller may Merge it
+// into a network-wide aggregate but must not Add to it.
+func (m *Manager) RecoveryDist() *metrics.CDF { return &m.recovery }
 
 // LossTimes returns when supervision losses happened (for loss-over-time
 // reporting).
@@ -518,7 +520,7 @@ func (m *Manager) handleConnect(c *ble.Conn) {
 		delete(m.attempts, c.Peer())
 		if t0, ok := m.downSince[c.Peer()]; ok {
 			delete(m.downSince, c.Peer())
-			m.recovery = append(m.recovery, m.s.Now()-t0)
+			m.recovery.AddDuration(m.s.Now() - t0)
 		}
 	}
 	q := m.quality(c.Peer())

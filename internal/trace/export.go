@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"strconv"
@@ -20,33 +21,38 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	return WriteCSV(w, l.Events(""))
 }
 
-// WriteNDJSON writes an event slice as newline-delimited JSON.
+// WriteNDJSON writes an event slice as newline-delimited JSON. Output is
+// buffered: the underlying writer sees large chunks, not one syscall-sized
+// write per event.
 func WriteNDJSON(w io.Writer, events []Event) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
 	for _, e := range events {
-		_, err := fmt.Fprintf(w, "{\"at\":%d,\"node\":%s,\"kind\":%s,\"id\":%d,\"dur\":%d,\"detail\":%s}\n",
+		_, err := fmt.Fprintf(bw, "{\"at\":%d,\"node\":%s,\"kind\":%s,\"id\":%d,\"dur\":%d,\"detail\":%s}\n",
 			int64(e.At), strconv.Quote(e.Node), strconv.Quote(e.Kind.String()),
 			e.ID, int64(e.Dur), strconv.Quote(e.Detail))
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
-// WriteCSV writes an event slice as CSV with a header row.
+// WriteCSV writes an event slice as CSV with a header row, buffered like
+// WriteNDJSON.
 func WriteCSV(w io.Writer, events []Event) error {
-	if _, err := io.WriteString(w, "at_ns,node,kind,id,dur_ns,detail\n"); err != nil {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := io.WriteString(bw, "at_ns,node,kind,id,dur_ns,detail\n"); err != nil {
 		return err
 	}
 	for _, e := range events {
-		_, err := fmt.Fprintf(w, "%d,%s,%s,%d,%d,%s\n",
+		_, err := fmt.Fprintf(bw, "%d,%s,%s,%d,%d,%s\n",
 			int64(e.At), csvField(e.Node), csvField(e.Kind.String()),
 			e.ID, int64(e.Dur), csvField(e.Detail))
 		if err != nil {
 			return err
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // csvField quotes a value when it contains CSV metacharacters (RFC 4180:

@@ -17,6 +17,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"blemesh/internal/sim"
@@ -101,6 +102,11 @@ type Event struct {
 	ID     uint64
 	Dur    sim.Duration
 	Detail string
+
+	// seq is the global emission sequence number, the merge key that
+	// restores one chronology across per-node shards (events at the same
+	// sim instant keep their emission order).
+	seq uint64
 }
 
 func (e Event) String() string {
@@ -110,26 +116,92 @@ func (e Event) String() string {
 	return fmt.Sprintf("%12.6f %-12s %-13s %s", e.At.Seconds(), e.Node, e.Kind, e.Detail)
 }
 
-// Log is a bounded ring buffer of events for one simulation. The zero Log
-// is disabled; Enable arms it.
+// Log is the flight recorder of one simulation: per-node bounded ring
+// buffers (shards) sharing one global sequence counter. Sharding keeps
+// recording O(1) per event with no cross-node contention for capacity —
+// a chatty border router can no longer evict a quiet leaf's history — and
+// shards grow lazily (geometric doubling up to the per-shard capacity), so
+// an armed log costs memory proportional to what was actually emitted, not
+// nodes × capacity. Export paths merge shards deterministically on the
+// global sequence. The zero Log is disabled; Enable arms it.
 type Log struct {
-	s       *sim.Sim
-	cap     int
+	s      *sim.Sim
+	cap    int // per-shard event capacity
+	shards map[string]*shard
+	filter uint32 // bitmask of enabled kinds; 0 = all
+	total  uint64 // events ever recorded; doubles as the sequence source
+	armed  bool
+
+	// Packet sampling: when armed (rate in (0,1)), provenance-tagged
+	// events are kept only for sampled packet IDs. The decision is a pure
+	// hash of the ID, so every layer of a kept packet's journey survives
+	// and Journeys/Decompose still tile exactly for the kept population.
+	sampleOn     bool
+	sampleRate   float64
+	sampleThresh uint64 // keep iff mix64(id)>>11 < thresh (53-bit space)
+	pktKept      uint64 // minted IDs decided keep (DecidePkt)
+	pktDropped   uint64 // minted IDs decided drop (DecidePkt)
+}
+
+// shard is one node's ring. buf grows geometrically to max before the ring
+// wraps, so short runs never pay worst-case capacity.
+type shard struct {
 	buf     []Event
 	next    int
 	wrapped bool
-	filter  uint32 // bitmask of enabled kinds; 0 = all
-	total   uint64
-	armed   bool
+	max     int
 }
 
-// New creates a log bound to a simulation with the given capacity
-// (default 65536 events).
+// shardSeedCap is the initial shard allocation (events).
+const shardSeedCap = 512
+
+func (sh *shard) put(e Event) {
+	if sh.next == len(sh.buf) {
+		// Full at sub-capacity size (a wrapped ring never parks next at
+		// len(buf)): double up to the bound.
+		n := len(sh.buf) * 2
+		if n < shardSeedCap {
+			n = shardSeedCap
+		}
+		if n > sh.max {
+			n = sh.max
+		}
+		grown := make([]Event, n)
+		copy(grown, sh.buf)
+		sh.buf = grown
+	}
+	sh.buf[sh.next] = e
+	sh.next++
+	if sh.next == sh.max && len(sh.buf) == sh.max {
+		sh.next = 0
+		sh.wrapped = true
+	}
+}
+
+// retained appends the shard's events in emission order, filtered.
+func (sh *shard) retained(match func(Event) bool, out []Event) []Event {
+	if sh.wrapped {
+		for _, e := range sh.buf[sh.next:] {
+			if match(e) {
+				out = append(out, e)
+			}
+		}
+	}
+	for _, e := range sh.buf[:sh.next] {
+		if match(e) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// New creates a log bound to a simulation with the given per-shard
+// capacity (default 65536 events per node).
 func New(s *sim.Sim, capacity int) *Log {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &Log{s: s, cap: capacity}
+	return &Log{s: s, cap: capacity, shards: make(map[string]*shard)}
 }
 
 // Enabled reports whether the log records anything. This is the one branch
@@ -137,10 +209,10 @@ func New(s *sim.Sim, capacity int) *Log {
 func (l *Log) Enabled() bool { return l != nil && l.armed }
 
 // Enable starts recording. Idempotent. Events retained from before a
-// Disable survive.
+// Disable survive. Shard buffers are allocated lazily as nodes emit.
 func (l *Log) Enable() {
-	if l.buf == nil {
-		l.buf = make([]Event, l.cap)
+	if l.shards == nil {
+		l.shards = make(map[string]*shard)
 	}
 	l.armed = true
 }
@@ -183,26 +255,108 @@ func (l *Log) record(node string, kind Kind, id uint64, dur sim.Duration, format
 	if l.filter != 0 && l.filter&(1<<uint(kind)) == 0 {
 		return
 	}
+	if id != 0 && !l.KeepPkt(id) {
+		return // sampled-out packet: drop its whole journey, every layer
+	}
 	detail := format
 	if len(args) > 0 {
 		detail = fmt.Sprintf(format, args...)
 	}
-	l.buf[l.next] = Event{At: l.s.Now(), Node: node, Kind: kind, ID: id, Dur: dur, Detail: detail}
-	l.next++
-	l.total++
-	if l.next == l.cap {
-		l.next = 0
-		l.wrapped = true
+	sh := l.shards[node]
+	if sh == nil {
+		sh = &shard{max: l.cap}
+		l.shards[node] = sh
 	}
+	sh.put(Event{At: l.s.Now(), Node: node, Kind: kind, ID: id, Dur: dur, Detail: detail, seq: l.total})
+	l.total++
 }
 
 // Total returns the number of events ever recorded (including evicted ones).
 func (l *Log) Total() uint64 { return l.total }
 
+// mix64 is the splitmix64 finalizer: a cheap, high-quality bijection of
+// packet IDs onto uniform 64-bit hashes, so the sampling decision is a pure
+// function of the ID — independent of node, layer, and emission time.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// SetSampleRate arms packet sampling: provenance-tagged events are kept
+// only for roughly a rate fraction of packet IDs. Rates ≤0 or ≥1 disable
+// sampling (keep everything). The decision hashes the ID into a 53-bit
+// space, so it is exact for representable rates and deterministic across
+// runs, workers, and scheduler backends.
+func (l *Log) SetSampleRate(rate float64) {
+	if rate <= 0 || rate >= 1 {
+		l.sampleOn = false
+		l.sampleRate = 1
+		l.sampleThresh = 0
+		return
+	}
+	l.sampleOn = true
+	l.sampleRate = rate
+	l.sampleThresh = uint64(rate * (1 << 53))
+}
+
+// Sampling reports whether packet sampling is armed.
+func (l *Log) Sampling() bool { return l != nil && l.sampleOn }
+
+// SampleRate returns the configured keep rate (1 when sampling is off).
+func (l *Log) SampleRate() float64 {
+	if l == nil || !l.sampleOn {
+		return 1
+	}
+	return l.sampleRate
+}
+
+// KeepPkt reports whether events tagged with this packet ID are retained
+// under the current sampling policy. Pure: same ID, same answer, at every
+// layer of the stack.
+func (l *Log) KeepPkt(id uint64) bool {
+	if !l.sampleOn {
+		return true
+	}
+	return mix64(id)>>11 < l.sampleThresh
+}
+
+// DecidePkt records the sampling verdict for a freshly minted packet ID and
+// returns it. The origin stack calls this once per mint so kept/dropped
+// population counts stay exact even though dropped packets leave no events.
+func (l *Log) DecidePkt(id uint64) bool {
+	keep := l.KeepPkt(id)
+	if keep {
+		l.pktKept++
+	} else {
+		l.pktDropped++
+	}
+	return keep
+}
+
+// PktKept returns how many minted packet IDs were decided keep.
+func (l *Log) PktKept() uint64 { return l.pktKept }
+
+// PktDropped returns how many minted packet IDs were decided drop.
+func (l *Log) PktDropped() uint64 { return l.pktDropped }
+
+// Shards returns the number of per-node rings currently allocated.
+func (l *Log) Shards() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.shards)
+}
+
 // Events returns the retained events in chronological order, optionally
-// filtered by kind and node (empty selectors match everything).
+// filtered by kind and node (empty selectors match everything). Cross-node
+// queries merge the per-node shards on the global sequence number, which
+// restores the exact emission chronology deterministically.
 func (l *Log) Events(node string, kinds ...Kind) []Event {
-	if l == nil || l.buf == nil {
+	if l == nil || len(l.shards) == 0 {
 		return nil
 	}
 	var mask uint32
@@ -210,30 +364,28 @@ func (l *Log) Events(node string, kinds ...Kind) []Event {
 		mask |= 1 << uint(k)
 	}
 	match := func(e Event) bool {
-		if e.Node == "" && e.Detail == "" && e.At == 0 {
-			return false // unfilled slot
-		}
-		if node != "" && e.Node != node {
-			return false
-		}
 		if mask != 0 && mask&(1<<uint(e.Kind)) == 0 {
 			return false
 		}
 		return true
 	}
+	if node != "" {
+		sh := l.shards[node]
+		if sh == nil {
+			return nil
+		}
+		return sh.retained(match, nil)
+	}
+	if len(l.shards) == 1 {
+		for _, sh := range l.shards {
+			return sh.retained(match, nil)
+		}
+	}
 	var out []Event
-	if l.wrapped {
-		for _, e := range l.buf[l.next:] {
-			if match(e) {
-				out = append(out, e)
-			}
-		}
+	for _, sh := range l.shards {
+		out = sh.retained(match, out)
 	}
-	for _, e := range l.buf[:l.next] {
-		if match(e) {
-			out = append(out, e)
-		}
-	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
 	return out
 }
 

@@ -250,6 +250,11 @@ func Line() Topology { return testbed.Line() }
 // dynamic routing plane always has an alternate path to repair onto.
 func Mesh() Topology { return testbed.Mesh() }
 
+// Forest returns n RF-isolated copies of the tree testbed — the multi-site
+// workload the sharded scheduler (NetworkConfig.Shards) can actually
+// parallelise.
+func Forest(n int) Topology { return testbed.Forest(n) }
+
 // BuildNetwork assembles a full testbed network with traffic and metrics
 // plumbing (the experiment harness's builder).
 func BuildNetwork(cfg NetworkConfig) *Network { return exp.BuildNetwork(cfg) }

@@ -7,7 +7,7 @@
 //
 //	blemesh-sweep [-scale F] [-runs N] [-seed N] [-workers N]
 //	              [-producers 100,1000] [-intervals "25,75,[65:85]"]
-//	              [-engine wheel|heap] [-progress]
+//	              [-engine wheel|heap] [-shards N] [-progress]
 //
 // At -scale 1 -runs 5 this is the paper's full 300 simulated hours. The
 // output is byte-identical for every -workers value; only wall-clock time
@@ -31,6 +31,7 @@ func main() {
 	runs := flag.Int("runs", 1, "repetitions per configuration (paper: 5)")
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	engineName := flag.String("engine", "wheel", "sim event-queue engine: wheel or heap")
+	shards := flag.Int("shards", 0, "worker lanes of the sharded conservative scheduler per run (0 = serial engine; output is identical either way)")
 	producersFlag := flag.String("producers", "", "comma-separated producer intervals in ms (default: full Fig. 15 grid)")
 	intervalsFlag := flag.String("intervals", "", "comma-separated interval config names, e.g. 25,75,[65:85] (default: all ten)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
@@ -59,7 +60,7 @@ func main() {
 	sc := blemesh.SweepConfig{
 		Options: blemesh.Options{
 			Seed: *seed, Scale: *scale, Runs: *runs,
-			Workers: *workers, Engine: engine,
+			Workers: *workers, Engine: engine, Shards: *shards,
 		},
 		Producers: producers,
 		Configs:   configs,

@@ -27,7 +27,7 @@ import (
 
 func main() {
 	fs := flag.NewFlagSet("blemesh-trace", flag.ExitOnError)
-	topoName := fs.String("topo", "tree", "topology: tree or line")
+	topoName := fs.String("topo", "tree", "topology: tree, line, or forest (4 isolated trees)")
 	minutes := fs.Int("minutes", 5, "simulated minutes of traffic")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	node := fs.String("node", "", "restrict the event dump to one node name")
@@ -42,12 +42,19 @@ func main() {
 	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	streamPath := fs.String("stream", "", "stream periodic registry snapshots (NDJSON) to this file during the run")
 	streamEvery := fs.Int("stream-every", 60, "streaming period in simulated seconds")
+	shards := fs.Int("shards", 0, "worker lanes of the sharded conservative scheduler (0 = serial engine; output is identical either way)")
 	_ = fs.Parse(os.Args[1:])
 
 	blemesh.SetExactCDF(*exact)
 	topo := blemesh.Tree()
-	if *topoName == "line" {
+	switch *topoName {
+	case "tree":
+	case "line":
 		topo = blemesh.Line()
+	case "forest":
+		topo = blemesh.Forest(4)
+	default:
+		fatal(fmt.Errorf("unknown topology %q (tree, line, or forest)", *topoName))
 	}
 	cfg := blemesh.NetworkConfig{
 		Seed:          *seed,
@@ -56,6 +63,7 @@ func main() {
 		Trace:         true,
 		TraceCapacity: 1 << 20,
 		TraceSample:   *sample,
+		Shards:        *shards,
 	}
 	if *streamPath != "" {
 		f, err := os.Create(*streamPath)

@@ -45,9 +45,9 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   blemesh list                                   list experiments
-  blemesh run <id> [-seed N] [-scale F] [-runs N] [-workers N] [-engine wheel|heap] [-values]
-  blemesh all [-scale F] [-seed N] [-workers N]  run everything
-  blemesh trace [-topo tree|line|mesh] [-minutes N] [-seed N] [-node NAME] [-routing static|dynamic]
+  blemesh run <id> [-seed N] [-scale F] [-runs N] [-workers N] [-engine wheel|heap] [-shards N] [-values]
+  blemesh all [-scale F] [-seed N] [-workers N] [-shards N]  run everything
+  blemesh trace [-topo tree|line|mesh|forest] [-minutes N] [-seed N] [-node NAME] [-routing static|dynamic] [-shards N]
                                                  dump the link event log of a run`)
 }
 
@@ -65,6 +65,7 @@ func run(args []string) {
 	runs := fs.Int("runs", 1, "repetitions (paper: 5)")
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
 	engineName := fs.String("engine", "wheel", "sim event-queue engine: wheel or heap")
+	shards := fs.Int("shards", 0, "worker lanes of the sharded conservative scheduler (0 = serial engine; output is identical either way)")
 	values := fs.Bool("values", false, "also print the key-number table")
 	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	pf := prof.Register(fs)
@@ -83,6 +84,7 @@ func run(args []string) {
 	}
 	rep, err := blemesh.RunExperiment(id, blemesh.Options{
 		Seed: *seed, Scale: *scale, Runs: *runs, Workers: *workers, Engine: engine,
+		Shards: *shards,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -100,11 +102,12 @@ func run(args []string) {
 
 func traceRun(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	topoName := fs.String("topo", "tree", "tree, line, or mesh")
+	topoName := fs.String("topo", "tree", "tree, line, mesh, or forest (4 isolated trees)")
 	minutes := fs.Int("minutes", 10, "simulated minutes")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	node := fs.String("node", "", "restrict to one node name")
 	routingName := fs.String("routing", "static", "routing plane: static or dynamic (RPL-lite)")
+	shards := fs.Int("shards", 0, "worker lanes of the sharded conservative scheduler (0 = serial engine)")
 	_ = fs.Parse(args)
 	var topo blemesh.Topology
 	switch *topoName {
@@ -114,8 +117,10 @@ func traceRun(args []string) {
 		topo = blemesh.Line()
 	case "mesh":
 		topo = blemesh.Mesh()
+	case "forest":
+		topo = blemesh.Forest(4)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q (tree, line, or mesh)\n", *topoName)
+		fmt.Fprintf(os.Stderr, "unknown topology %q (tree, line, mesh, or forest)\n", *topoName)
 		os.Exit(2)
 	}
 	routing, err := blemesh.ParseRouting(*routingName)
@@ -129,6 +134,7 @@ func traceRun(args []string) {
 		JamChannel22: true,
 		Trace:        true,
 		Routing:      routing,
+		Shards:       *shards,
 	})
 	nw.WaitTopology(60 * blemesh.Second)
 	if routing == blemesh.RoutingDynamic && !nw.WaitConverged(120*blemesh.Second) {
@@ -147,13 +153,14 @@ func all(args []string) {
 	seed := fs.Int64("seed", 1, "simulation seed")
 	scale := fs.Float64("scale", 1.0, "duration scale")
 	workers := fs.Int("workers", 0, "parallel workers for repeated/swept experiments (0 = GOMAXPROCS)")
+	shards := fs.Int("shards", 0, "worker lanes of the sharded conservative scheduler (0 = serial engine)")
 	exact := fs.Bool("exact", false, "use the exact CDF backend instead of the quantile sketch")
 	pf := prof.Register(fs)
 	_ = fs.Parse(args)
 	blemesh.SetExactCDF(*exact)
 	defer pf.Start()()
 	for _, e := range blemesh.Experiments() {
-		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale, Workers: *workers})
+		rep, err := blemesh.RunExperiment(e.ID, blemesh.Options{Seed: *seed, Scale: *scale, Workers: *workers, Shards: *shards})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

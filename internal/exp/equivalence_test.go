@@ -93,6 +93,162 @@ func TestEngineEquivalence(t *testing.T) {
 	}
 }
 
+// shardedExport drives the same workload as engineExport but through the
+// conservative sharded scheduler with the given worker-lane count.
+func shardedExport(t *testing.T, seed int64, churn bool, shards int) string {
+	t.Helper()
+	nw := BuildNetwork(NetworkConfig{
+		Seed:          seed,
+		Engine:        sim.EngineWheel,
+		Shards:        shards,
+		Topology:      testbed.Tree(),
+		Policy:        statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22:  true,
+		Trace:         true,
+		TraceCapacity: 1 << 18,
+	})
+	if !nw.WaitTopology(60 * sim.Second) {
+		t.Fatalf("shards %d seed %d: topology did not form within 60s", shards, seed)
+	}
+	nw.Run(5 * sim.Second)
+	nw.StartTraffic(TrafficConfig{Interval: sim.Second, Jitter: 500 * sim.Millisecond})
+	if churn {
+		nw.Run(10 * sim.Second)
+		plan := &fault.Plan{Events: []fault.Event{
+			{At: 0, Kind: fault.Reboot, Node: 2, Dwell: churnDwell},
+		}}
+		if _, err := fault.Attach(nw.Sim, nw, plan); err != nil {
+			t.Fatal(err)
+		}
+		nw.Run(30 * sim.Second)
+	} else {
+		nw.Run(20 * sim.Second)
+	}
+	var b strings.Builder
+	if err := nw.Trace.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Registry.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestShardEquivalence is the determinism contract for the sharded scheduler:
+// 16 seeds of the dense-tree and churn workloads, for every shard count in
+// {1, 2, 4, 8}, must export byte-identical trace and metrics NDJSON to the
+// serial timer-wheel engine. The shard count is a worker-lane knob, never an
+// output knob.
+func TestShardEquivalence(t *testing.T) {
+	for _, wl := range []struct {
+		name  string
+		churn bool
+	}{{"dense-tree", false}, {"churn", true}} {
+		t.Run(wl.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 16; seed++ {
+				serial := engineExport(t, sim.EngineWheel, seed, wl.churn)
+				if serial == "" {
+					t.Fatalf("seed %d: empty export", seed)
+				}
+				for _, shards := range []int{1, 2, 4, 8} {
+					got := shardedExport(t, seed, wl.churn, shards)
+					if got != serial {
+						n, g, w := firstDiff(got, serial)
+						t.Fatalf("seed %d shards %d: diverges from serial at line %d:\n  sharded: %s\n  serial:  %s",
+							seed, shards, n, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// forestExport drives a four-site forest (four RF-isolated tree testbeds)
+// through the scheduler and returns the merged observable output. shards==0
+// selects the legacy serial engine with phy domain partitioning.
+func forestExport(t *testing.T, seed int64, churn bool, shards int) string {
+	t.Helper()
+	nw := BuildNetwork(NetworkConfig{
+		Seed:          seed,
+		Engine:        sim.EngineWheel,
+		Shards:        shards,
+		Topology:      testbed.Forest(4),
+		Policy:        statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22:  true,
+		Trace:         true,
+		TraceCapacity: 1 << 18,
+	})
+	if !nw.WaitTopology(60 * sim.Second) {
+		t.Fatalf("forest shards %d seed %d: topology did not form within 60s", shards, seed)
+	}
+	nw.Run(5 * sim.Second)
+	nw.StartTraffic(TrafficConfig{Interval: sim.Second, Jitter: 500 * sim.Millisecond})
+	if churn {
+		// Reboot depth-1 routers in two different sites: fault events run on
+		// the global lane and must splice deterministically into per-site
+		// windows.
+		nw.Run(10 * sim.Second)
+		plan := &fault.Plan{Events: []fault.Event{
+			{At: 0, Kind: fault.Reboot, Node: 2, Dwell: churnDwell},
+			{At: 2 * sim.Second, Kind: fault.Reboot, Node: 102, Dwell: churnDwell},
+		}}
+		if _, err := fault.Attach(nw.Sim, nw, plan); err != nil {
+			t.Fatal(err)
+		}
+		nw.Run(30 * sim.Second)
+	} else {
+		nw.Run(20 * sim.Second)
+	}
+	var b strings.Builder
+	if err := nw.Trace.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Registry.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestForestShardWorkerInvariance pins the multi-site case: a 4-site forest
+// driven with 1, 2, 4, and 8 worker lanes — with and without cross-site
+// churn — must produce byte-identical exports. This is where windows really
+// run concurrently, so it is the racing half of the determinism contract.
+func TestForestShardWorkerInvariance(t *testing.T) {
+	for _, wl := range []struct {
+		name  string
+		churn bool
+	}{{"dense-forest", false}, {"forest-churn", true}} {
+		t.Run(wl.name, func(t *testing.T) {
+			for seed := int64(1); seed <= 4; seed++ {
+				ref := forestExport(t, seed, wl.churn, 1)
+				if ref == "" {
+					t.Fatalf("seed %d: empty export", seed)
+				}
+				for _, shards := range []int{2, 4, 8} {
+					got := forestExport(t, seed, wl.churn, shards)
+					if got != ref {
+						n, g, w := firstDiff(got, ref)
+						t.Fatalf("seed %d shards %d: diverges from shards=1 at line %d:\n  got:  %s\n  want: %s",
+							seed, shards, n, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestForestShardedIsRepeatable pins the sharded multi-site export itself as
+// deterministic run-to-run, so worker-invariance passes cannot be
+// different-but-luckily-equal runs.
+func TestForestShardedIsRepeatable(t *testing.T) {
+	a := forestExport(t, 1, false, 4)
+	b := forestExport(t, 1, false, 4)
+	if a != b {
+		n, g, w := firstDiff(a, b)
+		t.Fatalf("same config diverges run-to-run at line %d:\n  %s\n  %s", n, g, w)
+	}
+}
+
 // TestEngineEquivalenceIsRepeatable pins the export itself as deterministic:
 // the same engine twice must also be byte-identical, so a pass of
 // TestEngineEquivalence cannot be two different-but-luckily-equal runs.

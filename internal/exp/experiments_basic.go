@@ -23,6 +23,7 @@ func runTopo(o Options, run int, topo testbed.Topology, policy statconn.Interval
 	cfg := NetworkConfig{
 		Seed:         o.Seed + int64(run)*1000,
 		Engine:       o.Engine,
+		Shards:       o.Shards,
 		Topology:     topo,
 		Policy:       policy,
 		JamChannel22: true,

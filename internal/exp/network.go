@@ -113,6 +113,15 @@ type NetworkConfig struct {
 	// RPL overrides the per-node RPL-lite configuration in dynamic mode
 	// (Root is set per node regardless; nil uses rpl defaults).
 	RPL *rpl.Config
+	// Shards selects the sharded scheduler (internal/sim Sharded): the
+	// topology is cut into RF-isolated sites (connected components), each
+	// driven by its own event queue and clock under a conservative barrier
+	// protocol, and Shards worker goroutines execute the site windows.
+	// 0 (default) keeps the historical serial single-queue run. Any value
+	// ≥ 1 selects the sharded schedule, whose output is byte-identical for
+	// every worker count — and, on single-site topologies, byte-identical
+	// to the serial run as well.
+	Shards int
 }
 
 func (c *NetworkConfig) defaults() {
@@ -158,13 +167,31 @@ func (t *TrafficConfig) defaults() {
 
 // Network is an assembled BLE testbed network with live metric collection.
 type Network struct {
-	Sim    *sim.Sim
+	// Sim is the run's scheduling surface for external code (fault plans,
+	// streaming ticks): the single simulation in serial runs, site 0 in
+	// single-site sharded runs, and the barrier-synchronized global lane
+	// in multi-site sharded runs.
+	Sim *sim.Sim
+	// Sharded is the conservative parallel scheduler; nil in serial runs.
+	Sharded *sim.Sharded
+	// Medium is the first (often only) RF medium; Media holds one medium
+	// per site in sharded runs (Media[0] == Medium).
 	Medium *phy.Medium
+	Media  []*phy.Medium
 	Cfg    NetworkConfig
 	Nodes  map[int]*core.Node
 	Meters map[int]*energy.Meter
 
 	consumerID int
+
+	// Site decomposition: sites are the topology's connected components;
+	// consumers holds one traffic sink per site (aligned with sites).
+	sites     [][]int
+	siteOf    map[int]int
+	consumers []int
+	// perSite marks multi-site sharded runs, where RTT/PDR collection is
+	// split per site so domain windows never share a metrics object.
+	perSite bool
 
 	// Trace is the network-wide event log (enabled via NetworkConfig).
 	Trace *trace.Log
@@ -173,69 +200,161 @@ type Network struct {
 	// and the network-level aggregates register named collectors here.
 	Registry *metrics.Registry
 
-	// Metrics.
+	// Metrics. In perSite runs RTTs/Series alias site 0's objects; use
+	// MergedRTTs/MergedSeries for network-wide views.
 	RTTs     *metrics.CDF
 	PerProd  *metrics.Heatmap
 	Series   *metrics.TimeSeries
+	rtts     []*metrics.CDF
+	series   []*metrics.TimeSeries
 	llSeries *llSampler
 	traffic  TrafficConfig
 	started  bool
 	lossBase uint64 // link losses before traffic start (setup collisions)
 
-	// Fault-injection hooks (Network implements fault.Target).
-	blackout *phy.Switched
-	jammers  map[phy.Channel]*phy.Switched
+	// Fault-injection hooks (Network implements fault.Target), one per
+	// medium so faults hit every site.
+	blackouts []*phy.Switched
+	jammers   map[phy.Channel][]*phy.Switched
 }
 
 // BuildNetwork assembles the BLE network for cfg.
+//
+// With cfg.Shards == 0 (the default) the whole network runs on one serial
+// simulation; multi-site topologies share that simulation through a
+// domain-partitioned medium. With cfg.Shards ≥ 1 each site (connected
+// component — an RF-closure domain with effectively infinite lookahead to
+// every other site) gets its own simulation and medium under the
+// conservative barrier scheduler, and cfg.Shards worker goroutines execute
+// the site windows. Output is a pure function of the site decomposition,
+// never of the worker count.
 func BuildNetwork(cfg NetworkConfig) *Network {
 	cfg.defaults()
-	s := sim.NewWithEngine(cfg.Seed, cfg.Engine)
-	medium := phy.NewMedium(s)
-	if cfg.NoisePER > 0 {
-		medium.AddInterference(phy.RandomNoise{PER: cfg.NoisePER})
-	}
-	chanMap := ble.AllDataChannels
-	if cfg.JamChannel22 {
-		medium.AddInterference(phy.Jammer{Ch: 22})
-		chanMap = chanMap.WithoutChannel(22)
-	}
-	if cfg.Burst != nil {
-		medium.AddInterference(phy.NewBurstNoise(s, *cfg.Burst))
-	}
+	sites := cfg.Topology.Sites()
+	shardedMode := cfg.Shards >= 1
+
 	seriesBucket := cfg.SeriesBucket
 	if seriesBucket <= 0 {
 		seriesBucket = 60 * sim.Second
 	}
+	nw := &Network{
+		Cfg:        cfg,
+		Nodes:      make(map[int]*core.Node),
+		Meters:     make(map[int]*energy.Meter),
+		consumerID: cfg.Topology.Consumer,
+		sites:      sites,
+		siteOf:     make(map[int]int),
+		consumers:  cfg.Topology.SiteConsumers(),
+		perSite:    shardedMode && len(sites) > 1,
+		PerProd:    metrics.NewHeatmap(60 * sim.Second),
+		Registry:   metrics.NewRegistry(),
+		jammers:    make(map[phy.Channel][]*phy.Switched),
+	}
+	for si, site := range sites {
+		for _, id := range site {
+			nw.siteOf[id] = si
+		}
+	}
+
+	// Scheduling surfaces: one Sim per site (all the same Sim in serial
+	// mode), plus nw.Sim for external scheduling (see the field comment).
+	siteSims := make([]*sim.Sim, len(sites))
+	if shardedMode {
+		sh := sim.NewSharded(cfg.Seed, cfg.Engine, len(sites), 0)
+		sh.SetWorkers(cfg.Shards)
+		nw.Sharded = sh
+		for i := range siteSims {
+			siteSims[i] = sh.Shard(i)
+		}
+		if len(sites) > 1 {
+			nw.Sim = sh.Global()
+		} else {
+			nw.Sim = sh.Shard(0)
+		}
+	} else {
+		s := sim.NewWithEngine(cfg.Seed, cfg.Engine)
+		nw.Sim = s
+		for i := range siteSims {
+			siteSims[i] = s
+		}
+	}
+
+	// RF media: serial runs share one medium (multi-site topologies
+	// partition it into RF domains); sharded runs give each site its own
+	// medium on its own simulation. Interference attach order matches the
+	// historical build exactly: noise, channel-22 jammer, burst, blackout.
+	chanMap := ble.AllDataChannels
+	if cfg.JamChannel22 {
+		chanMap = chanMap.WithoutChannel(22)
+	}
+	buildMedium := func(s *sim.Sim) *phy.Medium {
+		m := phy.NewMedium(s)
+		if cfg.NoisePER > 0 {
+			m.AddInterference(phy.RandomNoise{PER: cfg.NoisePER})
+		}
+		if cfg.JamChannel22 {
+			m.AddInterference(phy.Jammer{Ch: 22})
+		}
+		if cfg.Burst != nil {
+			m.AddInterference(phy.NewBurstNoise(s, *cfg.Burst))
+		}
+		b := phy.NewSwitched(phy.Jammer{Ch: phy.AnyChannel})
+		m.AddInterference(b)
+		nw.blackouts = append(nw.blackouts, b)
+		nw.Media = append(nw.Media, m)
+		return m
+	}
+	if shardedMode {
+		for i := range sites {
+			buildMedium(siteSims[i])
+		}
+	} else {
+		buildMedium(nw.Sim)
+	}
+	nw.Medium = nw.Media[0]
+
+	// Metric surfaces: one RTT CDF and PDR series per site in perSite
+	// runs; a single shared pair otherwise. RTTs/Series always alias
+	// site 0 so single-site experiment code reads them unchanged.
+	nsurf := 1
+	if nw.perSite {
+		nsurf = len(sites)
+	}
+	for i := 0; i < nsurf; i++ {
+		nw.rtts = append(nw.rtts, &metrics.CDF{})
+		nw.series = append(nw.series, metrics.NewTimeSeries(seriesBucket))
+	}
+	nw.RTTs, nw.Series = nw.rtts[0], nw.series[0]
+
+	nw.Trace = trace.New(nw.Sim, cfg.TraceCapacity)
+	if cfg.Trace {
+		nw.Trace.Enable()
+		nw.Trace.SetSampleRate(cfg.TraceSample)
+	}
+
 	ids := cfg.Topology.Nodes()
 	ppm := testbed.ClockPPM(cfg.Seed, ids, cfg.MaxPPM)
 	for id, v := range cfg.PPMOverride {
 		ppm[id] = v
 	}
-
-	nw := &Network{
-		Sim:        s,
-		Medium:     medium,
-		Cfg:        cfg,
-		Nodes:      make(map[int]*core.Node),
-		Meters:     make(map[int]*energy.Meter),
-		consumerID: cfg.Topology.Consumer,
-		RTTs:       &metrics.CDF{},
-		PerProd:    metrics.NewHeatmap(60 * sim.Second),
-		Series:     metrics.NewTimeSeries(seriesBucket),
-		Trace:      trace.New(s, cfg.TraceCapacity),
-		Registry:   metrics.NewRegistry(),
-		blackout:   phy.NewSwitched(phy.Jammer{Ch: phy.AnyChannel}),
-		jammers:    make(map[phy.Channel]*phy.Switched),
-	}
-	medium.AddInterference(nw.blackout)
-	if cfg.Trace {
-		nw.Trace.Enable()
-		nw.Trace.SetSampleRate(cfg.TraceSample)
-	}
 	names := make(map[int]string)
 	for _, d := range testbed.BLENodes() {
 		names[d.ID] = d.Name
+	}
+	nodeName := func(id int) string {
+		if n := names[id]; n != "" {
+			return n
+		}
+		return fmt.Sprintf("node-%d", id)
+	}
+	if shardedMode {
+		// Sharded recording must never grow the ring map from a worker
+		// goroutine: register every emitter up front against its site's
+		// clock, then freeze.
+		for _, id := range ids {
+			nw.Trace.RegisterNode(nodeName(id), siteSims[nw.siteOf[id]], nw.siteOf[id])
+		}
+		nw.Trace.Freeze()
 	}
 	for _, id := range ids {
 		var rcfg *rpl.Config
@@ -247,8 +366,15 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 			c.Root = id == cfg.Topology.Consumer
 			rcfg = &c
 		}
-		n := core.NewNode(s, medium, core.NodeConfig{
-			Name:     names[id],
+		site := nw.siteOf[id]
+		medium := nw.Media[0]
+		if shardedMode {
+			medium = nw.Media[site]
+		} else {
+			medium.SetDomain(site)
+		}
+		n := core.NewNode(siteSims[site], medium, core.NodeConfig{
+			Name:     nodeName(id),
 			MAC:      uint64(0x5A0000000000) + uint64(id),
 			ClockPPM: ppm[id],
 			SCA:      cfg.SCA,
@@ -297,12 +423,14 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		st := nw.Registry.StreamNDJSON(cfg.StreamMetrics)
 		// The tick only reads collectors and writes to an external sink —
 		// it never touches the sim RNG, so streaming cannot perturb a run.
+		// In multi-site sharded runs nw.Sim is the global lane, so each
+		// snapshot observes every site at a consistent barrier time.
 		var tick func()
 		tick = func() {
-			_ = st.Snapshot(int64(s.Now()))
-			s.Post(every, tick)
+			_ = st.Snapshot(int64(nw.Sim.Now()))
+			nw.Sim.Post(every, tick)
 		}
-		s.Post(every, tick)
+		nw.Sim.Post(every, tick)
 	}
 	return nw
 }
@@ -394,7 +522,16 @@ func (nw *Network) registerMetrics(ids []int) {
 	nw.Registry.RegisterGauge("net.ll_pdr", nw.LLPDR)
 	nw.Registry.RegisterCounter("net.conn_losses", func() float64 { return float64(nw.ConnLosses()) })
 	nw.Registry.RegisterCounter("net.buffer_drops", func() float64 { return float64(nw.BufferDrops()) })
-	nw.Registry.RegisterCDF("net.rtt_seconds", nw.RTTs)
+	if nw.perSite {
+		// Merge the per-site CDFs at gather time; CDFSamples reproduces
+		// RegisterCDF's exact sample shape, so the export rows are
+		// byte-compatible with the single-CDF path.
+		nw.Registry.Register("net.rtt_seconds", func() []metrics.Sample {
+			return metrics.CDFSamples("net.rtt_seconds", nw.MergedRTTs())
+		})
+	} else {
+		nw.Registry.RegisterCDF("net.rtt_seconds", nw.RTTs)
+	}
 	nw.Registry.Register("net.trace", func() []metrics.Sample {
 		out := []metrics.Sample{{Name: "net.trace", Label: "events_total",
 			Kind: metrics.KindCounter, Value: float64(nw.Trace.Total())}}
@@ -435,15 +572,24 @@ func (nw *Network) Consumer() *core.Node { return nw.Nodes[nw.consumerID] }
 // Node returns a node by testbed ID.
 func (nw *Network) Node(id int) *core.Node { return nw.Nodes[id] }
 
+// Now returns the run's current time: the barrier time in sharded runs,
+// the simulation clock otherwise.
+func (nw *Network) Now() sim.Time {
+	if nw.Sharded != nil {
+		return nw.Sharded.Now()
+	}
+	return nw.Sim.Now()
+}
+
 // WaitTopology runs the simulation until every configured link is up (or
 // the deadline passes). It returns whether the topology formed.
 func (nw *Network) WaitTopology(deadline sim.Duration) bool {
-	end := nw.Sim.Now() + deadline
-	for nw.Sim.Now() < end {
+	end := nw.Now() + deadline
+	for nw.Now() < end {
 		if nw.linksUp() {
 			return true
 		}
-		nw.Sim.Run(nw.Sim.Now() + 100*sim.Millisecond)
+		nw.Run(100 * sim.Millisecond)
 	}
 	return nw.linksUp()
 }
@@ -522,12 +668,12 @@ func (nw *Network) Converged() bool {
 // WaitConverged runs the simulation until Converged (or the deadline
 // passes), polling every 100ms; it returns whether convergence was reached.
 func (nw *Network) WaitConverged(deadline sim.Duration) bool {
-	end := nw.Sim.Now() + deadline
-	for nw.Sim.Now() < end {
+	end := nw.Now() + deadline
+	for nw.Now() < end {
 		if nw.Converged() {
 			return true
 		}
-		nw.Sim.Run(nw.Sim.Now() + 100*sim.Millisecond)
+		nw.Run(100 * sim.Millisecond)
 	}
 	return nw.Converged()
 }
@@ -544,12 +690,15 @@ func (nw *Network) StartTraffic(t TrafficConfig) {
 	// depend on Go map iteration.
 	for _, id := range nw.Cfg.Topology.Nodes() {
 		if m := nw.Meters[id]; m != nil {
-			m.Reset(nw.Sim.Now())
+			m.Reset(nw.Now())
 		}
 	}
-	consumer := nw.Consumer()
-	consumer.Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
-		return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+	// Every site's sink answers; single-site topologies have exactly the
+	// historical consumer.
+	for _, cid := range nw.consumers {
+		nw.Nodes[cid].Coap.Handler = func(_ ip6.Addr, req *coap.Message) *coap.Message {
+			return &coap.Message{Type: coap.ACK, Code: coap.CodeValid}
+		}
 	}
 	for _, id := range nw.Cfg.Topology.Producers() {
 		nw.startProducer(id, t)
@@ -563,41 +712,102 @@ func (nw *Network) startProducer(id int, t TrafficConfig) {
 		name = fmt.Sprintf("node-%d", id)
 	}
 	row := nw.PerProd.Row(name)
-	dst := nw.Consumer().Addr()
+	// Everything the loop touches is site-local: the node's own Sim (the
+	// shared serial Sim outside sharded runs), the site's sink, and the
+	// site's metric surfaces — so producer events run safely inside
+	// parallel domain windows.
+	s := node.Sim
+	series, rtts := nw.Series, nw.RTTs
+	if nw.perSite {
+		site := nw.siteOf[id]
+		series, rtts = nw.series[site], nw.rtts[site]
+	}
+	dst := nw.Nodes[nw.consumers[nw.siteOf[id]]].Addr()
 	var loop func()
 	loop = func() {
-		sent := nw.Sim.Now()
+		sent := s.Now()
 		req := &coap.Message{Type: coap.NON, Code: coap.CodeGET,
 			Payload: make([]byte, t.PayloadBytes)}
 		req.SetPath("s")
-		nw.Series.RecordSent(sent)
+		series.RecordSent(sent)
 		row.RecordSent(sent)
 		err := node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration, _ error) {
 			if m == nil {
 				return
 			}
-			nw.Series.RecordDelivered(sent)
+			series.RecordDelivered(sent)
 			row.RecordDelivered(sent)
-			nw.RTTs.AddDuration(rtt)
+			rtts.AddDuration(rtt)
 		})
 		_ = err // send failures (no route during reconnect) count as losses
 		delay := t.Interval
 		if t.Jitter > 0 {
-			delay += sim.Duration(nw.Sim.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
+			delay += sim.Duration(s.Rand().Int63n(int64(2*t.Jitter))) - t.Jitter
 		}
-		nw.Sim.Post(delay, loop)
+		s.Post(delay, loop)
 	}
 	// Desynchronise producers at start.
-	nw.Sim.Post(sim.Duration(nw.Sim.Rand().Int63n(int64(t.Interval))), loop)
+	s.Post(sim.Duration(s.Rand().Int63n(int64(t.Interval))), loop)
 }
 
-// Run advances the simulation by d.
-func (nw *Network) Run(d sim.Duration) { nw.Sim.Run(nw.Sim.Now() + d) }
+// Run advances the simulation by d — window by window under the sharded
+// scheduler, serially otherwise.
+func (nw *Network) Run(d sim.Duration) {
+	if nw.Sharded != nil {
+		nw.Sharded.Run(nw.Sharded.Now() + d)
+		return
+	}
+	nw.Sim.Run(nw.Sim.Now() + d)
+}
+
+// Processed returns the number of simulation events executed so far.
+func (nw *Network) Processed() uint64 {
+	if nw.Sharded != nil {
+		return nw.Sharded.Processed()
+	}
+	return nw.Sim.Processed()
+}
 
 // ---- Aggregate results ----------------------------------------------------
 
-// CoAPPDR returns the overall CoAP delivery ratio.
-func (nw *Network) CoAPPDR() metrics.Counter { return nw.Series.Overall() }
+// CoAPPDR returns the overall CoAP delivery ratio, summed across sites.
+func (nw *Network) CoAPPDR() metrics.Counter {
+	if !nw.perSite {
+		return nw.Series.Overall()
+	}
+	var tot metrics.Counter
+	for _, s := range nw.series {
+		o := s.Overall()
+		tot.Sent += o.Sent
+		tot.Delivered += o.Delivered
+	}
+	return tot
+}
+
+// MergedRTTs returns the network-wide RTT distribution: the shared CDF in
+// serial and single-site runs, a merge of the per-site CDFs otherwise.
+func (nw *Network) MergedRTTs() *metrics.CDF {
+	if !nw.perSite {
+		return nw.RTTs
+	}
+	m := &metrics.CDF{}
+	for _, c := range nw.rtts {
+		m.Merge(c)
+	}
+	return m
+}
+
+// MergedSeries returns the network-wide PDR time series (see MergedRTTs).
+func (nw *Network) MergedSeries() *metrics.TimeSeries {
+	if !nw.perSite {
+		return nw.Series
+	}
+	m := metrics.NewTimeSeries(nw.Series.Bucket)
+	for _, s := range nw.series {
+		m.MergeFrom(s)
+	}
+	return m
+}
 
 // ConnLosses returns the number of link losses (supervision timeouts,
 // counted once per link) since traffic started — connection-establishment
@@ -699,18 +909,30 @@ func (nw *Network) CrashNode(id int) { nw.Nodes[id].Stop() }
 func (nw *Network) RestartNode(id int) { nw.Nodes[id].Restart() }
 
 // SetBlackout switches the radio-wide all-channel interference on or off.
-func (nw *Network) SetBlackout(on bool) { nw.blackout.Set(on) }
+// Every medium (one per site in sharded builds) carries its own switch so
+// the blackout covers the whole network either way.
+func (nw *Network) SetBlackout(on bool) {
+	for _, b := range nw.blackouts {
+		b.Set(on)
+	}
+}
 
 // SetJammer switches a blocking carrier on one channel on or off. Jammers
-// are created on first use and stay attached (off) afterwards.
+// are created on first use — one per medium — and stay attached (off)
+// afterwards.
 func (nw *Network) SetJammer(ch phy.Channel, on bool) {
-	j, ok := nw.jammers[ch]
+	js, ok := nw.jammers[ch]
 	if !ok {
-		j = phy.NewSwitched(phy.Jammer{Ch: ch})
-		nw.Medium.AddInterference(j)
-		nw.jammers[ch] = j
+		for _, m := range nw.Media {
+			j := phy.NewSwitched(phy.Jammer{Ch: ch})
+			m.AddInterference(j)
+			js = append(js, j)
+		}
+		nw.jammers[ch] = js
 	}
-	j.Set(on)
+	for _, j := range js {
+		j.Set(on)
+	}
 }
 
 // KillLink abruptly terminates the BLE connection between two nodes on both

@@ -27,6 +27,10 @@ type Options struct {
 	// Engine selects the sim event-queue engine (default timer wheel;
 	// the heap reference engine exists for differential testing).
 	Engine sim.Engine
+	// Shards selects the sharded conservative scheduler with this many
+	// worker lanes (0 = legacy serial engine). Results are byte-identical
+	// for any value ≥ 1; see NetworkConfig.Shards.
+	Shards int
 }
 
 func (o *Options) defaults() {

@@ -155,7 +155,7 @@ func (st *Stack) mintPID() uint64 {
 	st.pidSeq++
 	pid := (st.mac&0xFFFF)<<48 | st.pidSeq
 	if st.tr.Enabled() {
-		st.tr.DecidePkt(pid)
+		st.tr.DecidePkt(st.node, pid)
 	}
 	return pid
 }

@@ -246,6 +246,24 @@ func NewTimeSeries(bucket sim.Duration) *TimeSeries {
 	return &TimeSeries{Bucket: bucket}
 }
 
+// MergeFrom adds o's per-bucket counters into ts. Both series must use the
+// same bucket width; sharded runs merge per-site series this way.
+func (ts *TimeSeries) MergeFrom(o *TimeSeries) {
+	if o == nil {
+		return
+	}
+	if ts.Bucket != o.Bucket {
+		panic("metrics: MergeFrom with mismatched bucket widths")
+	}
+	for len(ts.buckets) < len(o.buckets) {
+		ts.buckets = append(ts.buckets, Counter{})
+	}
+	for i, c := range o.buckets {
+		ts.buckets[i].Sent += c.Sent
+		ts.buckets[i].Delivered += c.Delivered
+	}
+}
+
 func (ts *TimeSeries) bucketAt(t sim.Time) *Counter {
 	i := int(t / ts.Bucket)
 	for len(ts.buckets) <= i {

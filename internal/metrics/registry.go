@@ -95,20 +95,26 @@ func (r *Registry) RegisterGauge(name string, fn func() float64) {
 // and standard quantiles of a CDF. An empty CDF exports NaN values (JSON
 // null), matching the pre-sketch export bytes.
 func (r *Registry) RegisterCDF(name string, c *CDF) {
-	r.Register(name, func() []Sample {
-		out := []Sample{
-			{Name: name, Label: "count", Kind: KindGauge, Value: float64(c.N())},
-			{Name: name, Label: "mean", Kind: KindQuantile, Value: nanIfEmpty(c.MeanOK())},
-		}
-		for _, q := range [...]struct {
-			label string
-			q     float64
-		}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1}} {
-			out = append(out, Sample{Name: name, Label: q.label, Kind: KindQuantile,
-				Value: nanIfEmpty(c.QuantileOK(q.q))})
-		}
-		return out
-	})
+	r.Register(name, func() []Sample { return CDFSamples(name, c) })
+}
+
+// CDFSamples renders the standard CDF sample shape (count, mean, p50, p95,
+// p99, max) used by RegisterCDF. Exported so collectors that derive a CDF
+// on the fly — e.g. merging per-site CDFs in a sharded run — produce
+// byte-identical export rows.
+func CDFSamples(name string, c *CDF) []Sample {
+	out := []Sample{
+		{Name: name, Label: "count", Kind: KindGauge, Value: float64(c.N())},
+		{Name: name, Label: "mean", Kind: KindQuantile, Value: nanIfEmpty(c.MeanOK())},
+	}
+	for _, q := range [...]struct {
+		label string
+		q     float64
+	}{{"p50", 0.5}, {"p95", 0.95}, {"p99", 0.99}, {"max", 1}} {
+		out = append(out, Sample{Name: name, Label: q.label, Kind: KindQuantile,
+			Value: nanIfEmpty(c.QuantileOK(q.q))})
+	}
+	return out
 }
 
 // Names returns the registered collector names, sorted.

@@ -56,6 +56,7 @@ type Packet struct {
 type transmission struct {
 	pkt       Packet
 	ch        Channel
+	dom       int // sender's RF domain; scans stay inside it
 	start     sim.Time
 	end       sim.Time
 	corrupted bool
@@ -115,14 +116,29 @@ type Stats struct {
 	Missed        uint64 // corrupted indications delivered to listeners
 }
 
-// Medium is the shared broadcast channel space.
+// Medium is the shared broadcast channel space, partitioned into RF
+// domains. Radios in the same domain hear each other (geometry-free, as
+// the paper's 1m x 1m grid justifies); radios in different domains are
+// RF-isolated — no carrier, no delivery, no collisions across domains.
+// A medium starts with a single domain, which preserves the historical
+// everyone-hears-everyone behaviour; SetDomain partitions it for forest
+// topologies and for the sharded scheduler's per-site media, turning the
+// per-TX scan from O(all radios) into O(radios in the sender's domain).
 type Medium struct {
-	sim    *sim.Sim
-	active map[Channel][]*transmission
+	sim     *sim.Sim
+	domains []*rfDomain
+	cur     int // ambient domain for NewRadio
+	interf  []Interference
+	stats   Stats
+	freeTx  *transmission // recycled transmissions
+	nradios int           // global NodeID allocator across domains
+}
+
+// rfDomain is one RF-closure partition: the radios that can hear each
+// other and their in-flight transmissions.
+type rfDomain struct {
 	radios []*Radio
-	interf []Interference
-	stats  Stats
-	freeTx *transmission // recycled transmissions
+	active map[Channel][]*transmission
 }
 
 // getTx takes a transmission from the free list (or allocates one) and
@@ -150,10 +166,29 @@ func (m *Medium) getTx() *transmission {
 	return tx
 }
 
-// NewMedium creates an empty medium on the given simulation.
+// NewMedium creates an empty medium with a single RF domain.
 func NewMedium(s *sim.Sim) *Medium {
-	return &Medium{sim: s, active: make(map[Channel][]*transmission)}
+	return &Medium{sim: s, domains: []*rfDomain{newRFDomain()}}
 }
+
+func newRFDomain() *rfDomain {
+	return &rfDomain{active: make(map[Channel][]*transmission)}
+}
+
+// SetDomain selects the RF domain that subsequent NewRadio calls register
+// into, growing the domain list as needed. Domain 0 is the default.
+func (m *Medium) SetDomain(d int) {
+	if d < 0 {
+		panic("phy: negative RF domain")
+	}
+	for len(m.domains) <= d {
+		m.domains = append(m.domains, newRFDomain())
+	}
+	m.cur = d
+}
+
+// Domains returns the number of RF domains on the medium.
+func (m *Medium) Domains() int { return len(m.domains) }
 
 // AddInterference attaches an interference source to the medium.
 func (m *Medium) AddInterference(i Interference) { m.interf = append(m.interf, i) }
@@ -162,10 +197,15 @@ func (m *Medium) AddInterference(i Interference) { m.interf = append(m.interf, i
 func (m *Medium) Stats() Stats { return m.stats }
 
 // Busy reports whether any transmission or blocking interference occupies ch
-// right now. This is the CCA primitive used by the IEEE 802.15.4 MAC.
+// right now. This is the CCA primitive used by the IEEE 802.15.4 MAC. It is
+// conservative across domains: any domain's carrier makes ch read busy
+// (802.15.4 experiments always run on a single-domain medium, where this is
+// exact).
 func (m *Medium) Busy(ch Channel) bool {
-	if len(m.active[ch]) > 0 {
-		return true
+	for _, dom := range m.domains {
+		if len(dom.active[ch]) > 0 {
+			return true
+		}
 	}
 	for _, i := range m.interf {
 		if i.Busy(ch, m.sim.Now()) {
@@ -175,10 +215,12 @@ func (m *Medium) Busy(ch Channel) bool {
 	return false
 }
 
-// NewRadio registers a radio on the medium and returns it.
+// NewRadio registers a radio in the medium's current RF domain.
 func (m *Medium) NewRadio() *Radio {
-	r := &Radio{medium: m, id: NodeID(len(m.radios)), listenCh: -1}
-	m.radios = append(m.radios, r)
+	dom := m.domains[m.cur]
+	r := &Radio{medium: m, id: NodeID(m.nradios), dom: m.cur, listenCh: -1}
+	m.nradios++
+	dom.radios = append(dom.radios, r)
 	return r
 }
 
@@ -211,6 +253,7 @@ func (s RadioState) String() string {
 type Radio struct {
 	medium *Medium
 	id     NodeID
+	dom    int // RF domain index; only same-domain radios interact
 
 	state       RadioState
 	listenCh    Channel
@@ -306,15 +349,17 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 	now := r.medium.sim.Now()
 	r.txEnd = now + airtime
 	m := r.medium
+	dom := m.domains[r.dom]
 	tx := m.getTx()
-	tx.pkt, tx.ch, tx.start, tx.end = pkt, ch, now, now+airtime
+	tx.pkt, tx.ch, tx.dom, tx.start, tx.end = pkt, ch, r.dom, now, now+airtime
 	tx.sender, tx.done = r, done
 	r.curTX = tx
 	m.stats.Transmissions++
 
-	// Collision detection: any overlap on the same channel corrupts all
-	// parties. Mark existing in-flight transmissions and the new one.
-	for _, other := range m.active[ch] {
+	// Collision detection: any overlap on the same channel within the
+	// sender's RF domain corrupts all parties. Mark existing in-flight
+	// transmissions and the new one.
+	for _, other := range dom.active[ch] {
 		if !other.corrupted {
 			other.corrupted = true
 			m.stats.Collisions++
@@ -334,10 +379,11 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 			}
 		}
 	}
-	m.active[ch] = append(m.active[ch], tx)
+	dom.active[ch] = append(dom.active[ch], tx)
 
-	// Start-of-packet (carrier) indication for eligible listeners.
-	for _, lr := range m.radios {
+	// Start-of-packet (carrier) indication for eligible listeners in the
+	// sender's domain only — the scan no longer touches unrelated sites.
+	for _, lr := range dom.radios {
 		if lr == r || lr.state != RadioRX || lr.listenCh != ch || lr.listenSince > now {
 			continue
 		}
@@ -362,12 +408,12 @@ func (r *Radio) AbortTX() {
 		tx.corrupted = true
 	}
 	// Remove from the active set now so CCA reads the channel as free.
-	m := r.medium
-	lst := m.active[tx.ch]
+	dom := r.medium.domains[tx.dom]
+	lst := dom.active[tx.ch]
 	for i, t := range lst {
 		if t == tx {
 			lst[i] = lst[len(lst)-1]
-			m.active[tx.ch] = lst[:len(lst)-1]
+			dom.active[tx.ch] = lst[:len(lst)-1]
 			break
 		}
 	}
@@ -379,12 +425,13 @@ func (r *Radio) AbortTX() {
 // finish removes tx from the active set, returns the sender to idle, and
 // delivers end-of-packet indications to eligible listeners.
 func (m *Medium) finish(sender *Radio, tx *transmission) {
+	dom := m.domains[tx.dom]
 	if !tx.aborted {
-		lst := m.active[tx.ch]
+		lst := dom.active[tx.ch]
 		for i, t := range lst {
 			if t == tx {
 				lst[i] = lst[len(lst)-1]
-				m.active[tx.ch] = lst[:len(lst)-1]
+				dom.active[tx.ch] = lst[:len(lst)-1]
 				break
 			}
 		}
@@ -392,7 +439,7 @@ func (m *Medium) finish(sender *Radio, tx *transmission) {
 		sender.curTX = nil
 	}
 
-	for _, r := range m.radios {
+	for _, r := range dom.radios {
 		if r == sender || r.state != RadioRX || r.listenCh != tx.ch {
 			continue
 		}

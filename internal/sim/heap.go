@@ -50,4 +50,11 @@ func (h *heapQueue) pop(limit Time) *Event {
 
 func (h *heapQueue) cancel(e *Event) bool { heap.Remove(&h.q, e.idx); return true }
 
+func (h *heapQueue) peek() (Time, bool) {
+	if len(h.q) == 0 {
+		return 0, false
+	}
+	return h.q[0].when, true
+}
+
 func (h *heapQueue) len() int { return len(h.q) }

@@ -1,0 +1,254 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// storm schedules a self-perpetuating random cascade of events on s,
+// appending each firing time to log. The cascade is a pure function of the
+// Sim's rng, so two Sims seeded identically produce identical logs.
+func storm(s *Sim, log *[]Time, limit int) {
+	n := 0
+	var step func()
+	step = func() {
+		*log = append(*log, s.Now())
+		n++
+		if n > limit {
+			return
+		}
+		d := Duration(s.Rand().Intn(997)) * Microsecond
+		s.Post(d, step)
+		if s.Rand().Intn(4) == 0 {
+			s.Post(d/2+1, step)
+		}
+	}
+	s.Post(0, step)
+}
+
+// TestShardedSingleDomainMatchesSerial locks down the degenerate case the
+// network layer relies on for byte-compatibility: one domain, no lookahead,
+// empty global lane — the sharded Run must be indistinguishable from a
+// plain serial Sim with the same seed.
+func TestShardedSingleDomainMatchesSerial(t *testing.T) {
+	for _, engine := range []Engine{EngineWheel, EngineHeap} {
+		serial := NewWithEngine(42, engine)
+		var want []Time
+		storm(serial, &want, 2000)
+		serial.Run(1 * Second)
+
+		sh := NewSharded(42, engine, 1, 0)
+		var got []Time
+		storm(sh.Shard(0), &got, 2000)
+		sh.Run(1 * Second)
+
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%v: sharded single-domain log diverges from serial (%d vs %d events)",
+				engine, len(want), len(got))
+		}
+		if serial.Processed() != sh.Processed() {
+			t.Fatalf("%v: processed %d serial vs %d sharded", engine, serial.Processed(), sh.Processed())
+		}
+		if serial.Now() != sh.Now() || sh.Shard(0).Now() != serial.Now() {
+			t.Fatalf("%v: clocks diverge: serial %v sharded %v shard0 %v",
+				engine, serial.Now(), sh.Now(), sh.Shard(0).Now())
+		}
+	}
+}
+
+// shardedRun drives a 4-domain system with per-domain storms, cross-domain
+// mail, and a periodic global sampler, and returns everything observable:
+// per-domain firing logs, cross-delivery logs, and global snapshots.
+func shardedRun(t *testing.T, workers int) ([][]Time, [][][2]int64, [][]Time) {
+	t.Helper()
+	const domains = 4
+	sh := NewSharded(7, EngineWheel, domains, 5*Millisecond)
+	sh.SetWorkers(workers)
+
+	logs := make([][]Time, domains)
+	recv := make([][][2]int64, domains) // per receiver: (deliverAt, sender)
+	for d := 0; d < domains; d++ {
+		d := d
+		s := sh.Shard(d)
+		n := 0
+		var step func()
+		step = func() {
+			logs[d] = append(logs[d], s.Now())
+			n++
+			if n > 500 {
+				return
+			}
+			s.Post(Duration(s.Rand().Intn(2000)+1)*Microsecond, step)
+			if s.Rand().Intn(3) == 0 {
+				to := (d + 1 + s.Rand().Intn(domains-1)) % domains
+				sh.PostCross(d, to, Duration(s.Rand().Intn(10))*Millisecond, func() {
+					recv[to] = append(recv[to], [2]int64{int64(sh.Shard(to).Now()), int64(d)})
+				})
+			}
+		}
+		s.Post(0, step)
+	}
+
+	var snaps [][]Time
+	var tick func()
+	tick = func() {
+		snap := make([]Time, 0, domains+1)
+		snap = append(snap, sh.Global().Now())
+		for d := 0; d < domains; d++ {
+			snap = append(snap, sh.Shard(d).Now())
+		}
+		snaps = append(snaps, snap)
+		sh.Global().Post(100*Millisecond, tick)
+	}
+	sh.Global().Post(100*Millisecond, tick)
+
+	sh.Run(1 * Second)
+	return logs, recv, snaps
+}
+
+// TestShardedWorkerCountInvariance is the in-run analogue of the sweep
+// runner's any-worker-count guarantee: every observable log must be
+// byte-identical whether windows execute inline or race across goroutines.
+func TestShardedWorkerCountInvariance(t *testing.T) {
+	refLogs, refRecv, refSnaps := shardedRun(t, 1)
+	for _, workers := range []int{2, 4, 8} {
+		logs, recvd, snaps := shardedRun(t, workers)
+		if !reflect.DeepEqual(refLogs, logs) {
+			t.Fatalf("workers=%d: per-domain event logs diverge from serial execution", workers)
+		}
+		if !reflect.DeepEqual(refRecv, recvd) {
+			t.Fatalf("workers=%d: cross-domain delivery logs diverge", workers)
+		}
+		if !reflect.DeepEqual(refSnaps, snaps) {
+			t.Fatalf("workers=%d: global-lane snapshots diverge", workers)
+		}
+	}
+	if len(refSnaps) == 0 {
+		t.Fatal("global sampler never fired")
+	}
+	// The barrier contract: a global event at time T observes every domain
+	// clock at exactly T.
+	for _, snap := range refSnaps {
+		for i := 1; i < len(snap); i++ {
+			if snap[i] != snap[0] {
+				t.Fatalf("global at %v saw domain %d clock at %v", snap[0], i-1, snap[i])
+			}
+		}
+	}
+	for d, rc := range refRecv {
+		_ = d
+		if len(rc) > 0 {
+			return // at least one cross delivery observed somewhere
+		}
+	}
+	t.Fatal("no cross-domain mail was delivered; the test exercises nothing")
+}
+
+// TestCrossMailboxMergeOrder pins the deterministic merge key: equal
+// delivery times order by sender domain, then per-sender sequence.
+func TestCrossMailboxMergeOrder(t *testing.T) {
+	const look = 1 * Millisecond
+	sh := NewSharded(1, EngineWheel, 3, look)
+	got := [][2]int{}
+	// Senders post in "reverse" order (domain 2 first) at the same local
+	// time with the same delay; delivery must still come out 0,0,1,1,2,2.
+	for d := 2; d >= 0; d-- {
+		d := d
+		s := sh.Shard(d)
+		s.PostAt(10*Millisecond, func() {
+			for i := 0; i < 2; i++ {
+				i := i
+				sh.PostCross(d, 0, 4*Millisecond, func() {
+					got = append(got, [2]int{d, i})
+				})
+			}
+		})
+	}
+	sh.Run(1 * Second)
+	want := [][2]int{{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 0}, {2, 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("merge order %v, want %v", got, want)
+	}
+}
+
+// TestCrossMailboxLookaheadClamp verifies short delays are clamped up to
+// the lookahead, the conservative bound that keeps stragglers impossible.
+func TestCrossMailboxLookaheadClamp(t *testing.T) {
+	const look = 2 * Millisecond
+	sh := NewSharded(1, EngineWheel, 2, look)
+	var at Time
+	sh.Shard(0).PostAt(10*Millisecond, func() {
+		sh.PostCross(0, 1, 0, func() { at = sh.Shard(1).Now() })
+	})
+	sh.Run(1 * Second)
+	if want := 12 * Millisecond; at != want {
+		t.Fatalf("zero-delay cross delivered at %v, want send+lookahead = %v", at, want)
+	}
+}
+
+// TestPostCrossWithoutLookaheadPanics: with lookahead 0 a cross post has no
+// conservative bound, so the scheduler must refuse it loudly.
+func TestPostCrossWithoutLookaheadPanics(t *testing.T) {
+	sh := NewSharded(1, EngineWheel, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PostCross with zero lookahead did not panic")
+		}
+	}()
+	sh.PostCross(0, 1, Millisecond, func() {})
+}
+
+// TestGlobalSchedulesDomainWorkAtBarrier: work a global callback posts on a
+// domain at the barrier instant runs at that instant, before the next
+// window advances time past it.
+func TestGlobalSchedulesDomainWorkAtBarrier(t *testing.T) {
+	sh := NewSharded(3, EngineWheel, 2, 0)
+	var fired Time
+	sh.Global().PostAt(50*Millisecond, func() {
+		sh.Shard(1).Post(0, func() { fired = sh.Shard(1).Now() })
+	})
+	sh.Run(1 * Second)
+	if fired != 50*Millisecond {
+		t.Fatalf("barrier-scheduled domain event fired at %v, want 50ms", fired)
+	}
+}
+
+// TestDomainSeedStreams: domain 0 must share the serial seed stream; other
+// domains must not.
+func TestDomainSeedStreams(t *testing.T) {
+	sh := NewSharded(99, EngineWheel, 3, 0)
+	serial := New(99)
+	for i := 0; i < 16; i++ {
+		if sh.Shard(0).Rand().Uint64() != serial.Rand().Uint64() {
+			t.Fatal("domain 0 rng stream diverges from the serial seed stream")
+		}
+	}
+	a, b := sh.Shard(1).Rand().Uint64(), sh.Shard(2).Rand().Uint64()
+	if a == b {
+		t.Fatal("domains 1 and 2 drew identical first values; seeds not decorrelated")
+	}
+}
+
+// TestNextAt covers the heap peek used by the sharded global lane, and the
+// wheel's documented refusal.
+func TestNextAt(t *testing.T) {
+	s := NewWithEngine(1, EngineHeap)
+	if _, ok := s.NextAt(); ok {
+		t.Fatal("empty heap reported a next event")
+	}
+	s.PostAt(30*Millisecond, func() {})
+	s.PostAt(10*Millisecond, func() {})
+	if at, ok := s.NextAt(); !ok || at != 10*Millisecond {
+		t.Fatalf("NextAt = %v,%v want 10ms,true", at, ok)
+	}
+	s.Run(math.MaxInt64 / 2)
+
+	w := NewWithEngine(1, EngineWheel)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wheel NextAt did not panic")
+		}
+	}()
+	w.NextAt()
+}

@@ -224,6 +224,12 @@ func (s *Sim) Cancel(t Timer) {
 // completes. Pending events stay queued.
 func (s *Sim) Stop() { s.stopped = true }
 
+// NextAt returns the timestamp of the earliest pending event without
+// removing it, and false when the queue is empty. Only supported by the
+// heap engine; the wheel panics (see queue.peek). The sharded scheduler
+// calls this on its heap-backed global lane to bound each barrier window.
+func (s *Sim) NextAt() (Time, bool) { return s.q.peek() }
+
 // fire executes a popped event and recycles it. The callback is read before
 // recycling so fn may itself schedule and reuse the slot; the generation
 // bump invalidates any Timer handle still pointing here.

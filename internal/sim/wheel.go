@@ -336,6 +336,13 @@ func (w *wheelQueue) cancel(e *Event) bool {
 
 func (w *wheelQueue) len() int { return w.live }
 
+// peek is unsupported on the wheel: finding the minimum would replay pop's
+// cascade search, which mutates level state. Callers needing a cheap
+// NextAt (the sharded scheduler's global lane) must use the heap engine.
+func (w *wheelQueue) peek() (Time, bool) {
+	panic("sim: peek is not supported by the wheel engine (use EngineHeap)")
+}
+
 // overflowHeap is a plain binary min-heap ordered by (when, seq) for events
 // beyond the wheel horizon. It deliberately never writes Event.idx — under
 // the wheel engine idx is the queued/dead flag, owned by the Sim.

@@ -1,0 +1,61 @@
+package testbed
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSitesConnectedTopologies(t *testing.T) {
+	for _, topo := range []Topology{Tree(), Line(), Mesh()} {
+		sites := topo.Sites()
+		if len(sites) != 1 {
+			t.Fatalf("%s: %d sites, want 1", topo.Name, len(sites))
+		}
+		if !reflect.DeepEqual(sites[0], topo.Nodes()) {
+			t.Fatalf("%s: site != Nodes()", topo.Name)
+		}
+		if got := topo.SiteConsumers(); len(got) != 1 || got[0] != topo.Consumer {
+			t.Fatalf("%s: SiteConsumers = %v", topo.Name, got)
+		}
+		if len(topo.Producers()) != len(topo.Nodes())-1 {
+			t.Fatalf("%s: producers %d, want nodes-1", topo.Name, len(topo.Producers()))
+		}
+	}
+}
+
+func TestForestSites(t *testing.T) {
+	f := Forest(4)
+	if got := len(f.Nodes()); got != 60 {
+		t.Fatalf("Forest(4) has %d nodes, want 60", got)
+	}
+	sites := f.Sites()
+	if len(sites) != 4 {
+		t.Fatalf("Forest(4): %d sites, want 4", len(sites))
+	}
+	for i, site := range sites {
+		if len(site) != 15 {
+			t.Fatalf("site %d has %d nodes, want 15", i, len(site))
+		}
+		if site[0] != 100*i+1 {
+			t.Fatalf("site %d starts at %d, want %d", i, site[0], 100*i+1)
+		}
+	}
+	if got, want := f.SiteConsumers(), []int{1, 101, 201, 301}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("SiteConsumers = %v, want %v", got, want)
+	}
+	if got := len(f.Producers()); got != 56 {
+		t.Fatalf("Forest(4): %d producers, want 56", got)
+	}
+	// Nodes() must handle IDs beyond the old 64 scan limit.
+	nodes := f.Nodes()
+	if nodes[len(nodes)-1] != 315 {
+		t.Fatalf("max node %d, want 315", nodes[len(nodes)-1])
+	}
+	// Per-site routing still works: next hops within a site never leave it.
+	nh := f.NextHops(301)
+	for dst, hop := range nh {
+		if dst < 300 || hop < 300 {
+			t.Fatalf("NextHops(301) leaked across sites: %d via %d", dst, hop)
+		}
+	}
+}

@@ -9,6 +9,7 @@ package testbed
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // Hardware describes a board model.
@@ -160,23 +161,97 @@ func (t Topology) Nodes() []int {
 		seen[l.Subordinate] = true
 	}
 	out := make([]int, 0, len(seen))
-	for id := 1; id <= 64; id++ {
+	for id := range seen {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Sites returns the connected components of the link graph — the RF-closure
+// domains a sharded run may execute independently. Each component is sorted
+// by ID; components are ordered by their minimum ID. A connected topology
+// has exactly one site.
+func (t Topology) Sites() [][]int {
+	adj := t.adjacency()
+	seen := make(map[int]bool)
+	var sites [][]int
+	for _, id := range t.Nodes() {
 		if seen[id] {
+			continue
+		}
+		comp := []int{id}
+		seen[id] = true
+		for q := []int{id}; len(q) > 0; {
+			cur := q[0]
+			q = q[1:]
+			for _, nb := range adj[cur] {
+				if !seen[nb] {
+					seen[nb] = true
+					comp = append(comp, nb)
+					q = append(q, nb)
+				}
+			}
+		}
+		sort.Ints(comp)
+		sites = append(sites, comp)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i][0] < sites[j][0] })
+	return sites
+}
+
+// SiteConsumers returns one traffic sink per site, aligned with Sites():
+// the topology's Consumer for the site containing it, the minimum ID for
+// every other site.
+func (t Topology) SiteConsumers() []int {
+	sites := t.Sites()
+	out := make([]int, len(sites))
+	for i, site := range sites {
+		out[i] = site[0]
+		for _, id := range site {
+			if id == t.Consumer {
+				out[i] = id
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Producers returns every node that is not a site consumer. For connected
+// topologies this is everyone but the Consumer, exactly as before.
+func (t Topology) Producers() []int {
+	sinks := make(map[int]bool)
+	for _, id := range t.SiteConsumers() {
+		sinks[id] = true
+	}
+	var out []int
+	for _, id := range t.Nodes() {
+		if !sinks[id] {
 			out = append(out, id)
 		}
 	}
 	return out
 }
 
-// Producers returns every node except the consumer.
-func (t Topology) Producers() []int {
-	var out []int
-	for _, id := range t.Nodes() {
-		if id != t.Consumer {
-			out = append(out, id)
+// Forest returns sites disjoint copies of the Fig. 6(b) tree, offset by 100
+// IDs per copy — the multi-site workload for the sharded scheduler and its
+// benchmark. Site i occupies IDs 100i+1..100i+15; the consumer of the first
+// copy is the topology Consumer, the other copies' sinks fall out of
+// SiteConsumers (their minimum IDs, i.e. each copy's root).
+func Forest(sites int) Topology {
+	if sites < 1 {
+		sites = 1
+	}
+	base := Tree()
+	f := Topology{Name: fmt.Sprintf("forest-%dx-tree", sites), Consumer: base.Consumer}
+	for s := 0; s < sites; s++ {
+		off := 100 * s
+		for _, l := range base.Links {
+			f.Links = append(f.Links, Link{Coordinator: l.Coordinator + off, Subordinate: l.Subordinate + off})
 		}
 	}
-	return out
+	return f
 }
 
 // adjacency builds the neighbor sets.

@@ -137,7 +137,7 @@ func TestSamplingKeepsWholeJourneys(t *testing.T) {
 	keptIDs := make(map[uint64]bool)
 	for i := 1; i <= pkts; i++ {
 		id := uint64(i)
-		if l.DecidePkt(id) {
+		if l.DecidePkt("src", id) {
 			keptIDs[id] = true
 		}
 		for _, n := range nodes {

@@ -103,9 +103,11 @@ type Event struct {
 	Dur    sim.Duration
 	Detail string
 
-	// seq is the global emission sequence number, the merge key that
-	// restores one chronology across per-node shards (events at the same
-	// sim instant keep their emission order).
+	// seq is the emission sequence number, site<<48 | per-site counter:
+	// the secondary merge key that restores one chronology across
+	// per-node shards (events at the same sim instant keep their emission
+	// order; serial runs use only site 0, where this is the historical
+	// global counter).
 	seq uint64
 }
 
@@ -129,8 +131,20 @@ type Log struct {
 	cap    int // per-shard event capacity
 	shards map[string]*shard
 	filter uint32 // bitmask of enabled kinds; 0 = all
-	total  uint64 // events ever recorded; doubles as the sequence source
 	armed  bool
+
+	// siteSeq holds one sequence counter per site (sharded-run domain).
+	// Serial runs use only site 0, where the counter is the historical
+	// global emission sequence. In sharded runs each site counts its own
+	// emissions so recording stays write-local to the emitting domain;
+	// events carry site<<48|counter and exports merge on (At, seq), which
+	// reduces to the historical pure-seq order when there is one site.
+	siteSeq []uint64
+
+	// frozen refuses lazy ring creation: in sharded runs every emitter is
+	// registered up front (RegisterNode) so recording never mutates the
+	// ring map from a worker goroutine.
+	frozen bool
 
 	// Packet sampling: when armed (rate in (0,1)), provenance-tagged
 	// events are kept only for sampled packet IDs. The decision is a pure
@@ -139,17 +153,25 @@ type Log struct {
 	sampleOn     bool
 	sampleRate   float64
 	sampleThresh uint64 // keep iff mix64(id)>>11 < thresh (53-bit space)
-	pktKept      uint64 // minted IDs decided keep (DecidePkt)
-	pktDropped   uint64 // minted IDs decided drop (DecidePkt)
+	pktKept      uint64 // minted IDs decided keep, unregistered nodes
+	pktDropped   uint64 // minted IDs decided drop, unregistered nodes
 }
 
 // shard is one node's ring. buf grows geometrically to max before the ring
-// wraps, so short runs never pay worst-case capacity.
+// wraps, so short runs never pay worst-case capacity. sim/site bind the
+// ring to its owner's clock and domain in sharded runs (sim nil = use the
+// Log's); kept/dropped count sampling verdicts ring-locally so DecidePkt
+// stays free of cross-domain writes.
 type shard struct {
 	buf     []Event
 	next    int
 	wrapped bool
 	max     int
+
+	sim     *sim.Sim
+	site    int
+	kept    uint64
+	dropped uint64
 }
 
 // shardSeedCap is the initial shard allocation (events).
@@ -201,8 +223,34 @@ func New(s *sim.Sim, capacity int) *Log {
 	if capacity <= 0 {
 		capacity = 1 << 16
 	}
-	return &Log{s: s, cap: capacity, shards: make(map[string]*shard)}
+	return &Log{s: s, cap: capacity, shards: make(map[string]*shard), siteSeq: make([]uint64, 1)}
 }
+
+// RegisterNode pre-creates node's ring, bound to the given simulation clock
+// and site. Sharded runs register every emitter up front and then Freeze
+// the log, so recording from parallel domain windows touches only
+// site-local state (the ring and its site's sequence counter).
+func (l *Log) RegisterNode(node string, s *sim.Sim, site int) {
+	if site < 0 {
+		panic("trace: negative site")
+	}
+	if l.shards == nil {
+		l.shards = make(map[string]*shard)
+	}
+	for len(l.siteSeq) <= site {
+		l.siteSeq = append(l.siteSeq, 0)
+	}
+	if sh := l.shards[node]; sh != nil {
+		sh.sim, sh.site = s, site
+		return
+	}
+	l.shards[node] = &shard{max: l.cap, sim: s, site: site}
+}
+
+// Freeze forbids lazy ring creation: after this, emitting under an
+// unregistered node name panics instead of growing the ring map. Sharded
+// runs freeze after registering all nodes; serial runs never freeze.
+func (l *Log) Freeze() { l.frozen = true }
 
 // Enabled reports whether the log records anything. This is the one branch
 // every instrumentation site pays when recording is off.
@@ -264,15 +312,30 @@ func (l *Log) record(node string, kind Kind, id uint64, dur sim.Duration, format
 	}
 	sh := l.shards[node]
 	if sh == nil {
+		if l.frozen {
+			panic("trace: emit from unregistered node " + node + " on a frozen log")
+		}
 		sh = &shard{max: l.cap}
 		l.shards[node] = sh
 	}
-	sh.put(Event{At: l.s.Now(), Node: node, Kind: kind, ID: id, Dur: dur, Detail: detail, seq: l.total})
-	l.total++
+	clock := sh.sim
+	if clock == nil {
+		clock = l.s
+	}
+	seq := l.siteSeq[sh.site]
+	l.siteSeq[sh.site] = seq + 1
+	sh.put(Event{At: clock.Now(), Node: node, Kind: kind, ID: id, Dur: dur, Detail: detail,
+		seq: uint64(sh.site)<<48 | seq})
 }
 
 // Total returns the number of events ever recorded (including evicted ones).
-func (l *Log) Total() uint64 { return l.total }
+func (l *Log) Total() uint64 {
+	var n uint64
+	for _, c := range l.siteSeq {
+		n += c
+	}
+	return n
+}
 
 // mix64 is the splitmix64 finalizer: a cheap, high-quality bijection of
 // packet IDs onto uniform 64-bit hashes, so the sampling decision is a pure
@@ -327,8 +390,18 @@ func (l *Log) KeepPkt(id uint64) bool {
 // DecidePkt records the sampling verdict for a freshly minted packet ID and
 // returns it. The origin stack calls this once per mint so kept/dropped
 // population counts stay exact even though dropped packets leave no events.
-func (l *Log) DecidePkt(id uint64) bool {
+// The verdict is counted on the minting node's ring when one is registered,
+// keeping the write local to the node's domain in sharded runs.
+func (l *Log) DecidePkt(node string, id uint64) bool {
 	keep := l.KeepPkt(id)
+	if sh := l.shards[node]; sh != nil {
+		if keep {
+			sh.kept++
+		} else {
+			sh.dropped++
+		}
+		return keep
+	}
 	if keep {
 		l.pktKept++
 	} else {
@@ -338,10 +411,22 @@ func (l *Log) DecidePkt(id uint64) bool {
 }
 
 // PktKept returns how many minted packet IDs were decided keep.
-func (l *Log) PktKept() uint64 { return l.pktKept }
+func (l *Log) PktKept() uint64 {
+	n := l.pktKept
+	for _, sh := range l.shards {
+		n += sh.kept
+	}
+	return n
+}
 
 // PktDropped returns how many minted packet IDs were decided drop.
-func (l *Log) PktDropped() uint64 { return l.pktDropped }
+func (l *Log) PktDropped() uint64 {
+	n := l.pktDropped
+	for _, sh := range l.shards {
+		n += sh.dropped
+	}
+	return n
+}
 
 // Shards returns the number of per-node rings currently allocated.
 func (l *Log) Shards() int {
@@ -385,7 +470,15 @@ func (l *Log) Events(node string, kinds ...Kind) []Event {
 	for _, sh := range l.shards {
 		out = sh.retained(match, out)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	// Merge on (At, seq): per-site sequence streams are only ordered
+	// against each other by timestamp; within a site (and in any serial
+	// run) the sequence alone restores the exact emission chronology.
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].seq < out[j].seq
+	})
 	return out
 }
 

@@ -82,6 +82,13 @@ type (
 
 	// Topology is a statically configured network layout.
 	Topology = testbed.Topology
+	// Point is a position in meters for positioned (geometric) topologies.
+	Point = testbed.Point
+	// GeoConfig, CityConfig, and FloorsConfig parameterise the generated
+	// city-scale topologies (RandomGeometric, CityBlocks, BuildingFloors).
+	GeoConfig    = testbed.GeoConfig
+	CityConfig   = testbed.CityConfig
+	FloorsConfig = testbed.FloorsConfig
 
 	// Options and Report drive the experiment registry.
 	Options = exp.Options
@@ -254,6 +261,19 @@ func Mesh() Topology { return testbed.Mesh() }
 // workload the sharded scheduler (NetworkConfig.Shards) can actually
 // parallelise.
 func Forest(n int) Topology { return testbed.Forest(n) }
+
+// RandomGeometric generates a seeded random geometric topology: N nodes
+// uniform on a Width×Height arena, linked by a BFS spanning forest of the
+// disk graph at the configured radio range.
+func RandomGeometric(cfg GeoConfig) Topology { return testbed.RandomGeometric(cfg) }
+
+// CityBlocks generates a seeded city topology: nodes along the perimeters
+// of a BlocksX×BlocksY street grid.
+func CityBlocks(cfg CityConfig) Topology { return testbed.CityBlocks(cfg) }
+
+// BuildingFloors generates a seeded multi-building topology: clusters of
+// floors stacked in Z, buildings isolated by more than the radio range.
+func BuildingFloors(cfg FloorsConfig) Topology { return testbed.BuildingFloors(cfg) }
 
 // BuildNetwork assembles a full testbed network with traffic and metrics
 // plumbing (the experiment harness's builder).

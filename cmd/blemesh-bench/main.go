@@ -5,7 +5,9 @@
 // packet datapath's heap cost (allocations and bytes per 7-hop CoAP
 // exchange) with the pktbuf pool on and off, and it compares the conservative
 // sharded scheduler (four worker lanes on a four-site forest) against the
-// serial engine on the same workload. With -write it records the
+// serial engine on the same workload, and it times the canonical 10k-node
+// generated city-scale run per event (ns_per_event_10k; gated locally by
+// -max10kns, informational in CI). With -write it records the
 // result as a baseline (BENCH_sim.json); with -check it verifies the wheel's
 // dense-workload advantage holds (≥1.2×), that the pooled datapath stays at
 // least 50% below the pre-pooling allocation count, and that no metric
@@ -30,6 +32,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"blemesh/internal/exp"
 	"blemesh/internal/metrics/sketch"
@@ -74,6 +77,12 @@ const (
 	// shardedBenchLanes is the worker-lane count of the gated measurement
 	// (the speedup_sharded4 key).
 	shardedBenchLanes = 4
+	// max10kNsPerEvent is the local ceiling for the 10k-node city-scale
+	// run's per-event cost. The measured value sits well under half of
+	// this on a development machine; a spatial-index or lean-mode
+	// regression (falling back to O(domain) scans or materializing
+	// per-node metrics) blows past it by an order of magnitude.
+	max10kNsPerEvent = 2000.0
 )
 
 func stormNsPerEvent(engine sim.Engine, timers int) float64 {
@@ -202,6 +211,27 @@ func forestNsPerEvent(shards int) float64 {
 	return float64(r.NsPerOp()) / float64(events)
 }
 
+// cityNsPerEvent measures the per-event cost of the canonical 10k-node
+// generated city-scale run (exp.CityScaleConfig: lean metrics, sparse
+// sink-tree routes, spatial grid index, sharded scheduler). One timed run —
+// the number is an absolute ns value, gated only by the -max10kns ceiling
+// (CI passes 0 to keep it informational on shared runners; locally the
+// default ceiling catches a spatial-index or lean-mode regression, which
+// shows up as a multiple, not a few percent).
+func cityNsPerEvent(lanes int) float64 {
+	nw := exp.BuildNetwork(exp.CityScaleConfig(lanes))
+	start := time.Now()
+	nw.Run(20 * sim.Second)
+	nw.StartTraffic(exp.TrafficConfig{Interval: 10 * sim.Second})
+	nw.Run(25 * sim.Second)
+	elapsed := time.Since(start)
+	if nw.Processed() == 0 {
+		fmt.Fprintln(os.Stderr, "blemesh-bench: city-scale run processed no events")
+		os.Exit(1)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(nw.Processed())
+}
+
 // shardedStats measures the serial-vs-sharded forest ratio with the given
 // worker-lane count. A result under the local floor gets one retry with the
 // better of the two kept — wall-clock ratios on a shared machine are the one
@@ -236,6 +266,8 @@ func main() {
 		"required sharded-vs-serial speedup on the four-site forest (CI passes 0 to make the wall-clock ratio informational on shared runners)")
 	shardLanes := flag.Int("shards", shardedBenchLanes,
 		"worker lanes for the sharded forest measurement (the baseline keys are recorded at the default 4)")
+	max10kNs := flag.Float64("max10kns", max10kNsPerEvent,
+		"ns/event ceiling for the 10k-node city-scale run (0 disables the gate; CI passes 0 so the wall-clock value stays informational on shared runners)")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if !*write && !*check {
@@ -270,6 +302,7 @@ func main() {
 	for k, v := range shardedStats(*shardLanes) {
 		m[k] = v
 	}
+	m["ns_per_event_10k"] = cityNsPerEvent(*shardLanes)
 	stopProf() // the measurements are done; file I/O below is not of interest
 
 	keys := make([]string, 0, len(m))
@@ -302,6 +335,11 @@ func main() {
 					k, m[k], *minSpeedup)
 				failed = true
 			}
+		}
+		if *max10kNs > 0 && m["ns_per_event_10k"] > *max10kNs {
+			fmt.Fprintf(os.Stderr, "FAIL: ns_per_event_10k = %.0f, want ≤ %.0f (city-scale per-event cost ceiling)\n",
+				m["ns_per_event_10k"], *max10kNs)
+			failed = true
 		}
 		if m["speedup_sharded4"] < *minSharded {
 			fmt.Fprintf(os.Stderr, "FAIL: speedup_sharded4 = %.2f, want ≥ %.2f (sharded scheduler must not lose to serial on the forest)\n",

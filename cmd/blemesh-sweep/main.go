@@ -7,6 +7,7 @@
 //
 //	blemesh-sweep [-scale F] [-runs N] [-seed N] [-workers N]
 //	              [-producers 100,1000] [-intervals "25,75,[65:85]"]
+//	              [-topo tree|geo|city|floors] [-nodes N] [-range M]
 //	              [-engine wheel|heap] [-shards N] [-progress]
 //
 // At -scale 1 -runs 5 this is the paper's full 300 simulated hours. The
@@ -32,6 +33,9 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 	engineName := flag.String("engine", "wheel", "sim event-queue engine: wheel or heap")
 	shards := flag.Int("shards", 0, "worker lanes of the sharded conservative scheduler per run (0 = serial engine; output is identical either way)")
+	topoName := flag.String("topo", "tree", "swept topology: tree (the paper's), geo, city, or floors (seeded generators)")
+	nodes := flag.Int("nodes", 60, "node count for -topo geo")
+	radioRange := flag.Float64("range", 0, "disk radio range in meters for generated topologies (0 = generator default)")
 	producersFlag := flag.String("producers", "", "comma-separated producer intervals in ms (default: full Fig. 15 grid)")
 	intervalsFlag := flag.String("intervals", "", "comma-separated interval config names, e.g. 25,75,[65:85] (default: all ten)")
 	progress := flag.Bool("progress", false, "report per-run progress on stderr")
@@ -56,6 +60,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	topo, err := parseTopo(*topoName, *seed, *nodes, *radioRange)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	sc := blemesh.SweepConfig{
 		Options: blemesh.Options{
@@ -64,6 +73,7 @@ func main() {
 		},
 		Producers: producers,
 		Configs:   configs,
+		Topology:  topo,
 		Registry:  blemesh.NewMetricsRegistry(),
 	}
 	if *progress {
@@ -87,6 +97,28 @@ func main() {
 	// plotting. SweepText emits keys in sorted order, so the bytes are
 	// reproducible run-to-run and worker-count-to-worker-count.
 	fmt.Print(blemesh.SweepText(cells))
+}
+
+// parseTopo resolves the -topo flag: the paper's tree, or one of the
+// seeded city-scale generators (geo honours -nodes; all honour -range,
+// 0 keeping the generator default). The zero-value Topology tells
+// RunSweep to use its tree default.
+func parseTopo(name string, seed int64, nodes int, radioRange float64) (blemesh.Topology, error) {
+	switch name {
+	case "", "tree":
+		return blemesh.Topology{}, nil
+	case "geo":
+		return blemesh.RandomGeometric(blemesh.GeoConfig{
+			Seed: seed, N: nodes, Range: radioRange}), nil
+	case "city":
+		return blemesh.CityBlocks(blemesh.CityConfig{
+			Seed: seed, Range: radioRange}), nil
+	case "floors":
+		return blemesh.BuildingFloors(blemesh.FloorsConfig{
+			Seed: seed, Range: radioRange}), nil
+	}
+	return blemesh.Topology{}, fmt.Errorf(
+		"blemesh-sweep: unknown topology %q (tree, geo, city, or floors)", name)
 }
 
 // parseProducers parses "100,1000" (milliseconds) into durations; an empty

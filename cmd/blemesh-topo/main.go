@@ -12,8 +12,26 @@ import (
 )
 
 func main() {
-	which := flag.String("topo", "both", "tree, line, or both")
+	which := flag.String("topo", "both", "tree, line, both, geo, city, or floors")
+	seed := flag.Int64("seed", 1, "generator seed for geo/city/floors")
+	nodes := flag.Int("nodes", 60, "node count for -topo geo")
+	radioRange := flag.Float64("range", 0, "disk radio range in meters for generated topologies (0 = generator default)")
 	flag.Parse()
+
+	switch *which {
+	case "geo":
+		showGeo(testbed.RandomGeometric(testbed.GeoConfig{
+			Seed: *seed, N: *nodes, Range: *radioRange}))
+		return
+	case "city":
+		showGeo(testbed.CityBlocks(testbed.CityConfig{
+			Seed: *seed, Range: *radioRange}))
+		return
+	case "floors":
+		showGeo(testbed.BuildingFloors(testbed.FloorsConfig{
+			Seed: *seed, Range: *radioRange}))
+		return
+	}
 
 	fmt.Println("== FIT IoT-Lab inventory (paper §4.1) ==")
 	fmt.Println("BLE nodes (Saclay):")
@@ -52,5 +70,38 @@ func main() {
 	default:
 		show(testbed.Tree())
 		show(testbed.Line())
+	}
+}
+
+// showGeo prints a generated positioned topology: the arena, the site
+// decomposition, and the per-site sinks, rather than Fig. 6's hand-drawn
+// link list (a 10k-node link list is not a display).
+func showGeo(t testbed.Topology) {
+	minX, minY, maxX, maxY := 0.0, 0.0, 0.0, 0.0
+	first := true
+	for _, p := range t.Pos {
+		if first {
+			minX, maxX, minY, maxY = p.X, p.X, p.Y, p.Y
+			first = false
+			continue
+		}
+		minX, maxX = min(minX, p.X), max(maxX, p.X)
+		minY, maxY = min(minY, p.Y), max(maxY, p.Y)
+	}
+	sites := t.Sites()
+	fmt.Printf("== %s (generated) ==\n", t.Name)
+	fmt.Printf("%d nodes on a %.0fm × %.0fm arena, radio range %.1fm, mean disk degree %.2f\n",
+		len(t.Nodes()), maxX-minX, maxY-minY, t.Range, t.MeanDiskDegree())
+	fmt.Printf("%d links (BFS spanning forest of the disk graph), %d sites\n",
+		len(t.Links), len(sites))
+	sinks := t.SiteConsumers()
+	for i, site := range sites {
+		p := t.Pos[sinks[i]]
+		fmt.Printf("  site %3d: %4d nodes, sink node %d at (%.0f,%.0f)\n",
+			i, len(site), sinks[i], p.X, p.Y)
+		if i == 19 && len(sites) > 20 {
+			fmt.Printf("  ... (%d more sites)\n", len(sites)-20)
+			break
+		}
 	}
 }

@@ -47,7 +47,8 @@ func usage() {
   blemesh list                                   list experiments
   blemesh run <id> [-seed N] [-scale F] [-runs N] [-workers N] [-engine wheel|heap] [-shards N] [-values]
   blemesh all [-scale F] [-seed N] [-workers N] [-shards N]  run everything
-  blemesh trace [-topo tree|line|mesh|forest] [-minutes N] [-seed N] [-node NAME] [-routing static|dynamic] [-shards N]
+  blemesh trace [-topo tree|line|mesh|forest|geo|city|floors] [-nodes N] [-range M] [-lean]
+                [-minutes N] [-seed N] [-node NAME] [-routing static|dynamic] [-shards N]
                                                  dump the link event log of a run`)
 }
 
@@ -100,27 +101,48 @@ func run(args []string) {
 	fmt.Fprintln(os.Stderr, blemesh.GCFooter())
 }
 
+// parseTopo resolves a -topo flag value into a topology: the paper's fixed
+// layouts, or one of the seeded city-scale generators (geo honours -nodes;
+// all three honour -range, 0 keeping each generator's default).
+func parseTopo(name string, seed int64, nodes int, radioRange float64) (blemesh.Topology, error) {
+	switch name {
+	case "tree":
+		return blemesh.Tree(), nil
+	case "line":
+		return blemesh.Line(), nil
+	case "mesh":
+		return blemesh.Mesh(), nil
+	case "forest":
+		return blemesh.Forest(4), nil
+	case "geo":
+		return blemesh.RandomGeometric(blemesh.GeoConfig{
+			Seed: seed, N: nodes, Range: radioRange}), nil
+	case "city":
+		return blemesh.CityBlocks(blemesh.CityConfig{
+			Seed: seed, Range: radioRange}), nil
+	case "floors":
+		return blemesh.BuildingFloors(blemesh.FloorsConfig{
+			Seed: seed, Range: radioRange}), nil
+	}
+	return blemesh.Topology{}, fmt.Errorf(
+		"unknown topology %q (tree, line, mesh, forest, geo, city, or floors)", name)
+}
+
 func traceRun(args []string) {
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
-	topoName := fs.String("topo", "tree", "tree, line, mesh, or forest (4 isolated trees)")
+	topoName := fs.String("topo", "tree", "tree, line, mesh, forest (4 isolated trees), geo, city, or floors")
 	minutes := fs.Int("minutes", 10, "simulated minutes")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	node := fs.String("node", "", "restrict to one node name")
 	routingName := fs.String("routing", "static", "routing plane: static or dynamic (RPL-lite)")
 	shards := fs.Int("shards", 0, "worker lanes of the sharded conservative scheduler (0 = serial engine)")
+	nodes := fs.Int("nodes", 60, "node count for -topo geo")
+	radioRange := fs.Float64("range", 0, "disk radio range in meters for generated topologies (0 = generator default)")
+	lean := fs.Bool("lean", false, "lean metrics + sparse sink-tree routes (the city-scale mode; required well before 10k nodes)")
 	_ = fs.Parse(args)
-	var topo blemesh.Topology
-	switch *topoName {
-	case "tree":
-		topo = blemesh.Tree()
-	case "line":
-		topo = blemesh.Line()
-	case "mesh":
-		topo = blemesh.Mesh()
-	case "forest":
-		topo = blemesh.Forest(4)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown topology %q (tree, line, mesh, or forest)\n", *topoName)
+	topo, err := parseTopo(*topoName, *seed, *nodes, *radioRange)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
 	routing, err := blemesh.ParseRouting(*routingName)
@@ -135,6 +157,8 @@ func traceRun(args []string) {
 		Trace:        true,
 		Routing:      routing,
 		Shards:       *shards,
+		Lean:         *lean,
+		SparseRoutes: *lean,
 	})
 	nw.WaitTopology(60 * blemesh.Second)
 	if routing == blemesh.RoutingDynamic && !nw.WaitConverged(120*blemesh.Second) {

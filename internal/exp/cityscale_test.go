@@ -1,0 +1,58 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"blemesh/internal/sim"
+)
+
+// cityScaleConfig attaches streaming to the canonical 10k-node build
+// (exp.CityScaleConfig — shared with the bench CLI and CI).
+func cityScaleConfig(stream *strings.Builder, shards int) NetworkConfig {
+	cfg := CityScaleConfig(shards)
+	cfg.StreamMetrics = stream
+	cfg.StreamEvery = 10 * sim.Second
+	return cfg
+}
+
+// TestCityScaleSmoke builds and drives a 10k-node generated city-scale
+// network end to end under a -short-friendly budget. The run must stream
+// its metrics — the assertions pin that lean mode materialized no per-node
+// surfaces (no heatmap rows, no per-node registry collectors) while the
+// aggregate counters and streamed snapshots still flowed.
+func TestCityScaleSmoke(t *testing.T) {
+	var stream strings.Builder
+	nw := BuildNetwork(cityScaleConfig(&stream, 4))
+	// No WaitTopology: polling 10k links every 100ms would dominate the
+	// budget, and partial formation is fine for a smoke run.
+	nw.Run(20 * sim.Second)
+	nw.StartTraffic(TrafficConfig{Interval: 10 * sim.Second})
+	nw.Run(25 * sim.Second)
+
+	if got := len(nw.Nodes); got != 10000 {
+		t.Fatalf("built %d nodes, want 10000", got)
+	}
+	if nw.Processed() == 0 {
+		t.Fatal("no simulation events processed")
+	}
+	if rows := nw.PerProd.Rows(); len(rows) != 0 {
+		t.Fatalf("lean run materialized %d per-producer heatmap rows", len(rows))
+	}
+	var reg strings.Builder
+	if err := nw.Registry.WriteNDJSON(&reg); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(reg.String(), `"node-`) {
+		t.Fatal("lean run registered per-node collectors")
+	}
+	if !strings.Contains(reg.String(), "net.coap_pdr") {
+		t.Fatal("network-level aggregates missing from lean registry")
+	}
+	if strings.Count(stream.String(), "\n") < 2 {
+		t.Fatalf("expected streamed snapshots, got %d lines", strings.Count(stream.String(), "\n"))
+	}
+	if pdr := nw.CoAPPDR(); pdr.Sent == 0 {
+		t.Fatal("no traffic sent across 10k nodes")
+	}
+}

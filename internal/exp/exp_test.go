@@ -16,7 +16,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{"table1", "fig7", "fig8a", "fig8b", "fig9a", "fig9b", "fig10",
 		"sec54", "fig12", "sec62", "fig13", "fig14", "fig15", "table2",
 		"abl-arb", "abl-ww", "abl-renegotiate", "churn", "latency", "selfheal",
-		"scaleobs"}
+		"scaleobs", "density"}
 	for _, id := range want {
 		if _, ok := Find(id); !ok {
 			t.Errorf("experiment %q missing from registry", id)

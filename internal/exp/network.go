@@ -113,6 +113,21 @@ type NetworkConfig struct {
 	// RPL overrides the per-node RPL-lite configuration in dynamic mode
 	// (Root is set per node regardless; nil uses rpl defaults).
 	RPL *rpl.Config
+	// Lean drops the per-node registry collectors and the per-producer
+	// heatmap rows, keeping only the network-level aggregates. City-scale
+	// runs (10k+ nodes) set it so metric memory stays O(sites), not
+	// O(nodes); streaming snapshots and the aggregate counters are
+	// unaffected.
+	Lean bool
+	// SparseRoutes provisions only the sink-tree routes — every node to its
+	// site sink via its SinkForest parent, every ancestor of a node back
+	// down the tree — instead of all-pairs host routes: O(N·depth) entries
+	// rather than O(N²). The producer/consumer workload needs nothing more.
+	SparseRoutes bool
+	// LinearPHY forces geometric media down the linear distance-filter scan
+	// instead of the spatial grid index. Output must be byte-identical
+	// either way; the differential test layer flips this to prove it.
+	LinearPHY bool
 	// Shards selects the sharded scheduler (internal/sim Sharded): the
 	// topology is cut into RF-isolated sites (connected components), each
 	// driven by its own event queue and clock under a conservative barrier
@@ -301,6 +316,13 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		b := phy.NewSwitched(phy.Jammer{Ch: phy.AnyChannel})
 		m.AddInterference(b)
 		nw.blackouts = append(nw.blackouts, b)
+		// Positioned topologies switch the medium into geometric mode: the
+		// disk range matches the generator's link-derivation range, so the
+		// PHY and the topology agree bit-for-bit on who hears whom.
+		if cfg.Topology.Range > 0 {
+			m.SetRange(cfg.Topology.Range)
+			m.SetLinearScan(cfg.LinearPHY)
+		}
 		nw.Media = append(nw.Media, m)
 		return m
 	}
@@ -388,6 +410,9 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 			Trace:                 nw.Trace,
 			Routing:               rcfg,
 		})
+		if p, ok := cfg.Topology.Pos[id]; ok {
+			n.Radio.SetPosition(p.X, p.Y, p.Z)
+		}
 		nw.Nodes[id] = n
 		nw.Meters[id] = energy.NewMeter(energy.DefaultParams(), n.Ctrl, n.Radio)
 	}
@@ -406,10 +431,14 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	// Manual IP routes along the unique topology paths (§4.3). In dynamic
 	// mode RPL-lite discovers and maintains routes instead.
 	if cfg.Routing == RoutingStatic {
-		for _, from := range ids {
-			next := cfg.Topology.NextHops(from)
-			for dst, hop := range next {
-				nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+		if cfg.SparseRoutes {
+			nw.installSparseRoutes(ids)
+		} else {
+			for _, from := range ids {
+				next := cfg.Topology.NextHops(from)
+				for dst, hop := range next {
+					nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+				}
 			}
 		}
 	}
@@ -435,10 +464,36 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	return nw
 }
 
+// installSparseRoutes provisions only the sink-tree routes: each node
+// reaches its site sink via its SinkForest parent, and every ancestor of a
+// node v (the sink included) reaches v via the on-path child. Producer →
+// sink requests and sink → producer responses both ride these entries —
+// O(N·depth) table entries rather than the all-pairs O(N²).
+func (nw *Network) installSparseRoutes(ids []int) {
+	parent := nw.Cfg.Topology.SinkForest()
+	for _, id := range ids {
+		p, ok := parent[id]
+		if !ok {
+			continue // site sink (or isolated singleton): nothing upward
+		}
+		nw.Nodes[id].AddHostRoute(nw.Nodes[nw.consumers[nw.siteOf[id]]], nw.Nodes[p])
+		cur := id
+		for ok {
+			nw.Nodes[p].AddHostRoute(nw.Nodes[id], nw.Nodes[cur])
+			cur = p
+			p, ok = parent[p]
+		}
+	}
+}
+
 // registerMetrics wires every node's Stats() sources and the network-level
 // aggregates into the unified registry. Nodes register in ID order; Gather
-// sorts by name anyway, but registration order stays deterministic.
+// sorts by name anyway, but registration order stays deterministic. Lean
+// builds keep only the network-level aggregates.
 func (nw *Network) registerMetrics(ids []int) {
+	if nw.Cfg.Lean {
+		ids = nil
+	}
 	for _, id := range ids {
 		n := nw.Nodes[id]
 		name := n.Name
@@ -711,7 +766,12 @@ func (nw *Network) startProducer(id int, t TrafficConfig) {
 	if name == "" {
 		name = fmt.Sprintf("node-%d", id)
 	}
-	row := nw.PerProd.Row(name)
+	// Lean runs keep no per-producer heatmap rows: at 10k producers the
+	// rows (one time series each) would dwarf the network itself.
+	var row *metrics.TimeSeries
+	if !nw.Cfg.Lean {
+		row = nw.PerProd.Row(name)
+	}
 	// Everything the loop touches is site-local: the node's own Sim (the
 	// shared serial Sim outside sharded runs), the site's sink, and the
 	// site's metric surfaces — so producer events run safely inside
@@ -730,13 +790,17 @@ func (nw *Network) startProducer(id int, t TrafficConfig) {
 			Payload: make([]byte, t.PayloadBytes)}
 		req.SetPath("s")
 		series.RecordSent(sent)
-		row.RecordSent(sent)
+		if row != nil {
+			row.RecordSent(sent)
+		}
 		err := node.Coap.Request(dst, req, func(m *coap.Message, rtt sim.Duration, _ error) {
 			if m == nil {
 				return
 			}
 			series.RecordDelivered(sent)
-			row.RecordDelivered(sent)
+			if row != nil {
+				row.RecordDelivered(sent)
+			}
 			rtts.AddDuration(rtt)
 		})
 		_ = err // send failures (no route during reconnect) count as losses

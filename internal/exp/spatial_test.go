@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+
+	"blemesh/internal/sim"
+	"blemesh/internal/statconn"
+	"blemesh/internal/testbed"
+)
+
+// spatialTopology builds one cell of the differential matrix: a generated
+// geometric topology ("geo", "city") or the paper's fixed tree — the
+// geometry-free control, where the LinearPHY switch must be a no-op.
+func spatialTopology(kind string, seed int64) testbed.Topology {
+	switch kind {
+	case "geo":
+		return testbed.RandomGeometric(testbed.GeoConfig{
+			Seed: seed, N: 30, Width: 70, Height: 70, Range: 18})
+	case "city":
+		return testbed.CityBlocks(testbed.CityConfig{
+			Seed: seed, BlocksX: 2, BlocksY: 2, PerBlock: 4})
+	default:
+		return testbed.Tree()
+	}
+}
+
+// spatialExport drives one traced workload with the PHY scan path pinned to
+// the spatial grid index (linear=false) or the linear distance filter
+// (linear=true) and returns the full trace + metrics NDJSON. shards==0 is
+// the serial engine with phy domain partitioning.
+func spatialExport(t *testing.T, topo testbed.Topology, seed int64, linear bool, shards int) string {
+	t.Helper()
+	nw := BuildNetwork(NetworkConfig{
+		Seed:          seed,
+		Engine:        sim.EngineWheel,
+		Shards:        shards,
+		Topology:      topo,
+		Policy:        statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22:  true,
+		Trace:         true,
+		TraceCapacity: 1 << 18,
+		LinearPHY:     linear,
+	})
+	// Formation failure on a hard seed is itself fine — both scan paths
+	// must fail identically, and byte equality still checks that.
+	nw.WaitTopology(60 * sim.Second)
+	nw.Run(5 * sim.Second)
+	nw.StartTraffic(TrafficConfig{Interval: sim.Second, Jitter: 500 * sim.Millisecond})
+	nw.Run(20 * sim.Second)
+	var b strings.Builder
+	if err := nw.Trace.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := nw.Registry.WriteNDJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSpatialIndexEquivalence is the lockdown for the spatial grid index:
+// 16 seeds of generated geo and city topologies (and the geometry-free tree
+// control) must export byte-identical trace and metrics NDJSON whether the
+// medium scans through the grid or the linear distance filter. The index is
+// a lookup accelerator, never an output knob.
+func TestSpatialIndexEquivalence(t *testing.T) {
+	seeds := int64(16)
+	if testing.Short() {
+		seeds = 4
+	}
+	for _, kind := range []string{"geo", "city", "tree"} {
+		t.Run(kind, func(t *testing.T) {
+			for seed := int64(1); seed <= seeds; seed++ {
+				topo := spatialTopology(kind, seed)
+				lin := spatialExport(t, topo, seed, true, 0)
+				idx := spatialExport(t, topo, seed, false, 0)
+				if lin == "" {
+					t.Fatalf("%s seed %d: empty export", kind, seed)
+				}
+				if idx != lin {
+					n, g, w := firstDiff(idx, lin)
+					t.Fatalf("%s seed %d: grid index diverges from linear scan at line %d:\n  grid:   %s\n  linear: %s",
+						kind, seed, n, g, w)
+				}
+			}
+		})
+	}
+}
+
+// TestSpatialIndexIsRepeatable pins the geometric export itself as
+// deterministic run-to-run, so equivalence passes cannot be two
+// different-but-luckily-equal runs.
+func TestSpatialIndexIsRepeatable(t *testing.T) {
+	topo := spatialTopology("geo", 1)
+	a := spatialExport(t, topo, 1, false, 0)
+	b := spatialExport(t, topo, 1, false, 0)
+	if a != b {
+		n, g, w := firstDiff(a, b)
+		t.Fatalf("same geo config diverges run-to-run at line %d:\n  %s\n  %s", n, g, w)
+	}
+}
+
+// TestGeoShardWorkerInvariance runs a generated multi-site geo topology
+// through the sharded scheduler at 1, 2, and 4 worker lanes: the worker
+// count must never leak into the merged export. This is the racing half of
+// the contract for the spatial index — per-site grids queried concurrently
+// from domain windows.
+func TestGeoShardWorkerInvariance(t *testing.T) {
+	topo := testbed.RandomGeometric(testbed.GeoConfig{
+		Seed: 11, N: 60, Width: 200, Height: 200, Range: 22})
+	if len(topo.Sites()) < 2 {
+		t.Fatalf("fixture topology has %d sites, need a multi-site seed", len(topo.Sites()))
+	}
+	ref := spatialExport(t, topo, 11, false, 1)
+	if ref == "" {
+		t.Fatal("empty export")
+	}
+	for _, shards := range []int{2, 4} {
+		if got := spatialExport(t, topo, 11, false, shards); got != ref {
+			n, g, w := firstDiff(got, ref)
+			t.Fatalf("shards %d diverges from shards=1 at line %d:\n  got:  %s\n  want: %s",
+				shards, n, g, w)
+		}
+	}
+}

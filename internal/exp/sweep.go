@@ -50,6 +50,10 @@ type SweepConfig struct {
 	// Producers and Configs span the grid (defaults: the Fig. 15 grid).
 	Producers []sim.Duration
 	Configs   []IntervalConfig
+	// Topology overrides the swept network layout (zero value: the paper's
+	// tree). City-scale sweeps pass a generated geo/city topology here;
+	// every grid cell then runs that same layout.
+	Topology testbed.Topology
 	// Registry, when non-nil, receives the runner's live progress gauges.
 	Registry *metrics.Registry
 	// Progress, when non-nil, is called after each completed run with
@@ -95,6 +99,9 @@ func RunSweep(sc SweepConfig) ([]CellResult, error) {
 	if sc.Configs == nil {
 		sc.Configs = Fig14Configs()
 	}
+	if sc.Topology.Name == "" {
+		sc.Topology = testbed.Tree()
+	}
 	dur := hour(sc.Options)
 	runs := sc.Options.Runs
 	nCells := len(sc.Producers) * len(sc.Configs)
@@ -112,13 +119,16 @@ func RunSweep(sc SweepConfig) ([]CellResult, error) {
 		cell, run := job/runs, job%runs
 		pi := sc.Producers[cell/len(sc.Configs)]
 		cfg := sc.Configs[cell%len(sc.Configs)]
-		nw := runTopo(sc.Options, run, testbed.Tree(), cfg.Policy,
+		nw := runTopo(sc.Options, run, sc.Topology, cfg.Policy,
 			TrafficConfig{Interval: pi, Jitter: pi / 2}, dur,
 			func(c *NetworkConfig) { c.MaxPPM = 30 })
 		return runMetrics{
-			coap:   nw.CoAPPDR().Rate(),
-			ll:     nw.LLPDR(),
-			rtt:    nw.RTTs.Median(),
+			coap: nw.CoAPPDR().Rate(),
+			ll:   nw.LLPDR(),
+			// MergedRTTs is the shared CDF on single-site runs (the
+			// historical bytes) and the cross-site merge on generated
+			// multi-site topologies under the sharded scheduler.
+			rtt:    nw.MergedRTTs().Median(),
 			losses: float64(nw.ConnLosses()),
 		}, nil
 	})

@@ -1,0 +1,199 @@
+package phy
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"blemesh/internal/sim"
+)
+
+// candidates returns the NodeIDs neighborScan yields for sender, in visit
+// order, down the selected path.
+func candidates(m *Medium, sender *Radio, linear bool) []NodeID {
+	prev := m.linear
+	m.linear = linear
+	defer func() { m.linear = prev }()
+	var out []NodeID
+	m.neighborScan(m.domains[sender.dom], sender, func(r *Radio) {
+		out = append(out, r.id)
+	})
+	return out
+}
+
+// requireSameScan asserts the linear and indexed paths visit the same
+// radios in the same order.
+func requireSameScan(t *testing.T, m *Medium, sender *Radio) {
+	t.Helper()
+	lin := candidates(m, sender, true)
+	idx := candidates(m, sender, false)
+	if !reflect.DeepEqual(lin, idx) {
+		t.Fatalf("sender %d: linear scan %v != indexed scan %v", sender.id, lin, idx)
+	}
+}
+
+// TestGridBoundaryCandidates pins the index at the exact geometric edges:
+// radios at distance exactly r (in range — boundary inclusive), a hair
+// beyond r (out), straddling grid cell edges, on cell corners, at negative
+// coordinates, and separated only vertically (3D distance).
+func TestGridBoundaryCandidates(t *testing.T) {
+	const r = 10.0
+	s := sim.New(1)
+	m := NewMedium(s)
+	m.SetRange(r)
+
+	sender := m.NewRadio()
+	sender.SetPosition(0, 0, 0)
+
+	place := func(x, y, z float64) *Radio {
+		rd := m.NewRadio()
+		rd.SetPosition(x, y, z)
+		return rd
+	}
+	exactEast := place(r, 0, 0)                  // distance exactly r, one cell east
+	beyond := place(math.Nextafter(r, 11), 0, 0) // just out of range
+	exactDiag := place(6, 8, 0)                  // 6-8-10 triple: distance exactly r, diagonal cell
+	cellEdge := place(math.Nextafter(r, 9), 0, 0) // in range, same ring, cell boundary straddler
+	corner := place(-6, -8, 0)                    // negative-coordinate corner cell, exactly r
+	vertical := place(0, 0, r)                       // exactly r straight up (3D)
+	tooHigh := place(0, 0, math.Nextafter(r, 11))
+	farCell := place(2.5*r, 2.5*r, 0) // outside the 3×3 neighborhood entirely
+
+	got := candidates(m, sender, false)
+	want := []NodeID{exactEast.id, exactDiag.id, cellEdge.id, corner.id, vertical.id}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("boundary candidates = %v, want %v", got, want)
+	}
+	for _, out := range []*Radio{beyond, tooHigh, farCell} {
+		for _, id := range got {
+			if id == out.id {
+				t.Fatalf("radio %d at out-of-range position made the candidate set", out.id)
+			}
+		}
+	}
+	requireSameScan(t, m, sender)
+	// The relation is symmetric: every in-range radio sees the sender too.
+	for _, rd := range []*Radio{exactEast, exactDiag, cellEdge, corner, vertical} {
+		requireSameScan(t, m, rd)
+	}
+}
+
+// TestGridMatchesLinearRandom sweeps randomized layouts — including radios
+// planted exactly on cell edges and at exactly range distance — and
+// requires the indexed scan to equal the linear scan for every sender.
+func TestGridMatchesLinearRandom(t *testing.T) {
+	const r = 7.5
+	for seed := int64(1); seed <= 5; seed++ {
+		s := sim.New(seed)
+		m := NewMedium(s)
+		m.SetRange(r)
+		rng := rand.New(rand.NewSource(seed))
+		radios := make([]*Radio, 0, 120)
+		for i := 0; i < 100; i++ {
+			rd := m.NewRadio()
+			rd.SetPosition(rng.Float64()*100-50, rng.Float64()*100-50, 0)
+			radios = append(radios, rd)
+		}
+		// Cell-edge straddlers: exact multiples of the cell size, and exact
+		// range-r pairs around them.
+		for i := 0; i < 10; i++ {
+			rd := m.NewRadio()
+			rd.SetPosition(float64(i-5)*r, float64(i%3)*r, 0)
+			radios = append(radios, rd)
+			pair := m.NewRadio()
+			pair.SetPosition(float64(i-5)*r+r, float64(i%3)*r, 0)
+			radios = append(radios, pair)
+		}
+		for _, rd := range radios {
+			requireSameScan(t, m, rd)
+		}
+	}
+}
+
+// TestGridReindexOnMove verifies SetPosition migrates a radio between
+// cells: the scan tracks the move down both paths.
+func TestGridReindexOnMove(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s)
+	m.SetRange(5)
+	a := m.NewRadio()
+	a.SetPosition(0, 0, 0)
+	b := m.NewRadio()
+	b.SetPosition(3, 0, 0)
+	if got := candidates(m, a, false); len(got) != 1 || got[0] != b.id {
+		t.Fatalf("before move: candidates %v, want [%d]", got, b.id)
+	}
+	b.SetPosition(40, 40, 0) // far cell
+	if got := candidates(m, a, false); len(got) != 0 {
+		t.Fatalf("after move out: candidates %v, want none", got)
+	}
+	b.SetPosition(-4, 0, 0) // back in range, different cell sign
+	if got := candidates(m, a, false); len(got) != 1 || got[0] != b.id {
+		t.Fatalf("after move back: candidates %v, want [%d]", got, b.id)
+	}
+	requireSameScan(t, m, a)
+}
+
+// TestGridRangeBeforeAndAfterRegistration pins SetRange rebuild semantics:
+// enabling geometry after radios registered must index them, and disabling
+// returns to the everyone-hears-everyone scan.
+func TestGridRangeBeforeAndAfterRegistration(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s)
+	a := m.NewRadio()
+	a.SetPosition(0, 0, 0)
+	b := m.NewRadio()
+	b.SetPosition(100, 0, 0)
+	// Geometry-free: everyone hears everyone.
+	if got := candidates(m, a, false); len(got) != 1 {
+		t.Fatalf("geometry-free candidates %v, want [b]", got)
+	}
+	m.SetRange(10)
+	if got := candidates(m, a, false); len(got) != 0 {
+		t.Fatalf("geometric candidates %v, want none (100m apart, 10m range)", got)
+	}
+	requireSameScan(t, m, a)
+	m.SetRange(0)
+	if got := candidates(m, a, false); len(got) != 1 {
+		t.Fatalf("after disabling geometry candidates %v, want [b]", got)
+	}
+}
+
+// TestGeometricDelivery drives real transmissions: an in-range listener
+// receives, an out-of-range listener does not, and two out-of-range senders
+// transmitting simultaneously on one channel do not collide.
+func TestGeometricDelivery(t *testing.T) {
+	s := sim.New(1)
+	m := NewMedium(s)
+	m.SetRange(10)
+	tx1 := m.NewRadio()
+	tx1.SetPosition(0, 0, 0)
+	near := m.NewRadio()
+	near.SetPosition(5, 0, 0)
+	far := m.NewRadio()
+	far.SetPosition(50, 0, 0)
+	tx2 := m.NewRadio()
+	tx2.SetPosition(55, 0, 0)
+
+	got := map[NodeID][]bool{}
+	for _, rd := range []*Radio{near, far} {
+		id := rd.ID()
+		rd.SetReceiver(func(_ Packet, _ Channel, ok bool) { got[id] = append(got[id], ok) })
+		rd.StartListen(0)
+	}
+	// Overlapping same-channel transmissions from RF-disjoint positions.
+	tx1.Transmit(0, Packet{Bits: 64}, 100*sim.Microsecond, nil)
+	tx2.Transmit(0, Packet{Bits: 64}, 100*sim.Microsecond, nil)
+	s.Run(sim.Second)
+
+	if want := []bool{true}; !reflect.DeepEqual(got[near.ID()], want) {
+		t.Fatalf("near listener got %v, want %v (clean delivery from tx1 only)", got[near.ID()], want)
+	}
+	if want := []bool{true}; !reflect.DeepEqual(got[far.ID()], want) {
+		t.Fatalf("far listener got %v, want %v (clean delivery from tx2 only)", got[far.ID()], want)
+	}
+	if c := m.Stats().Collisions; c != 0 {
+		t.Fatalf("out-of-range senders collided: %d collisions", c)
+	}
+}

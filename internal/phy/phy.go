@@ -132,13 +132,23 @@ type Medium struct {
 	stats   Stats
 	freeTx  *transmission // recycled transmissions
 	nradios int           // global NodeID allocator across domains
+
+	// Geometric mode (see grid.go): rangeSq > 0 filters delivery, carrier,
+	// and collision closure by disk radio range; linear forces the
+	// non-indexed scan path for differential testing.
+	r       float64
+	rangeSq float64
+	linear  bool
+	scratch [][]*Radio // recycled candidate buffers for indexed scans
 }
 
 // rfDomain is one RF-closure partition: the radios that can hear each
-// other and their in-flight transmissions.
+// other and their in-flight transmissions. In geometric mode grid indexes
+// the domain's radios by position (cell edge = radio range).
 type rfDomain struct {
 	radios []*Radio
 	active map[Channel][]*transmission
+	grid   map[[2]int32][]*Radio
 }
 
 // getTx takes a transmission from the free list (or allocates one) and
@@ -182,7 +192,11 @@ func (m *Medium) SetDomain(d int) {
 		panic("phy: negative RF domain")
 	}
 	for len(m.domains) <= d {
-		m.domains = append(m.domains, newRFDomain())
+		dom := newRFDomain()
+		if m.rangeSq > 0 {
+			dom.rebuildGrid(m.r)
+		}
+		m.domains = append(m.domains, dom)
 	}
 	m.cur = d
 }
@@ -200,7 +214,9 @@ func (m *Medium) Stats() Stats { return m.stats }
 // right now. This is the CCA primitive used by the IEEE 802.15.4 MAC. It is
 // conservative across domains: any domain's carrier makes ch read busy
 // (802.15.4 experiments always run on a single-domain medium, where this is
-// exact).
+// exact). It also ignores geometry: a geometric medium's carrier reads busy
+// regardless of distance (the BLE link layer never calls Busy; it uses
+// per-radio carrier indications, which are range-filtered).
 func (m *Medium) Busy(ch Channel) bool {
 	for _, dom := range m.domains {
 		if len(dom.active[ch]) > 0 {
@@ -221,6 +237,9 @@ func (m *Medium) NewRadio() *Radio {
 	r := &Radio{medium: m, id: NodeID(m.nradios), dom: m.cur, listenCh: -1}
 	m.nradios++
 	dom.radios = append(dom.radios, r)
+	if dom.grid != nil {
+		dom.gridInsert(gridKey(r.px, r.py, m.r), r)
+	}
 	return r
 }
 
@@ -254,6 +273,9 @@ type Radio struct {
 	medium *Medium
 	id     NodeID
 	dom    int // RF domain index; only same-domain radios interact
+
+	// Position in meters; only meaningful in geometric mode (grid.go).
+	px, py, pz float64
 
 	state       RadioState
 	listenCh    Channel
@@ -357,9 +379,15 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 	m.stats.Transmissions++
 
 	// Collision detection: any overlap on the same channel within the
-	// sender's RF domain corrupts all parties. Mark existing in-flight
+	// sender's RF domain corrupts all parties — in geometric mode only when
+	// the two senders are within radio range of each other (disk carrier
+	// closure; receiver-side hidden-terminal overlap is out of model, see
+	// the package comment in grid.go). Mark existing in-flight
 	// transmissions and the new one.
 	for _, other := range dom.active[ch] {
+		if !m.inRangeOf(r, other.sender) {
+			continue
+		}
 		if !other.corrupted {
 			other.corrupted = true
 			m.stats.Collisions++
@@ -382,15 +410,16 @@ func (r *Radio) Transmit(ch Channel, pkt Packet, airtime sim.Duration, done func
 	dom.active[ch] = append(dom.active[ch], tx)
 
 	// Start-of-packet (carrier) indication for eligible listeners in the
-	// sender's domain only — the scan no longer touches unrelated sites.
-	for _, lr := range dom.radios {
-		if lr == r || lr.state != RadioRX || lr.listenCh != ch || lr.listenSince > now {
-			continue
+	// sender's domain only — and, in geometric mode, within radio range of
+	// the sender (indexed candidate cells instead of the whole domain).
+	m.neighborScan(dom, r, func(lr *Radio) {
+		if lr.state != RadioRX || lr.listenCh != ch || lr.listenSince > now {
+			return
 		}
 		if lr.carrier != nil {
 			lr.carrier(ch, tx.end)
 		}
-	}
+	})
 
 	m.sim.PostAt(tx.end, tx.fire)
 }
@@ -439,14 +468,14 @@ func (m *Medium) finish(sender *Radio, tx *transmission) {
 		sender.curTX = nil
 	}
 
-	for _, r := range dom.radios {
-		if r == sender || r.state != RadioRX || r.listenCh != tx.ch {
-			continue
+	m.neighborScan(dom, sender, func(r *Radio) {
+		if r.state != RadioRX || r.listenCh != tx.ch {
+			return
 		}
 		// The receiver must have been tuned in before the packet started;
 		// a radio that arrived mid-packet cannot sync to the preamble.
 		if r.listenSince > tx.start {
-			continue
+			return
 		}
 		ok := !tx.corrupted
 		if ok {
@@ -458,5 +487,5 @@ func (m *Medium) finish(sender *Radio, tx *transmission) {
 		if r.recv != nil {
 			r.recv(tx.pkt, tx.ch, ok)
 		}
-	}
+	})
 }

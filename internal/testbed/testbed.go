@@ -95,6 +95,35 @@ type Topology struct {
 	Name     string
 	Consumer int
 	Links    []Link
+
+	// Pos, when non-nil, holds generated node positions in meters and Range
+	// the disk-connectivity radio range that derived Links (see geo.go).
+	// Classic paper topologies leave both zero: their medium stays
+	// geometry-free.
+	Pos   map[int]Point
+	Range float64
+
+	// idx is the sealed graph index (node list + adjacency), shared by all
+	// copies of a sealed topology. Constructors call Seal; an unsealed
+	// topology still works, rebuilding adjacency per call as before.
+	idx *topoIndex
+}
+
+// topoIndex caches the derived graph structure of an immutable topology so
+// NextHops/HopCount/Sites don't re-derive adjacency on every call — at 10k
+// nodes the per-call rebuild turned route setup into O(N²) map churn.
+type topoIndex struct {
+	nodes []int
+	adj   map[int][]int
+}
+
+// Seal freezes the topology's derived graph index. Adjacency lists keep the
+// exact Links-order construction of the unsealed path, so sealed and
+// unsealed topologies produce identical BFS orders (and therefore identical
+// routes). Call it after the link set is final; mutating Links afterwards
+// without re-sealing is a bug.
+func (t *Topology) Seal() {
+	t.idx = &topoIndex{nodes: t.nodesUncached(), adj: t.buildAdjacency()}
 }
 
 // Tree returns the 15-node tree of Fig. 6(b): depth ≤ 3, average producer
@@ -109,6 +138,7 @@ func Tree() Topology {
 	for child := 2; child <= 15; child++ {
 		t.Links = append(t.Links, Link{Coordinator: child, Subordinate: parent[child]})
 	}
+	t.Seal()
 	return t
 }
 
@@ -119,6 +149,7 @@ func Line() Topology {
 	for i := 2; i <= 15; i++ {
 		t.Links = append(t.Links, Link{Coordinator: i, Subordinate: i - 1})
 	}
+	t.Seal()
 	return t
 }
 
@@ -150,12 +181,26 @@ func Mesh() Topology {
 	for _, l := range links {
 		t.Links = append(t.Links, Link{Coordinator: l[0], Subordinate: l[1]})
 	}
+	t.Seal()
 	return t
 }
 
 // Nodes returns the sorted IDs appearing in the topology.
 func (t Topology) Nodes() []int {
+	if t.idx != nil {
+		return t.idx.nodes
+	}
+	return t.nodesUncached()
+}
+
+func (t Topology) nodesUncached() []int {
 	seen := map[int]bool{t.Consumer: true}
+	// Generated topologies may contain isolated nodes: positioned radios
+	// with no disk neighbor and therefore no links. They are still nodes
+	// (and singleton sites).
+	for id := range t.Pos {
+		seen[id] = true
+	}
 	for _, l := range t.Links {
 		seen[l.Coordinator] = true
 		seen[l.Subordinate] = true
@@ -251,11 +296,20 @@ func Forest(sites int) Topology {
 			f.Links = append(f.Links, Link{Coordinator: l.Coordinator + off, Subordinate: l.Subordinate + off})
 		}
 	}
+	f.Seal()
 	return f
 }
 
-// adjacency builds the neighbor sets.
+// adjacency returns the neighbor sets: the sealed index when available, a
+// fresh Links-order build otherwise. Callers must not mutate the result.
 func (t Topology) adjacency() map[int][]int {
+	if t.idx != nil {
+		return t.idx.adj
+	}
+	return t.buildAdjacency()
+}
+
+func (t Topology) buildAdjacency() map[int][]int {
 	adj := make(map[int][]int)
 	for _, l := range t.Links {
 		adj[l.Coordinator] = append(adj[l.Coordinator], l.Subordinate)

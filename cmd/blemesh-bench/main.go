@@ -29,6 +29,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -77,6 +78,12 @@ const (
 	// shardedBenchLanes is the worker-lane count of the gated measurement
 	// (the speedup_sharded4 key).
 	shardedBenchLanes = 4
+	// minArenaMemReduction is the acceptance bar of the arena-backed
+	// struct-of-arrays node state: the 10k-node city-scale build must sit
+	// at no more than half the legacy allocation path's resident bytes per
+	// node. CI passes 0 to keep the ratio informational on shared runners;
+	// locally it is the tentpole gate.
+	minArenaMemReduction = 2.0
 	// max10kNsPerEvent is the local ceiling for the 10k-node city-scale
 	// run's per-event cost. The measured value sits well under half of
 	// this on a development machine; a spatial-index or lean-mode
@@ -232,6 +239,63 @@ func cityNsPerEvent(lanes int) float64 {
 	return float64(elapsed.Nanoseconds()) / float64(nw.Processed())
 }
 
+// cityMemStats measures the settled heap cost per node of the canonical
+// 10k-node city-scale build on both allocation paths, plus the arena
+// build's wall clock. Heap-in-use deltas are taken across the build after
+// a double GC on each side (the network held live), so the number is the
+// resident per-node footprint, not allocation churn. The reduction ratio
+// is a deterministic property of the data layout — the arena-backed
+// struct-of-arrays state must keep it at or above -minmemreduction.
+func cityMemStats(lanes int) map[string]float64 {
+	measure := func(legacyAlloc bool) (bytesPerNode, buildMS float64) {
+		cfg := exp.CityScaleConfig(lanes)
+		cfg.LegacyAlloc = legacyAlloc
+		runtime.GC()
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		nw := exp.BuildNetwork(cfg)
+		buildMS = time.Since(start).Seconds() * 1e3
+		runtime.GC()
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		if after.HeapInuse > before.HeapInuse {
+			bytesPerNode = float64(after.HeapInuse-before.HeapInuse) / float64(nw.NodeCount())
+		}
+		runtime.KeepAlive(nw)
+		return bytesPerNode, buildMS
+	}
+	soa, buildMS := measure(false)
+	legacyBytes, _ := measure(true)
+	return map[string]float64{
+		"bytes_per_node_10k":        math.Floor(soa),
+		"bytes_per_node_10k_legacy": math.Floor(legacyBytes),
+		"mem_reduction_10k":         legacyBytes / soa,
+		"build_ms_10k":              buildMS,
+	}
+}
+
+// city100kNsPerEvent times a short slice of the 100k-node city-scale run
+// (exp.CityScale100kConfig): formation plus sparse traffic at the tentpole
+// scale. Absolute ns, informational — the point is catching order-of-
+// magnitude blowups (a per-node scan on the datapath, a metrics surface
+// that went O(nodes)), which no tolerance band hides.
+func city100kNsPerEvent(lanes int) float64 {
+	nw := exp.BuildNetwork(exp.CityScale100kConfig(lanes))
+	start := time.Now()
+	nw.Run(5 * sim.Second)
+	nw.StartTraffic(exp.TrafficConfig{Interval: 10 * sim.Second})
+	nw.Run(5 * sim.Second)
+	elapsed := time.Since(start)
+	if nw.Processed() == 0 {
+		fmt.Fprintln(os.Stderr, "blemesh-bench: 100k city-scale run processed no events")
+		os.Exit(1)
+	}
+	return float64(elapsed.Nanoseconds()) / float64(nw.Processed())
+}
+
 // shardedStats measures the serial-vs-sharded forest ratio with the given
 // worker-lane count. A result under the local floor gets one retry with the
 // better of the two kept — wall-clock ratios on a shared machine are the one
@@ -268,6 +332,8 @@ func main() {
 		"worker lanes for the sharded forest measurement (the baseline keys are recorded at the default 4)")
 	max10kNs := flag.Float64("max10kns", max10kNsPerEvent,
 		"ns/event ceiling for the 10k-node city-scale run (0 disables the gate; CI passes 0 so the wall-clock value stays informational on shared runners)")
+	minMemRed := flag.Float64("minmemreduction", minArenaMemReduction,
+		"required bytes-per-node reduction of the arena build vs the legacy allocation path on the 10k city-scale network (0 disables; CI passes 0 to keep it informational)")
 	pf := prof.Register(flag.CommandLine)
 	flag.Parse()
 	if !*write && !*check {
@@ -303,6 +369,10 @@ func main() {
 		m[k] = v
 	}
 	m["ns_per_event_10k"] = cityNsPerEvent(*shardLanes)
+	for k, v := range cityMemStats(*shardLanes) {
+		m[k] = v
+	}
+	m["ns_per_event_100k"] = city100kNsPerEvent(*shardLanes)
 	stopProf() // the measurements are done; file I/O below is not of interest
 
 	keys := make([]string, 0, len(m))
@@ -339,6 +409,11 @@ func main() {
 		if *max10kNs > 0 && m["ns_per_event_10k"] > *max10kNs {
 			fmt.Fprintf(os.Stderr, "FAIL: ns_per_event_10k = %.0f, want ≤ %.0f (city-scale per-event cost ceiling)\n",
 				m["ns_per_event_10k"], *max10kNs)
+			failed = true
+		}
+		if *minMemRed > 0 && m["mem_reduction_10k"] < *minMemRed {
+			fmt.Fprintf(os.Stderr, "FAIL: mem_reduction_10k = %.2f, want ≥ %.2f (arena build must halve resident bytes per node)\n",
+				m["mem_reduction_10k"], *minMemRed)
 			failed = true
 		}
 		if m["speedup_sharded4"] < *minSharded {
@@ -405,7 +480,7 @@ func main() {
 						k, m[k], ceil, want, int(*tolerance*100))
 					failed = true
 				}
-			case k == "sketch_mem_reduction_1e6":
+			case k == "sketch_mem_reduction_1e6" || k == "mem_reduction_10k":
 				// Memory advantage must not fall below the baseline.
 				floor := want * (1 - *tolerance)
 				if m[k] < floor {

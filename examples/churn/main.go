@@ -30,7 +30,7 @@ func main() {
 		return
 	}
 	fmt.Printf("t=%v topology up: %d nodes, %d static links\n",
-		nw.Sim.Now(), len(nw.Nodes), len(nw.Cfg.Topology.Links))
+		nw.Sim.Now(), nw.NodeCount(), len(nw.Cfg.Topology.Links))
 	nw.Run(10 * blemesh.Second)
 	nw.StartTraffic(blemesh.TrafficConfig{})
 	nw.Run(30 * blemesh.Second)

@@ -1,0 +1,171 @@
+// Package arena provides node-indexed slab allocation for struct-of-arrays
+// network state: one contiguous backing array per field, carved into
+// exact-size per-node views by a two-pass "count, then carve" build.
+//
+// The packages that make up a node (ble, ip6, statconn, core, exp) allocate
+// tens of small objects per node — maps, route tables, peer tables, struct
+// constellations. At city scale (10k–100k nodes) the per-object overhead
+// (size-class rounding, map headers, pointer chasing) dominates the payload.
+// A Slab replaces N small allocations with one large one; a Builder turns a
+// counting pass over the sealed topology into deterministic per-id offsets,
+// so construction can be parallelized across sites while every node's view
+// lands at the same offset regardless of fill order.
+package arena
+
+import "fmt"
+
+// Slab is one contiguous backing array carved sequentially into exact-cap
+// views. Carve hands out zero-length slices with exactly the requested
+// capacity; appends within that capacity never reallocate, so per-node
+// tables built by the normal append path stay inside the slab.
+type Slab[T any] struct {
+	buf []T
+	off int
+}
+
+// NewSlab allocates a slab with room for total elements.
+func NewSlab[T any](total int) *Slab[T] {
+	if total < 0 {
+		panic(fmt.Sprintf("arena: negative slab size %d", total))
+	}
+	return &Slab[T]{buf: make([]T, total)}
+}
+
+// NewSlabs allocates one backing array covering the sum of sizes and splits
+// it into one Slab per size, each a three-index sub-slice of the shared
+// backing. A fleet of small per-site slabs pays malloc size-class rounding
+// once per site per type; one shared backing pays it once per type. The
+// sub-slabs are disjoint, so distinct slabs stay safe to carve concurrently.
+func NewSlabs[T any](sizes []int) []*Slab[T] {
+	total := 0
+	for _, n := range sizes {
+		if n < 0 {
+			panic(fmt.Sprintf("arena: negative slab size %d", n))
+		}
+		total += n
+	}
+	backing := make([]T, total)
+	out := make([]*Slab[T], len(sizes))
+	off := 0
+	for i, n := range sizes {
+		out[i] = &Slab[T]{buf: backing[off : off+n : off+n]}
+		off += n
+	}
+	return out
+}
+
+// Carve returns the next n elements as a zero-length, capacity-n slice.
+// It panics when the slab was sized too small — a counting-pass bug, never
+// a runtime condition to tolerate.
+func (s *Slab[T]) Carve(n int) []T {
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative carve %d", n))
+	}
+	if s.off+n > len(s.buf) {
+		panic(fmt.Sprintf("arena: slab overflow: carve %d with %d of %d used",
+			n, s.off, len(s.buf)))
+	}
+	v := s.buf[s.off : s.off : s.off+n]
+	s.off += n
+	return v
+}
+
+// Take returns a pointer to the next single element (placement allocation
+// for one struct). Equivalent to &Carve(1)[0:1][0] without the slice dance.
+func (s *Slab[T]) Take() *T {
+	if s.off >= len(s.buf) {
+		panic(fmt.Sprintf("arena: slab overflow: take with %d of %d used",
+			s.off, len(s.buf)))
+	}
+	p := &s.buf[s.off]
+	s.off++
+	return p
+}
+
+// Remaining returns how many elements are still un-carved.
+func (s *Slab[T]) Remaining() int { return len(s.buf) - s.off }
+
+// Len returns the slab's total capacity in elements.
+func (s *Slab[T]) Len() int { return len(s.buf) }
+
+// Builder is the two-pass count-then-carve bookkeeping: pass one calls
+// Count for every id, Seal converts the counts into prefix-sum offsets, and
+// pass two reads each id's (offset, count) window — deterministic and
+// order-independent, so the fill pass can run in parallel across sites.
+type Builder struct {
+	counts []int
+	sealed bool
+	total  int
+}
+
+// NewBuilder creates a builder for ids in [0, n).
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative builder size %d", n))
+	}
+	return &Builder{counts: make([]int, n)}
+}
+
+// Count adds n elements to id's window. Panics on out-of-range ids and on
+// counting after Seal — both are build-order bugs.
+func (b *Builder) Count(id, n int) {
+	if b.sealed {
+		panic("arena: Count after Seal")
+	}
+	if id < 0 || id >= len(b.counts) {
+		panic(fmt.Sprintf("arena: id %d out of range [0,%d)", id, len(b.counts)))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("arena: negative count %d for id %d", n, id))
+	}
+	b.counts[id] += n
+}
+
+// Seal converts counts to offsets. Idempotent calls are a bug.
+func (b *Builder) Seal() {
+	if b.sealed {
+		panic("arena: Seal called twice")
+	}
+	b.sealed = true
+	off := 0
+	for i, c := range b.counts {
+		b.counts[i] = off
+		off += c
+	}
+	b.total = off
+}
+
+// Total returns the summed element count. Valid only after Seal.
+func (b *Builder) Total() int {
+	if !b.sealed {
+		panic("arena: Total before Seal")
+	}
+	return b.total
+}
+
+// Window returns id's (offset, length) in the sealed layout.
+func (b *Builder) Window(id int) (off, n int) {
+	if !b.sealed {
+		panic("arena: Window before Seal")
+	}
+	if id < 0 || id >= len(b.counts) {
+		panic(fmt.Sprintf("arena: id %d out of range [0,%d)", id, len(b.counts)))
+	}
+	off = b.counts[id]
+	end := b.total
+	if id+1 < len(b.counts) {
+		end = b.counts[id+1]
+	}
+	return off, end - off
+}
+
+// View carves id's window out of a backing array sized Total(): a
+// zero-length slice whose capacity is exactly id's counted total. Safe to
+// call concurrently for distinct ids once the builder is sealed.
+func View[T any](b *Builder, backing []T, id int) []T {
+	off, n := b.Window(id)
+	if len(backing) < b.total {
+		panic(fmt.Sprintf("arena: backing len %d < total %d", len(backing), b.total))
+	}
+	return backing[off : off : off+n]
+}

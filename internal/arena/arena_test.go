@@ -1,0 +1,226 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSlabCarveExactCapacity(t *testing.T) {
+	s := NewSlab[int](10)
+	a := s.Carve(3)
+	b := s.Carve(7)
+	if len(a) != 0 || cap(a) != 3 {
+		t.Fatalf("carve(3): len=%d cap=%d", len(a), cap(a))
+	}
+	if len(b) != 0 || cap(b) != 7 {
+		t.Fatalf("carve(7): len=%d cap=%d", len(b), cap(b))
+	}
+	// Appends within capacity must stay inside the slab and never bleed
+	// into the neighbouring view.
+	a = append(a, 1, 2, 3)
+	b = append(b, 4, 5, 6, 7, 8, 9, 10)
+	if a[0] != 1 || a[2] != 3 || b[0] != 4 || b[6] != 10 {
+		t.Fatalf("views corrupted: a=%v b=%v", a, b)
+	}
+	if s.Remaining() != 0 {
+		t.Fatalf("remaining = %d, want 0", s.Remaining())
+	}
+}
+
+func TestSlabThreePartFullSliceExpr(t *testing.T) {
+	// Appending past a view's capacity must reallocate, not clobber the
+	// next view — the three-index slice expression in Carve guarantees it.
+	s := NewSlab[int](2)
+	a := s.Carve(1)
+	b := s.Carve(1)
+	b = append(b, 42)
+	a = append(a, 1)
+	a = append(a, 2) // exceeds cap: must escape the slab
+	if b[0] != 42 {
+		t.Fatalf("overflow append clobbered neighbour view: b[0]=%d", b[0])
+	}
+	if a[1] != 2 {
+		t.Fatalf("escaped append lost data: a=%v", a)
+	}
+}
+
+func TestSlabOverflowPanics(t *testing.T) {
+	s := NewSlab[byte](4)
+	s.Carve(3)
+	mustPanic(t, "carve past end", func() { s.Carve(2) })
+	s.Carve(1)
+	mustPanic(t, "take past end", func() { s.Take() })
+	mustPanic(t, "negative carve", func() { NewSlab[byte](1).Carve(-1) })
+	mustPanic(t, "negative slab", func() { NewSlab[byte](-1) })
+}
+
+func TestSlabTake(t *testing.T) {
+	s := NewSlab[struct{ x, y int }](3)
+	p1, p2, p3 := s.Take(), s.Take(), s.Take()
+	p1.x, p2.x, p3.x = 1, 2, 3
+	if p1 == p2 || p2 == p3 {
+		t.Fatal("Take returned aliased pointers")
+	}
+	if s.Remaining() != 0 || s.Len() != 3 {
+		t.Fatalf("remaining=%d len=%d", s.Remaining(), s.Len())
+	}
+}
+
+func TestBuilderTwoPass(t *testing.T) {
+	b := NewBuilder(4)
+	// Counting is additive and order-independent.
+	b.Count(2, 1)
+	b.Count(0, 3)
+	b.Count(2, 1)
+	// id 1 and 3 count nothing.
+	b.Seal()
+	if b.Total() != 5 {
+		t.Fatalf("total = %d, want 5", b.Total())
+	}
+	off, n := b.Window(0)
+	if off != 0 || n != 3 {
+		t.Fatalf("window(0) = (%d,%d), want (0,3)", off, n)
+	}
+	off, n = b.Window(1)
+	if off != 3 || n != 0 {
+		t.Fatalf("window(1) = (%d,%d), want (3,0)", off, n)
+	}
+	off, n = b.Window(2)
+	if off != 3 || n != 2 {
+		t.Fatalf("window(2) = (%d,%d), want (3,2)", off, n)
+	}
+	off, n = b.Window(3)
+	if off != 5 || n != 0 {
+		t.Fatalf("window(3) = (%d,%d), want (5,0)", off, n)
+	}
+}
+
+func TestBuilderViews(t *testing.T) {
+	b := NewBuilder(3)
+	b.Count(0, 2)
+	b.Count(1, 1)
+	b.Count(2, 2)
+	b.Seal()
+	backing := make([]string, b.Total())
+	v0 := View(b, backing, 0)
+	v2 := View(b, backing, 2)
+	v0 = append(v0, "a", "b")
+	v2 = append(v2, "d", "e")
+	if backing[0] != "a" || backing[1] != "b" || backing[3] != "d" || backing[4] != "e" {
+		t.Fatalf("views not backed by slab: %v", backing)
+	}
+	if len(v0) != 2 || cap(v0) != 2 || cap(v2) != 2 {
+		t.Fatalf("view shapes wrong: len=%d cap=%d cap2=%d", len(v0), cap(v0), cap(v2))
+	}
+}
+
+func TestBuilderMisusePanics(t *testing.T) {
+	b := NewBuilder(2)
+	mustPanic(t, "oob count", func() { b.Count(2, 1) })
+	mustPanic(t, "negative id", func() { b.Count(-1, 1) })
+	mustPanic(t, "negative count", func() { b.Count(0, -1) })
+	mustPanic(t, "total before seal", func() { b.Total() })
+	mustPanic(t, "window before seal", func() { b.Window(0) })
+	b.Seal()
+	mustPanic(t, "count after seal", func() { b.Count(0, 1) })
+	mustPanic(t, "double seal", func() { b.Seal() })
+	mustPanic(t, "oob window", func() { b.Window(5) })
+	mustPanic(t, "short backing", func() {
+		bb := NewBuilder(1)
+		bb.Count(0, 4)
+		bb.Seal()
+		View(bb, make([]int, 2), 0)
+	})
+}
+
+// TestBuilderParallelFill exercises the contract the parallel two-pass
+// network build relies on: distinct ids' views can be filled concurrently
+// with no synchronization, and the result is identical to a serial fill.
+func TestBuilderParallelFill(t *testing.T) {
+	const ids = 64
+	b := NewBuilder(ids)
+	for id := 0; id < ids; id++ {
+		b.Count(id, id%7)
+	}
+	b.Seal()
+	backing := make([]int, b.Total())
+	var wg sync.WaitGroup
+	for id := 0; id < ids; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			v := View(b, backing, id)
+			for k := 0; k < id%7; k++ {
+				v = append(v, id*100+k)
+			}
+		}(id)
+	}
+	wg.Wait()
+	for id := 0; id < ids; id++ {
+		off, n := b.Window(id)
+		for k := 0; k < n; k++ {
+			if backing[off+k] != id*100+k {
+				t.Fatalf("id %d slot %d = %d, want %d", id, k, backing[off+k], id*100+k)
+			}
+		}
+	}
+}
+
+func TestNewSlabsSplitsOneBacking(t *testing.T) {
+	sizes := []int{3, 0, 2, 5}
+	slabs := NewSlabs[int](sizes)
+	if len(slabs) != len(sizes) {
+		t.Fatalf("got %d slabs, want %d", len(slabs), len(sizes))
+	}
+	for i, s := range slabs {
+		if s.Len() != sizes[i] {
+			t.Fatalf("slab %d has capacity %d, want %d", i, s.Len(), sizes[i])
+		}
+	}
+	// Fill every slab through its own Carve and check no writes bleed
+	// across the shared backing's sub-slab boundaries.
+	for i, s := range slabs {
+		v := s.Carve(sizes[i])
+		for j := 0; j < sizes[i]; j++ {
+			v = append(v, 100*i+j)
+		}
+	}
+	for i, s := range slabs {
+		if s.Remaining() != 0 {
+			t.Fatalf("slab %d has %d remaining after full carve", i, s.Remaining())
+		}
+		for j := 0; j < sizes[i]; j++ {
+			if got := s.buf[j]; got != 100*i+j {
+				t.Fatalf("slab %d slot %d holds %d, want %d (cross-slab bleed)", i, j, got, 100*i+j)
+			}
+		}
+	}
+	// The three-index sub-slices must make append-past-capacity escape the
+	// backing instead of clobbering the next slab.
+	first := slabs[0].buf[:0]
+	first = append(first, 1, 2, 3)
+	before := slabs[2].buf[0]
+	first = append(first, 99)
+	if slabs[2].buf[0] != before {
+		t.Fatal("append past a sub-slab's capacity clobbered the next slab")
+	}
+}
+
+func TestNewSlabsNegativeSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on negative size")
+		}
+	}()
+	NewSlabs[int]([]int{1, -1})
+}

@@ -25,6 +25,12 @@ type ControllerConfig struct {
 	// DisableWindowWidening turns subordinate window widening off
 	// (ablation only — real controllers must implement it).
 	DisableWindowWidening bool
+	// Compact selects allocation-lean internal storage: the connection
+	// table and scan-target set become small slices instead of maps, and
+	// the scheduler lives inside the Controller struct rather than in a
+	// separate allocation. Behaviour is identical — at the handful of
+	// links a BLE node sustains, linear scans beat hashing anyway.
+	Compact bool
 	// ExchangeGap models host/controller processing time per data PDU
 	// exchanged: the extra delay before the coordinator starts the next
 	// exchange of the same connection event after data moved. Calibrated
@@ -125,8 +131,17 @@ type Controller struct {
 	pool  pool
 	rng   *rand.Rand
 
-	conns   map[int]*Conn
-	handles int
+	// Connection table: exactly one backend is live. Legacy construction
+	// uses the map; compact mode appends to connList, which stays ordered
+	// by handle (handles only ever grow) so Shutdown's handle-ordered
+	// teardown is a plain scan.
+	conns    map[int]*Conn
+	connList []*Conn
+	handles  int
+
+	// schedStore is the in-struct scheduler used in compact mode; sched
+	// points here instead of at a separate allocation.
+	schedStore Scheduler
 
 	// freeItems recycles txItem structs across all connections so the
 	// steady-state data path does not allocate per queued payload.
@@ -144,6 +159,7 @@ type Controller struct {
 	scanOn      bool
 	scanParams  ScanParams
 	scanTargets map[DevAddr]ConnParams
+	scanList    []scanTarget // compact-mode backend for scanTargets
 	scanCh      phy.Channel
 	scanRotate  sim.Timer
 	connecting  bool
@@ -180,21 +196,144 @@ func (ctrl *Controller) SetTrace(l *trace.Log, node string) {
 
 // NewController creates a controller bound to a radio and a local clock.
 func NewController(s *sim.Sim, clk *sim.Clock, radio *phy.Radio, cfg ControllerConfig) *Controller {
+	ctrl := new(Controller)
+	NewControllerInto(ctrl, s, clk, radio, cfg)
+	return ctrl
+}
+
+// NewControllerInto initializes a controller in place (arena-backed
+// construction).
+func NewControllerInto(ctrl *Controller, s *sim.Sim, clk *sim.Clock, radio *phy.Radio, cfg ControllerConfig) {
 	cfg.defaults()
-	ctrl := &Controller{
+	*ctrl = Controller{
 		s:     s,
 		clk:   clk,
 		radio: radio,
 		cfg:   cfg,
 		addr:  cfg.Addr,
-		sched: NewScheduler(s, cfg.Arbitration),
 		pool:  pool{capacity: cfg.PoolBytes},
 		rng:   s.Rand(),
-		conns: make(map[int]*Conn),
+	}
+	if cfg.Compact {
+		NewSchedulerInto(&ctrl.schedStore, s, cfg.Arbitration)
+		ctrl.sched = &ctrl.schedStore
+	} else {
+		ctrl.sched = NewScheduler(s, cfg.Arbitration)
+		ctrl.conns = make(map[int]*Conn)
 	}
 	radio.SetReceiver(ctrl.dispatchRx)
 	radio.SetCarrier(ctrl.dispatchCarrier)
-	return ctrl
+}
+
+// scanTarget is one pending connection target in compact mode.
+type scanTarget struct {
+	peer   DevAddr
+	params ConnParams
+}
+
+// ---- Connection-table backend (map in legacy mode, slice in compact) ----
+
+func (ctrl *Controller) addConn(c *Conn) {
+	if ctrl.cfg.Compact {
+		ctrl.connList = append(ctrl.connList, c)
+		return
+	}
+	ctrl.conns[c.handle] = c
+}
+
+// dropConn removes c from the table, reporting whether it was present.
+func (ctrl *Controller) dropConn(c *Conn) bool {
+	if ctrl.cfg.Compact {
+		for i, x := range ctrl.connList {
+			if x == c {
+				ctrl.connList = append(ctrl.connList[:i], ctrl.connList[i+1:]...)
+				return true
+			}
+		}
+		return false
+	}
+	if _, live := ctrl.conns[c.handle]; !live {
+		return false
+	}
+	delete(ctrl.conns, c.handle)
+	return true
+}
+
+func (ctrl *Controller) connLive(c *Conn) bool {
+	if ctrl.cfg.Compact {
+		for _, x := range ctrl.connList {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	_, live := ctrl.conns[c.handle]
+	return live
+}
+
+func (ctrl *Controller) numConns() int {
+	if ctrl.cfg.Compact {
+		return len(ctrl.connList)
+	}
+	return len(ctrl.conns)
+}
+
+// ---- Scan-target backend (map in legacy mode, slice in compact) ---------
+
+func (ctrl *Controller) targetSet(peer DevAddr, p ConnParams) {
+	if ctrl.cfg.Compact {
+		for i := range ctrl.scanList {
+			if ctrl.scanList[i].peer == peer {
+				ctrl.scanList[i].params = p
+				return
+			}
+		}
+		ctrl.scanList = append(ctrl.scanList, scanTarget{peer: peer, params: p})
+		return
+	}
+	if ctrl.scanTargets == nil {
+		ctrl.scanTargets = make(map[DevAddr]ConnParams)
+	}
+	ctrl.scanTargets[peer] = p
+}
+
+func (ctrl *Controller) targetGet(peer DevAddr) (ConnParams, bool) {
+	if ctrl.cfg.Compact {
+		for i := range ctrl.scanList {
+			if ctrl.scanList[i].peer == peer {
+				return ctrl.scanList[i].params, true
+			}
+		}
+		return ConnParams{}, false
+	}
+	p, ok := ctrl.scanTargets[peer]
+	return p, ok
+}
+
+func (ctrl *Controller) targetDel(peer DevAddr) {
+	if ctrl.cfg.Compact {
+		for i := range ctrl.scanList {
+			if ctrl.scanList[i].peer == peer {
+				ctrl.scanList = append(ctrl.scanList[:i], ctrl.scanList[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	delete(ctrl.scanTargets, peer)
+}
+
+func (ctrl *Controller) numTargets() int {
+	if ctrl.cfg.Compact {
+		return len(ctrl.scanList)
+	}
+	return len(ctrl.scanTargets)
+}
+
+func (ctrl *Controller) clearTargets() {
+	ctrl.scanTargets = nil
+	ctrl.scanList = ctrl.scanList[:0]
 }
 
 // Addr returns the controller's device address.
@@ -211,6 +350,11 @@ func (ctrl *Controller) PoolUsed() (used, peak int) { return ctrl.pool.used, ctr
 
 // Conns returns the active connections.
 func (ctrl *Controller) Conns() []*Conn {
+	if ctrl.cfg.Compact {
+		out := make([]*Conn, len(ctrl.connList))
+		copy(out, ctrl.connList)
+		return out
+	}
 	out := make([]*Conn, 0, len(ctrl.conns))
 	for _, c := range ctrl.conns {
 		out = append(out, c)
@@ -220,6 +364,14 @@ func (ctrl *Controller) Conns() []*Conn {
 
 // FindConn returns the connection to peer, or nil.
 func (ctrl *Controller) FindConn(peer DevAddr) *Conn {
+	if ctrl.cfg.Compact {
+		for _, c := range ctrl.connList {
+			if c.peer == peer {
+				return c
+			}
+		}
+		return nil
+	}
 	for _, c := range ctrl.conns {
 		if c.peer == peer {
 			return c
@@ -261,10 +413,9 @@ func (ctrl *Controller) dispatchCarrier(ch phy.Channel, end sim.Time) {
 }
 
 func (ctrl *Controller) removeConn(c *Conn, reason LossReason) {
-	if _, live := ctrl.conns[c.handle]; !live {
+	if !ctrl.dropConn(c) {
 		return
 	}
-	delete(ctrl.conns, c.handle)
 	ctrl.sched.Unregister(c.act)
 	if reason == LossSupervision {
 		ctrl.events.ConnsLost++
@@ -437,7 +588,7 @@ func (ctrl *Controller) acceptConnection(ci *AdvPDU) {
 	ctrl.StopAdvertising()
 	anchor0 := ctrl.s.Now() + TransmitWindowDelay + ci.WinOffset
 	c := newConn(ctrl, Subordinate, ci.Init, ci.Params, accessFromAddrs(ci.Init, ci.Adv), ci.Hop, anchor0)
-	ctrl.conns[c.handle] = c
+	ctrl.addConn(c)
 	ctrl.events.ConnsOpened++
 	if ctrl.OnConnect != nil {
 		ctrl.OnConnect(c)
@@ -454,18 +605,15 @@ func (ctrl *Controller) Connect(peer DevAddr, params ConnParams) error {
 		return err
 	}
 	params.CoordSCA = ctrl.cfg.SCA
-	if ctrl.scanTargets == nil {
-		ctrl.scanTargets = make(map[DevAddr]ConnParams)
-	}
-	ctrl.scanTargets[peer] = params
+	ctrl.targetSet(peer, params)
 	ctrl.ensureScanning()
 	return nil
 }
 
 // CancelConnect removes a pending connection target.
 func (ctrl *Controller) CancelConnect(peer DevAddr) {
-	delete(ctrl.scanTargets, peer)
-	if len(ctrl.scanTargets) == 0 {
+	ctrl.targetDel(peer)
+	if ctrl.numTargets() == 0 {
 		ctrl.stopScanning()
 	}
 }
@@ -482,7 +630,7 @@ func (ctrl *Controller) SetScanParams(p ScanParams) {
 }
 
 func (ctrl *Controller) ensureScanning() {
-	if ctrl.scanOn || len(ctrl.scanTargets) == 0 {
+	if ctrl.scanOn || ctrl.numTargets() == 0 {
 		return
 	}
 	if ctrl.scanParams.Interval == 0 {
@@ -555,7 +703,7 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 		return
 	}
 	ctrl.events.AdvReceived++
-	params, want := ctrl.scanTargets[adv.Adv]
+	params, want := ctrl.targetGet(adv.Adv)
 	if !want || ctrl.connecting {
 		return
 	}
@@ -593,14 +741,14 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 			ctrl.connecting = false
 			ctrl.sched.Release(initAct)
 			ctrl.initAct = nil
-			delete(ctrl.scanTargets, adv.Adv)
-			if len(ctrl.scanTargets) == 0 {
+			ctrl.targetDel(adv.Adv)
+			if ctrl.numTargets() == 0 {
 				ctrl.stopScanning()
 			}
 			anchor0 := ctrl.s.Now() + TransmitWindowDelay + winOffset
 			c := newConn(ctrl, Coordinator, adv.Adv, params,
 				accessFromAddrs(ctrl.addr, adv.Adv), ci.Hop, anchor0)
-			ctrl.conns[c.handle] = c
+			ctrl.addConn(c)
 			ctrl.events.ConnsOpened++
 			if ctrl.OnConnect != nil {
 				ctrl.OnConnect(c)
@@ -618,20 +766,31 @@ func (ctrl *Controller) scanRx(pkt phy.Packet, ch phy.Channel, ok bool) {
 func (ctrl *Controller) Shutdown() {
 	ctrl.epoch++
 	// Terminate connections in handle order so teardown side effects
-	// consume the simulation RNG deterministically.
-	handles := make([]int, 0, len(ctrl.conns))
-	for h := range ctrl.conns {
-		handles = append(handles, h)
-	}
-	sort.Ints(handles)
-	for _, h := range handles {
-		if c, ok := ctrl.conns[h]; ok {
-			c.terminate(LossHostTerminated)
+	// consume the simulation RNG deterministically. The compact list is
+	// append-only in handle order, so a snapshot already is sorted.
+	if ctrl.cfg.Compact {
+		live := make([]*Conn, len(ctrl.connList))
+		copy(live, ctrl.connList)
+		for _, c := range live {
+			if ctrl.connLive(c) {
+				c.terminate(LossHostTerminated)
+			}
+		}
+	} else {
+		handles := make([]int, 0, len(ctrl.conns))
+		for h := range ctrl.conns {
+			handles = append(handles, h)
+		}
+		sort.Ints(handles)
+		for _, h := range handles {
+			if c, ok := ctrl.conns[h]; ok {
+				c.terminate(LossHostTerminated)
+			}
 		}
 	}
 	ctrl.StopAdvertising()
 	ctrl.connecting = false
-	ctrl.scanTargets = nil
+	ctrl.clearTargets()
 	ctrl.stopScanning()
 	if ctrl.initAct != nil {
 		ctrl.sched.Release(ctrl.initAct)
@@ -666,7 +825,7 @@ func accessFromAddrs(a, b DevAddr) uint32 {
 
 // String identifies the controller in diagnostics.
 func (ctrl *Controller) String() string {
-	return fmt.Sprintf("ctrl(%s conns=%d)", ctrl.addr, len(ctrl.conns))
+	return fmt.Sprintf("ctrl(%s conns=%d)", ctrl.addr, ctrl.numConns())
 }
 
 // PoolFree returns the bytes currently available in the LL buffer pool.

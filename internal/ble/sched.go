@@ -74,7 +74,15 @@ type Scheduler struct {
 
 // NewScheduler creates a scheduler with the given arbitration mode.
 func NewScheduler(s *sim.Sim, mode Arbitration) *Scheduler {
-	return &Scheduler{sim: s, mode: mode}
+	sd := new(Scheduler)
+	NewSchedulerInto(sd, s, mode)
+	return sd
+}
+
+// NewSchedulerInto initializes a scheduler in place (arena-backed
+// construction).
+func NewSchedulerInto(sd *Scheduler, s *sim.Sim, mode Arbitration) {
+	*sd = Scheduler{sim: s, mode: mode}
 }
 
 // Stats returns a copy of the scheduler counters.

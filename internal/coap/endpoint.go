@@ -82,8 +82,13 @@ type Endpoint struct {
 	pending map[string]*pendingReq // by token
 
 	// dedup of recently seen (peer, MID) pairs for CON handling.
-	seen    map[string]sim.Time
-	stats   Stats
+	seen  map[string]sim.Time
+	stats Stats
+	// lazy defers the pending/seen map allocations to first use: a city-
+	// scale build creates 10k+ endpoints whose maps mostly stay empty until
+	// traffic starts. Reads of nil maps are already safe; the two write
+	// sites go through ensurePending/ensureSeen.
+	lazy    bool
 	Handler Handler
 
 	tr   *trace.Log
@@ -99,19 +104,38 @@ func (ep *Endpoint) SetTrace(l *trace.Log, node string) {
 
 // NewEndpoint binds a CoAP endpoint to the stack's CoAP port.
 func NewEndpoint(s *sim.Sim, st *ip6.Stack, port uint16) *Endpoint {
+	ep := new(Endpoint)
+	NewEndpointInto(ep, s, st, port, false)
+	return ep
+}
+
+// NewEndpointInto initializes an endpoint in place (arena-backed
+// construction). lazy defers the internal map allocations to first use;
+// behaviour — including the message-ID RNG draw, which must stay in build
+// order for byte-identical runs — is unchanged.
+func NewEndpointInto(ep *Endpoint, s *sim.Sim, st *ip6.Stack, port uint16, lazy bool) {
 	if port == 0 {
 		port = DefaultPort
 	}
-	ep := &Endpoint{
-		s:       s,
-		st:      st,
-		port:    port,
-		pending: make(map[string]*pendingReq),
-		seen:    make(map[string]sim.Time),
+	*ep = Endpoint{s: s, st: st, port: port, lazy: lazy}
+	if !lazy {
+		ep.pending = make(map[string]*pendingReq)
+		ep.seen = make(map[string]sim.Time)
 	}
 	ep.mid = uint16(s.Rand().Intn(1 << 16))
 	st.ListenUDP(port, ep.onUDP)
-	return ep
+}
+
+func (ep *Endpoint) ensurePending() {
+	if ep.pending == nil {
+		ep.pending = make(map[string]*pendingReq)
+	}
+}
+
+func (ep *Endpoint) ensureSeen() {
+	if ep.seen == nil {
+		ep.seen = make(map[string]sim.Time)
+	}
 }
 
 // Stats returns a copy of the endpoint counters.
@@ -140,6 +164,7 @@ func (ep *Endpoint) Request(dst ip6.Addr, m *Message, cb ResponseFunc) error {
 	m.Token = ep.newToken()
 	pr := &pendingReq{dst: dst, msg: m, cb: cb, sentAt: ep.s.Now()}
 	key := string(m.Token)
+	ep.ensurePending()
 	ep.pending[key] = pr
 	pid, err := ep.send(dst, m)
 	if err != nil {
@@ -220,7 +245,11 @@ func (ep *Endpoint) Reset() {
 		ep.s.Cancel(pr.expire)
 		delete(ep.pending, key)
 	}
-	ep.seen = make(map[string]sim.Time)
+	if ep.lazy {
+		ep.seen = nil
+	} else {
+		ep.seen = make(map[string]sim.Time)
+	}
 }
 
 // send encodes and emits a message over UDP, returning the provenance ID
@@ -273,6 +302,7 @@ func (ep *Endpoint) handleRequest(src ip6.Addr, srcPort uint16, req *Message) {
 		ep.stats.Duplicates++
 		return
 	}
+	ep.ensureSeen()
 	ep.seen[key] = ep.s.Now()
 	ep.gcSeen()
 	ep.stats.RequestsServed++

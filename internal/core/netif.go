@@ -54,15 +54,20 @@ type outFrame struct {
 
 // NetIf adapts BLE+L2CAP to the ip6.NetIf interface.
 type NetIf struct {
-	s      *sim.Sim
-	stack  *ip6.Stack
-	mac    uint64
-	ctxs   []sixlo.Context
-	links  map[uint64]*link
-	gattDB *gatt.Server
-	stats  NetIfStats
-	tr     *trace.Log
-	node   string
+	s     *sim.Sim
+	stack *ip6.Stack
+	mac   uint64
+	ctxs  []sixlo.Context
+	// Neighbor table: exactly one backend is live. Legacy construction
+	// uses the map; compact mode scans the short slice — a BLE node
+	// sustains a handful of links.
+	links    map[uint64]*link
+	linkList []*link
+	compact  bool
+	gattDB   *gatt.Server
+	stats    NetIfStats
+	tr       *trace.Log
+	node     string
 }
 
 // SetTrace wires the adapter to a shared trace log (for link-down drop
@@ -74,16 +79,71 @@ func (n *NetIf) SetTrace(l *trace.Log, node string) {
 
 // NewNetIf creates the adapter and attaches it to the stack.
 func NewNetIf(s *sim.Sim, stack *ip6.Stack) *NetIf {
-	n := &NetIf{
-		s:      s,
-		stack:  stack,
-		mac:    stack.MAC(),
-		ctxs:   sixlo.DefaultContexts,
-		links:  make(map[uint64]*link),
-		gattDB: gatt.NewServer(gatt.UUIDIPSS),
+	n := new(NetIf)
+	NewNetIfInto(n, s, stack, nil)
+	return n
+}
+
+// NewNetIfInto initializes an adapter in place (arena-backed construction).
+// A non-nil gattDB selects compact mode: the caller shares one immutable
+// GATT/IPSS database across all nodes (gatt.Server never changes after
+// construction) and the neighbor table becomes a slice.
+func NewNetIfInto(n *NetIf, s *sim.Sim, stack *ip6.Stack, gattDB *gatt.Server) {
+	*n = NetIf{
+		s:     s,
+		stack: stack,
+		mac:   stack.MAC(),
+		ctxs:  sixlo.DefaultContexts,
+	}
+	if gattDB != nil {
+		n.compact = true
+		n.gattDB = gattDB
+	} else {
+		n.links = make(map[uint64]*link)
+		n.gattDB = gatt.NewServer(gatt.UUIDIPSS)
 	}
 	stack.AddInterface(n)
-	return n
+}
+
+// linkFor returns the link toward mac, or nil.
+func (n *NetIf) linkFor(mac uint64) *link {
+	if n.compact {
+		for _, l := range n.linkList {
+			if l.peerMAC == mac {
+				return l
+			}
+		}
+		return nil
+	}
+	return n.links[mac]
+}
+
+func (n *NetIf) addLinkEntry(l *link) {
+	if n.compact {
+		n.linkList = append(n.linkList, l)
+		return
+	}
+	n.links[l.peerMAC] = l
+}
+
+func (n *NetIf) delLinkEntry(mac uint64) {
+	if n.compact {
+		for i, l := range n.linkList {
+			if l.peerMAC == mac {
+				n.linkList = append(n.linkList[:i], n.linkList[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	delete(n.links, mac)
+}
+
+func (n *NetIf) numLinks() int {
+	if n.compact {
+		return len(n.linkList)
+	}
+	return len(n.links)
 }
 
 // Stats returns a copy of the adapter counters.
@@ -94,12 +154,18 @@ func (n *NetIf) MTU() int { return 1280 }
 
 // HasNeighbor implements ip6.NetIf.
 func (n *NetIf) HasNeighbor(mac uint64) bool {
-	_, ok := n.links[mac]
-	return ok
+	return n.linkFor(mac) != nil
 }
 
 // Links returns the neighbor MACs with active BLE connections.
 func (n *NetIf) Links() []uint64 {
+	if n.compact {
+		out := make([]uint64, 0, len(n.linkList))
+		for _, l := range n.linkList {
+			out = append(out, l.peerMAC)
+		}
+		return out
+	}
 	out := make([]uint64, 0, len(n.links))
 	for mac := range n.links {
 		out = append(out, mac)
@@ -131,18 +197,18 @@ func (n *NetIf) AddLink(conn *ble.Conn) {
 			})
 		})
 	}
-	n.links[peerMAC] = l
+	n.addLinkEntry(l)
 }
 
 // RemoveLink tears the adapter state for a dead BLE connection down,
 // flushing its queue.
 func (n *NetIf) RemoveLink(conn *ble.Conn) {
 	peerMAC := uint64(conn.Peer())
-	l, ok := n.links[peerMAC]
-	if !ok || l.conn != conn {
+	l := n.linkFor(peerMAC)
+	if l == nil || l.conn != conn {
 		return
 	}
-	delete(n.links, peerMAC)
+	n.delLinkEntry(peerMAC)
 	l.ep.Teardown()
 	n.flushQueue(l)
 }
@@ -165,14 +231,11 @@ func (n *NetIf) flushQueue(l *link) {
 // queued frames release their pktbuf charges and all L2CAP/ATT state goes.
 // Links are removed in MAC order so teardown side effects are deterministic.
 func (n *NetIf) Reset() {
-	macs := make([]uint64, 0, len(n.links))
-	for mac := range n.links {
-		macs = append(macs, mac)
-	}
+	macs := n.Links()
 	sort.Slice(macs, func(i, j int) bool { return macs[i] < macs[j] })
 	for _, mac := range macs {
-		l := n.links[mac]
-		delete(n.links, mac)
+		l := n.linkFor(mac)
+		n.delLinkEntry(mac)
 		l.ep.Teardown()
 		n.flushQueue(l)
 	}
@@ -190,8 +253,8 @@ func (n *NetIf) channelUp(l *link, ch *l2cap.Channel) {
 // drain. The packet's pooled buffer is carried through to the LL without
 // copying; ownership of pkt passes to the adapter in every case.
 func (n *NetIf) Output(mac uint64, pkt *pktbuf.Buf, pid uint64) bool {
-	l, ok := n.links[mac]
-	if !ok {
+	l := n.linkFor(mac)
+	if l == nil {
 		pkt.Put()
 		return false
 	}
@@ -242,19 +305,19 @@ func (n *NetIf) input(l *link, sdu *pktbuf.Buf, pid uint64) {
 
 // QueueDepth returns the number of frames queued toward a neighbor.
 func (n *NetIf) QueueDepth(mac uint64) int {
-	if l, ok := n.links[mac]; ok {
+	if l := n.linkFor(mac); l != nil {
 		return len(l.queue)
 	}
 	return 0
 }
 
 func (n *NetIf) String() string {
-	return fmt.Sprintf("ble-netif(%012x links=%d)", n.mac, len(n.links))
+	return fmt.Sprintf("ble-netif(%012x links=%d)", n.mac, n.numLinks())
 }
 
 // Channel returns the IPSP channel toward a neighbor, or nil (diagnostics).
 func (n *NetIf) Channel(mac uint64) *l2cap.Channel {
-	if l, ok := n.links[mac]; ok {
+	if l := n.linkFor(mac); l != nil {
 		return l.ch
 	}
 	return nil
@@ -262,7 +325,7 @@ func (n *NetIf) Channel(mac uint64) *l2cap.Channel {
 
 // Endpoint returns the L2CAP endpoint toward a neighbor, or nil.
 func (n *NetIf) Endpoint(mac uint64) *l2cap.Endpoint {
-	if l, ok := n.links[mac]; ok {
+	if l := n.linkFor(mac); l != nil {
 		return l.ep
 	}
 	return nil

@@ -42,6 +42,11 @@ type NodeConfig struct {
 	// the node fully static — no extra timers, no extra RNG draws, so
 	// static runs stay byte-identical with pre-routing builds.
 	Routing *rpl.Config
+	// Arena, when non-nil, supplies preallocated struct storage and
+	// selects every layer's compact internal representation. Observable
+	// behaviour — including the order of RNG draws during construction —
+	// is identical to the default allocation path.
+	Arena *Arena
 }
 
 // Node is one fully assembled node: radio, drifting clock, BLE controller,
@@ -72,28 +77,61 @@ type provisioned struct {
 	routes   []ip6.Route
 }
 
-// NewNode builds a node on the given medium.
+// NewNode builds a node on the given medium. With cfg.Arena set, every
+// subsystem struct comes out of the arena's slabs and uses its compact
+// internal storage; the construction order (and so the RNG draw order) is
+// the same on both paths.
 func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
-	clk := sim.NewClock(s, cfg.ClockPPM)
-	radio := medium.NewRadio()
+	ar := cfg.Arena
 	sca := cfg.SCA
 	if sca == 0 {
 		sca = 50
 	}
-	ctrl := ble.NewController(s, clk, radio, ble.ControllerConfig{
+	ctrlCfg := ble.ControllerConfig{
 		Addr:                  ble.DevAddr(cfg.MAC),
 		SCA:                   sca,
 		PoolBytes:             cfg.LLPoolBytes,
 		Arbitration:           cfg.Arbitration,
 		ExchangeGap:           cfg.ExchangeGap,
 		DisableWindowWidening: cfg.DisableWindowWidening,
-	})
-	stack := ip6.NewStack(s, cfg.MAC)
+		Compact:               ar != nil,
+	}
+	var (
+		clk   *sim.Clock
+		radio *phy.Radio
+		ctrl  *ble.Controller
+		stack *ip6.Stack
+		netif *NetIf
+		mgr   *statconn.Manager
+	)
+	if ar != nil {
+		clk = ar.clocks.Take()
+		sim.NewClockInto(clk, s, cfg.ClockPPM)
+		radio = medium.NewRadio()
+		ctrl = ar.ctrls.Take()
+		ble.NewControllerInto(ctrl, s, clk, radio, ctrlCfg)
+		stack = ar.stacks.Take()
+		ip6.NewStackInto(stack, s, cfg.MAC, true)
+	} else {
+		clk = sim.NewClock(s, cfg.ClockPPM)
+		radio = medium.NewRadio()
+		ctrl = ble.NewController(s, clk, radio, ctrlCfg)
+		stack = ip6.NewStack(s, cfg.MAC)
+	}
 	if cfg.PktbufBytes > 0 {
 		stack.Pktbuf.Capacity = cfg.PktbufBytes
 	}
-	netif := NewNetIf(s, stack)
-	mgr := statconn.New(s, ctrl, cfg.Statconn)
+	scCfg := cfg.Statconn
+	if ar != nil {
+		scCfg.Compact = true
+		netif = ar.netifs.Take()
+		NewNetIfInto(netif, s, stack, ar.gattDB)
+		mgr = ar.mgrs.Take()
+		statconn.NewInto(mgr, s, ctrl, scCfg)
+	} else {
+		netif = NewNetIf(s, stack)
+		mgr = statconn.New(s, ctrl, scCfg)
+	}
 	tr := cfg.Trace
 	name := cfg.Name
 	ctrl.SetTrace(tr, name)
@@ -123,12 +161,22 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 			router.LinkDown(uint64(c.Peer()))
 		}
 	}
-	ep := coap.NewEndpoint(s, stack, 0)
+	var ep *coap.Endpoint
+	if ar != nil {
+		ep = ar.coaps.Take()
+		coap.NewEndpointInto(ep, s, stack, 0, true)
+	} else {
+		ep = coap.NewEndpoint(s, stack, 0)
+	}
 	ep.SetTrace(tr, name)
 	if router != nil {
 		router.Start()
 	}
-	return &Node{
+	nd := new(Node)
+	if ar != nil {
+		nd = ar.nodes.Take()
+	}
+	*nd = Node{
 		Name:     cfg.Name,
 		Sim:      s,
 		Clock:    clk,
@@ -141,6 +189,7 @@ func NewNode(s *sim.Sim, medium *phy.Medium, cfg NodeConfig) *Node {
 		RPL:      router,
 		running:  true,
 	}
+	return nd
 }
 
 // Addr returns the node's mesh (fd00::) address.
@@ -178,6 +227,18 @@ func (n *Node) AddHostRoute(dst, nextHop *Node) {
 	r := ip6.Route{Dst: dst.Addr(), PrefixLen: 128, NextHop: nextHop.Addr()}
 	n.prov.routes = append(n.prov.routes, r)
 	_ = n.Stack.AddRoute(r)
+}
+
+// ReserveProvRoutes aims the provisioned-route list at preallocated storage
+// (arena carving): a builder that knows the node's exact route count carves
+// one window of a shared slab instead of letting append grow a fresh
+// allocation per node. Must be called before any AddHostRoute; an
+// under-counted reservation degrades gracefully to append growth.
+func (n *Node) ReserveProvRoutes(buf []ip6.Route) {
+	if len(n.prov.routes) > 0 {
+		panic("core: ReserveProvRoutes after AddHostRoute")
+	}
+	n.prov.routes = buf[:0]
 }
 
 // Running reports whether the node is powered on.

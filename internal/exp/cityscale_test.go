@@ -3,6 +3,7 @@ package exp
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"blemesh/internal/sim"
 )
@@ -30,7 +31,7 @@ func TestCityScaleSmoke(t *testing.T) {
 	nw.StartTraffic(TrafficConfig{Interval: 10 * sim.Second})
 	nw.Run(25 * sim.Second)
 
-	if got := len(nw.Nodes); got != 10000 {
+	if got := nw.NodeCount(); got != 10000 {
 		t.Fatalf("built %d nodes, want 10000", got)
 	}
 	if nw.Processed() == 0 {
@@ -54,5 +55,53 @@ func TestCityScaleSmoke(t *testing.T) {
 	}
 	if pdr := nw.CoAPPDR(); pdr.Sent == 0 {
 		t.Fatal("no traffic sent across 10k nodes")
+	}
+}
+
+// cityScale100kBudget bounds the 100k smoke's wall clock: build plus 15
+// simulated seconds of a 100k-node network. The arena-backed builder holds
+// this comfortably; blowing it means a superlinear regression somewhere in
+// build or steady-state cost, not noise.
+const cityScale100kBudget = 10 * time.Minute
+
+// TestCityScale100k drives the 100k-node city-scale network — the
+// struct-of-arrays builder's design target — end to end: streaming-only
+// metrics, lean mode, sparse routes, parallel per-site build, all under a
+// wall-clock budget. Skipped in -short (the build alone is seconds and the
+// run dominates a quick suite).
+func TestCityScale100k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("100k-node run in -short mode")
+	}
+	start := time.Now()
+	var stream strings.Builder
+	cfg := CityScale100kConfig(4)
+	cfg.StreamMetrics = &stream
+	cfg.StreamEvery = 5 * sim.Second
+	nw := BuildNetwork(cfg)
+	buildWall := time.Since(start)
+	nw.Run(5 * sim.Second)
+	nw.StartTraffic(TrafficConfig{Interval: 10 * sim.Second})
+	nw.Run(10 * sim.Second)
+	wall := time.Since(start)
+	t.Logf("100k: build %v, total %v, %d events, %d sites",
+		buildWall, wall, nw.Processed(), len(nw.Cfg.Topology.Sites()))
+	if got := nw.NodeCount(); got != 100000 {
+		t.Fatalf("built %d nodes, want 100000", got)
+	}
+	if nw.Processed() == 0 {
+		t.Fatal("no simulation events processed")
+	}
+	if rows := nw.PerProd.Rows(); len(rows) != 0 {
+		t.Fatalf("lean run materialized %d per-producer heatmap rows", len(rows))
+	}
+	if strings.Count(stream.String(), "\n") < 2 {
+		t.Fatalf("expected streamed snapshots, got %d lines", strings.Count(stream.String(), "\n"))
+	}
+	if pdr := nw.CoAPPDR(); pdr.Sent == 0 {
+		t.Fatal("no traffic sent across 100k nodes")
+	}
+	if wall > cityScale100kBudget {
+		t.Fatalf("100k smoke took %v, budget %v", wall, cityScale100kBudget)
 	}
 }

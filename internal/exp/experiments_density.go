@@ -95,6 +95,24 @@ func CityScaleConfig(shards int) NetworkConfig {
 	}
 }
 
+// CityScale100kConfig is the 100k-node variant of CityScaleConfig at the
+// same spatial density (the area scales with N) — the population the
+// arena-backed struct-of-arrays builder is sized for. Same lean,
+// sparse-route, streaming-friendly shape; the 100k smoke test and the
+// ns_per_event_100k bench key run exactly this network.
+func CityScale100kConfig(shards int) NetworkConfig {
+	return NetworkConfig{
+		Seed: 42,
+		Topology: testbed.RandomGeometric(testbed.GeoConfig{
+			Seed: 42, N: 100000, Width: 5060, Height: 5060, Range: 15}),
+		Policy:       statconn.Static{Interval: 75 * sim.Millisecond},
+		JamChannel22: true,
+		Lean:         true,
+		SparseRoutes: true,
+		Shards:       shards,
+	}
+}
+
 func runDensity(o Options) *Report {
 	o.defaults()
 	r := newReport("density", "CoAP PDR and delay vs node count × density (random geometric, CI 75ms, producer 10s±5s)")

@@ -64,7 +64,7 @@ func runSelfHeal(o Options) *Report {
 		return r
 	}
 	r.addf("links up at t=%v, DODAG converged %.2fs later (all %d nodes joined, DAO routes in place)",
-		linksAt, (nw.Sim.Now() - linksAt).Seconds(), len(nw.Nodes))
+		linksAt, (nw.Sim.Now() - linksAt).Seconds(), nw.NodeCount())
 	r.set("form_s", (nw.Sim.Now() - linksAt).Seconds())
 	nw.Run(10 * sim.Second) // settle
 	trafficStart := nw.Sim.Now()

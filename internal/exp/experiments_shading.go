@@ -364,6 +364,9 @@ func runAblArb(o Options) *Report {
 		pdr := nw.CoAPPDR()
 		var preempts, skips uint64
 		for _, n := range nw.Nodes {
+			if n == nil {
+				continue
+			}
 			st := n.Ctrl.Scheduler().Stats()
 			preempts += st.Preempts
 			skips += st.Skips
@@ -429,6 +432,9 @@ func runAblRenegotiate(o Options) *Report {
 			func(c *NetworkConfig) { c.MaxPPM = 60 })
 		var reqs, rejects, accepts uint64
 		for _, n := range nw.Nodes {
+			if n == nil {
+				continue
+			}
 			s := n.Statconn.Stats()
 			reqs += s.ParamRequests
 			rejects += s.ParamRejects

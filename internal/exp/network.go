@@ -8,7 +8,10 @@ package exp
 import (
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 
+	"blemesh/internal/arena"
 	"blemesh/internal/ble"
 	"blemesh/internal/coap"
 	"blemesh/internal/core"
@@ -128,6 +131,14 @@ type NetworkConfig struct {
 	// instead of the spatial grid index. Output must be byte-identical
 	// either way; the differential test layer flips this to prove it.
 	LinearPHY bool
+	// LegacyAlloc restores the pre-arena allocation path: every subsystem
+	// struct heap-allocated individually, map-backed tables in every layer,
+	// and the historical global-phase construction loop. The default (false)
+	// builds arena-backed struct-of-arrays node state — one slab per
+	// subsystem type, compact slice-backed tables, per-site parallel fill in
+	// sharded mode. Observable output is byte-identical either way; the flag
+	// exists as the differential baseline and is kept for one release.
+	LegacyAlloc bool
 	// Shards selects the sharded scheduler (internal/sim Sharded): the
 	// topology is cut into RF-isolated sites (connected components), each
 	// driven by its own event queue and clock under a conservative barrier
@@ -194,15 +205,19 @@ type Network struct {
 	Medium *phy.Medium
 	Media  []*phy.Medium
 	Cfg    NetworkConfig
-	Nodes  map[int]*core.Node
-	Meters map[int]*energy.Meter
+	// Nodes and Meters are dense id-indexed slices (testbed IDs are small
+	// integers; generated topologies use 1..N). Entries at unused IDs are
+	// nil — range loops must skip them; NodeCount is the built-node count.
+	Nodes  []*core.Node
+	Meters []*energy.Meter
 
 	consumerID int
+	nodeCount  int
 
 	// Site decomposition: sites are the topology's connected components;
 	// consumers holds one traffic sink per site (aligned with sites).
 	sites     [][]int
-	siteOf    map[int]int
+	siteOf    []int
 	consumers []int
 	// perSite marks multi-site sharded runs, where RTT/PDR collection is
 	// split per site so domain windows never share a metrics object.
@@ -233,6 +248,17 @@ type Network struct {
 	jammers   map[phy.Channel][]*phy.Switched
 }
 
+// heapEngineSiteMax is the largest site the arena build path runs on the
+// heap event queue instead of the configured engine, and heapEngineMinSites
+// is the smallest site count at which that substitution kicks in (see
+// BuildNetwork). The heap trades per-event speed (the wheel wins the storm
+// benchmarks ~2×) for per-queue footprint (~9KB of fixed slot arrays), so
+// it only pays when small queues are numerous.
+const (
+	heapEngineSiteMax  = 256
+	heapEngineMinSites = 64
+)
+
 // BuildNetwork assembles the BLE network for cfg.
 //
 // With cfg.Shards == 0 (the default) the whole network runs on one serial
@@ -245,8 +271,22 @@ type Network struct {
 // never of the worker count.
 func BuildNetwork(cfg NetworkConfig) *Network {
 	cfg.defaults()
+	if cfg.Routing == RoutingDynamic && cfg.SparseRoutes {
+		panic("exp: SparseRoutes requires RoutingStatic — sparse provisioning " +
+			"pre-installs the sink-tree host routes at build time, which " +
+			"RPL-lite would immediately shadow and churn; drop SparseRoutes " +
+			"or use static routing")
+	}
 	sites := cfg.Topology.Sites()
+	ids := cfg.Topology.Nodes()
+	maxID := 0
+	for _, id := range ids {
+		if id > maxID {
+			maxID = id
+		}
+	}
 	shardedMode := cfg.Shards >= 1
+	legacy := cfg.LegacyAlloc
 
 	seriesBucket := cfg.SeriesBucket
 	if seriesBucket <= 0 {
@@ -254,11 +294,12 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	}
 	nw := &Network{
 		Cfg:        cfg,
-		Nodes:      make(map[int]*core.Node),
-		Meters:     make(map[int]*energy.Meter),
+		Nodes:      make([]*core.Node, maxID+1),
+		Meters:     make([]*energy.Meter, maxID+1),
 		consumerID: cfg.Topology.Consumer,
+		nodeCount:  len(ids),
 		sites:      sites,
-		siteOf:     make(map[int]int),
+		siteOf:     make([]int, maxID+1),
 		consumers:  cfg.Topology.SiteConsumers(),
 		perSite:    shardedMode && len(sites) > 1,
 		PerProd:    metrics.NewHeatmap(60 * sim.Second),
@@ -275,7 +316,26 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	// mode), plus nw.Sim for external scheduling (see the field comment).
 	siteSims := make([]*sim.Sim, len(sites))
 	if shardedMode {
-		sh := sim.NewSharded(cfg.Seed, cfg.Engine, len(sites), 0)
+		engineFor := func(int) sim.Engine { return cfg.Engine }
+		if !legacy && len(sites) >= heapEngineMinSites {
+			// Small sites run on the heap engine: a timer wheel carries
+			// ~9KB of fixed slot arrays per queue, which city-scale site
+			// counts multiply into megabytes, while a heap starts empty and
+			// a small site never grows it far. Below heapEngineMinSites the
+			// wheel's per-event edge outweighs the few KB saved, so small
+			// topologies (the sharded forest bench among them) keep the
+			// configured engine. The engines are event-for-event equivalent
+			// (differentially tested in internal/sim and by the
+			// engine-identity tests here), so the selection cannot change
+			// output.
+			engineFor = func(d int) sim.Engine {
+				if len(sites[d]) <= heapEngineSiteMax {
+					return sim.EngineHeap
+				}
+				return cfg.Engine
+			}
+		}
+		sh := sim.NewShardedSelect(cfg.Seed, len(sites), 0, engineFor)
 		sh.SetWorkers(cfg.Shards)
 		nw.Sharded = sh
 		for i := range siteSims {
@@ -334,6 +394,18 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		buildMedium(nw.Sim)
 	}
 	nw.Medium = nw.Media[0]
+	if !legacy {
+		// Radios come out of per-medium slabs: each medium knows exactly
+		// how many nodes will attach, so NewRadio hands out contiguous
+		// elements instead of one small allocation per node.
+		if shardedMode {
+			for si, site := range sites {
+				nw.Media[si].ReserveRadios(len(site))
+			}
+		} else {
+			nw.Medium.ReserveRadios(len(ids))
+		}
+	}
 
 	// Metric surfaces: one RTT CDF and PDR series per site in perSite
 	// runs; a single shared pair otherwise. RTTs/Series always alias
@@ -342,9 +414,23 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	if nw.perSite {
 		nsurf = len(sites)
 	}
-	for i := 0; i < nsurf; i++ {
-		nw.rtts = append(nw.rtts, &metrics.CDF{})
-		nw.series = append(nw.series, metrics.NewTimeSeries(seriesBucket))
+	if legacy {
+		for i := 0; i < nsurf; i++ {
+			nw.rtts = append(nw.rtts, &metrics.CDF{})
+			nw.series = append(nw.series, metrics.NewTimeSeries(seriesBucket))
+		}
+	} else {
+		// Struct-of-arrays metric surfaces: two slabs instead of 2·nsurf
+		// small allocations (nsurf is the site count in perSite city runs).
+		cdfs := make([]metrics.CDF, nsurf)
+		tss := make([]metrics.TimeSeries, nsurf)
+		nw.rtts = make([]*metrics.CDF, nsurf)
+		nw.series = make([]*metrics.TimeSeries, nsurf)
+		for i := 0; i < nsurf; i++ {
+			tss[i].Bucket = seriesBucket
+			nw.rtts[i] = &cdfs[i]
+			nw.series[i] = &tss[i]
+		}
 	}
 	nw.RTTs, nw.Series = nw.rtts[0], nw.series[0]
 
@@ -354,7 +440,6 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 		nw.Trace.SetSampleRate(cfg.TraceSample)
 	}
 
-	ids := cfg.Topology.Nodes()
 	ppm := testbed.ClockPPM(cfg.Seed, ids, cfg.MaxPPM)
 	for id, v := range cfg.PPMOverride {
 		ppm[id] = v
@@ -372,28 +457,99 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 	if shardedMode {
 		// Sharded recording must never grow the ring map from a worker
 		// goroutine: register every emitter up front against its site's
-		// clock, then freeze.
-		for _, id := range ids {
-			nw.Trace.RegisterNode(nodeName(id), siteSims[nw.siteOf[id]], nw.siteOf[id])
+		// clock, then freeze. With tracing off the arena path skips the
+		// registration entirely — a disabled log never records, and the
+		// per-node name/ring bookkeeping is pure waste at city scale.
+		if cfg.Trace || legacy {
+			for _, id := range ids {
+				nw.Trace.RegisterNode(nodeName(id), siteSims[nw.siteOf[id]], nw.siteOf[id])
+			}
 		}
 		nw.Trace.Freeze()
 	}
-	for _, id := range ids {
-		var rcfg *rpl.Config
-		if cfg.Routing == RoutingDynamic {
-			c := rpl.Config{}
-			if cfg.RPL != nil {
-				c = *cfg.RPL
+
+	// Preallocated storage for the arena path: one arena per site in
+	// sharded mode (each site's builder carves its own slabs, so the fill
+	// can run in parallel), one network-wide arena in serial mode (a serial
+	// run shares one RNG across sites, so nodes must build in global id
+	// order — a single arena carves in exactly that order).
+	var arenas []*core.Arena
+	var serialArena *core.Arena
+	var meterSlab []energy.Meter
+	if !legacy {
+		if shardedMode {
+			sizes := make([]int, len(sites))
+			for si, site := range sites {
+				sizes[si] = len(site)
 			}
-			c.Root = id == cfg.Topology.Consumer
-			rcfg = &c
+			arenas = core.NewArenas(sizes)
+		} else {
+			serialArena = core.NewArena(len(ids), nil)
 		}
+		meterSlab = make([]energy.Meter, maxID+1)
+	}
+
+	// The sink forest is O(network) to derive — compute it once here and
+	// share it between the route-counting pass and every per-site install
+	// (re-deriving it per site would turn the fill quadratic).
+	var sinkParent map[int]int
+	if cfg.Routing == RoutingStatic && cfg.SparseRoutes {
+		sinkParent = cfg.Topology.SinkForest()
+	}
+
+	// Count-then-carve for the sparse route tables: walk the same
+	// SinkForest parent chains installSparseRoutes walks — one upward
+	// route per non-sink node, one downward route per ancestor on its
+	// chain — then carve each node's exact window out of one shared slab.
+	// The stack's live table and the node's provisioned copy alias the
+	// same backing: AddHostRoute appends the same route to both lists in
+	// lockstep (sparse sink-tree destinations are unique per node, so
+	// AddRoute never takes its replace branch), static routes are never
+	// removed, and a Restart re-appends the identical values over
+	// themselves — so one window serves both views at half the storage.
+	var (
+		routeB   *arena.Builder
+		routeBuf []ip6.Route
+	)
+	if !legacy && sinkParent != nil {
+		routeB = arena.NewBuilder(maxID + 1)
+		for _, id := range ids {
+			p, ok := sinkParent[id]
+			if !ok {
+				continue
+			}
+			routeB.Count(id, 1)
+			for ok {
+				routeB.Count(p, 1)
+				p, ok = sinkParent[p]
+			}
+		}
+		routeB.Seal()
+		routeBuf = make([]ip6.Route, routeB.Total())
+	}
+
+	rplFor := func(id int) *rpl.Config {
+		if cfg.Routing != RoutingDynamic {
+			return nil
+		}
+		c := rpl.Config{}
+		if cfg.RPL != nil {
+			c = *cfg.RPL
+		}
+		c.Root = id == cfg.Topology.Consumer
+		return &c
+	}
+	buildNode := func(id int) {
 		site := nw.siteOf[id]
 		medium := nw.Media[0]
 		if shardedMode {
 			medium = nw.Media[site]
 		} else {
 			medium.SetDomain(site)
+		}
+		ar := serialArena
+		if arenas != nil {
+			ar = arenas[site]
 		}
 		n := core.NewNode(siteSims[site], medium, core.NodeConfig{
 			Name:     nodeName(id),
@@ -408,39 +564,118 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 			Arbitration:           cfg.Arbitration,
 			DisableWindowWidening: cfg.DisableWindowWidening,
 			Trace:                 nw.Trace,
-			Routing:               rcfg,
+			Routing:               rplFor(id),
+			Arena:                 ar,
 		})
 		if p, ok := cfg.Topology.Pos[id]; ok {
 			n.Radio.SetPosition(p.X, p.Y, p.Z)
 		}
 		nw.Nodes[id] = n
-		nw.Meters[id] = energy.NewMeter(energy.DefaultParams(), n.Ctrl, n.Radio)
-	}
-	// Static links: subordinates advertise, coordinators connect.
-	// Iterate in node-ID order — map iteration order would consume the
-	// shared RNG nondeterministically and break run reproducibility.
-	subCount := cfg.Topology.SubordinateCount()
-	for _, id := range ids {
-		if k := subCount[id]; k > 0 {
-			nw.Nodes[id].AcceptInbound(k)
+		if meterSlab != nil {
+			m := &meterSlab[id]
+			energy.NewMeterInto(m, energy.DefaultParams(), n.Ctrl, n.Radio)
+			nw.Meters[id] = m
+		} else {
+			nw.Meters[id] = energy.NewMeter(energy.DefaultParams(), n.Ctrl, n.Radio)
 		}
-	}
-	for _, l := range cfg.Topology.Links {
-		nw.Nodes[l.Coordinator].ConnectTo(nw.Nodes[l.Subordinate])
 	}
 	// Manual IP routes along the unique topology paths (§4.3). In dynamic
 	// mode RPL-lite discovers and maintains routes instead.
-	if cfg.Routing == RoutingStatic {
+	installRoutes := func(ids []int) {
+		if cfg.Routing != RoutingStatic {
+			return
+		}
 		if cfg.SparseRoutes {
-			nw.installSparseRoutes(ids)
-		} else {
-			for _, from := range ids {
-				next := cfg.Topology.NextHops(from)
-				for dst, hop := range next {
-					nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+			if routeB != nil {
+				for _, id := range ids {
+					v := arena.View(routeB, routeBuf, id)
+					nw.Nodes[id].Stack.ReserveRoutes(v)
+					nw.Nodes[id].ReserveProvRoutes(v)
 				}
 			}
+			nw.installSparseRoutes(ids, sinkParent)
+			return
 		}
+		for _, from := range ids {
+			next := cfg.Topology.NextHops(from)
+			for dst, hop := range next {
+				nw.Nodes[from].AddHostRoute(nw.Nodes[dst], nw.Nodes[hop])
+			}
+		}
+	}
+
+	subCount := cfg.Topology.SubordinateCount()
+	if shardedMode && !legacy {
+		// Parallel two-pass build: sites are RF-isolated and draw from
+		// independent per-site RNG streams, so the only ordering that
+		// matters is within a site — and each site runs the exact phase
+		// order of the historical global loop (nodes in id order, inbound
+		// slots in id order, links in declaration order, routes). Every
+		// write lands in site-private storage (the site's arena slabs) or
+		// at a site-owned dense index (Nodes/Meters/route windows), so
+		// workers coordinate only through the claim counter.
+		siteLinks := make([][]testbed.Link, len(sites))
+		for _, l := range cfg.Topology.Links {
+			si := nw.siteOf[l.Coordinator]
+			siteLinks[si] = append(siteLinks[si], l)
+		}
+		fillSite := func(si int) {
+			site := sites[si]
+			for _, id := range site {
+				buildNode(id)
+			}
+			for _, id := range site {
+				if k := subCount[id]; k > 0 {
+					nw.Nodes[id].AcceptInbound(k)
+				}
+			}
+			for _, l := range siteLinks[si] {
+				nw.Nodes[l.Coordinator].ConnectTo(nw.Nodes[l.Subordinate])
+			}
+			installRoutes(site)
+		}
+		workers := cfg.Shards
+		if workers > len(sites) {
+			workers = len(sites)
+		}
+		if workers <= 1 {
+			for si := range sites {
+				fillSite(si)
+			}
+		} else {
+			var next int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						si := int(atomic.AddInt64(&next, 1)) - 1
+						if si >= len(sites) {
+							return
+						}
+						fillSite(si)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	} else {
+		for _, id := range ids {
+			buildNode(id)
+		}
+		// Static links: subordinates advertise, coordinators connect.
+		// Iterate in node-ID order — map iteration order would consume the
+		// shared RNG nondeterministically and break run reproducibility.
+		for _, id := range ids {
+			if k := subCount[id]; k > 0 {
+				nw.Nodes[id].AcceptInbound(k)
+			}
+		}
+		for _, l := range cfg.Topology.Links {
+			nw.Nodes[l.Coordinator].ConnectTo(nw.Nodes[l.Subordinate])
+		}
+		installRoutes(ids)
 	}
 	nw.llSeries = newLLSampler(nw, 60*sim.Second)
 	nw.registerMetrics(ids)
@@ -468,9 +703,10 @@ func BuildNetwork(cfg NetworkConfig) *Network {
 // reaches its site sink via its SinkForest parent, and every ancestor of a
 // node v (the sink included) reaches v via the on-path child. Producer →
 // sink requests and sink → producer responses both ride these entries —
-// O(N·depth) table entries rather than the all-pairs O(N²).
-func (nw *Network) installSparseRoutes(ids []int) {
-	parent := nw.Cfg.Topology.SinkForest()
+// O(N·depth) table entries rather than the all-pairs O(N²). The caller
+// supplies the (whole-network) sink forest so per-site installs share one
+// derivation.
+func (nw *Network) installSparseRoutes(ids []int, parent map[int]int) {
 	for _, id := range ids {
 		p, ok := parent[id]
 		if !ok {
@@ -624,8 +860,19 @@ func (nw *Network) Journeys() []*trace.Journey {
 // Consumer returns the consumer node.
 func (nw *Network) Consumer() *core.Node { return nw.Nodes[nw.consumerID] }
 
-// Node returns a node by testbed ID.
-func (nw *Network) Node(id int) *core.Node { return nw.Nodes[id] }
+// Node returns a node by testbed ID, nil for IDs not in the network (the
+// dense table keeps the old map lookup's miss semantics).
+func (nw *Network) Node(id int) *core.Node {
+	if id < 0 || id >= len(nw.Nodes) {
+		return nil
+	}
+	return nw.Nodes[id]
+}
+
+// NodeCount returns the number of nodes built into the network. The dense
+// id-indexed Nodes/Meters slices may carry nil gaps (testbed IDs need not
+// be contiguous), so their length is not the population.
+func (nw *Network) NodeCount() int { return nw.nodeCount }
 
 // Now returns the run's current time: the barrier time in sharded runs,
 // the simulation clock otherwise.
@@ -665,7 +912,11 @@ func (nw *Network) linksUp() bool {
 // nodeByMAC maps a BLE device address back to its node (MACs embed the
 // testbed ID).
 func (nw *Network) nodeByMAC(mac uint64) *core.Node {
-	return nw.Nodes[int(mac-0x5A0000000000)]
+	id := int(mac - 0x5A0000000000)
+	if id < 0 || id >= len(nw.Nodes) {
+		return nil
+	}
+	return nw.Nodes[id]
 }
 
 // Converged reports whether the routing plane can carry traffic between
@@ -883,6 +1134,9 @@ func (nw *Network) ConnLosses() uint64 {
 func (nw *Network) rawConnLosses() uint64 {
 	var total uint64
 	for _, n := range nw.Nodes {
+		if n == nil {
+			continue
+		}
 		total += n.Statconn.Stats().LinkLosses
 	}
 	return total
@@ -893,6 +1147,9 @@ func (nw *Network) rawConnLosses() uint64 {
 func (nw *Network) IntervalRejects() uint64 {
 	var total uint64
 	for _, n := range nw.Nodes {
+		if n == nil {
+			continue
+		}
 		total += n.Statconn.Stats().IntervalRejects
 	}
 	return total
@@ -903,6 +1160,9 @@ func (nw *Network) IntervalRejects() uint64 {
 func (nw *Network) LLPDR() float64 {
 	var tx, retr uint64
 	for _, n := range nw.Nodes {
+		if n == nil {
+			continue
+		}
 		for _, c := range n.Ctrl.Conns() {
 			st := c.Stats()
 			tx += st.TXPDUs - st.TXEmpty
@@ -919,6 +1179,9 @@ func (nw *Network) LLPDR() float64 {
 func (nw *Network) BufferDrops() uint64 {
 	var total uint64
 	for _, n := range nw.Nodes {
+		if n == nil {
+			continue
+		}
 		total += n.NetIf.Stats().QueueDrops + n.NetIf.Stats().LinkDrops
 	}
 	return total
@@ -929,6 +1192,9 @@ func (nw *Network) BufferDrops() uint64 {
 func (nw *Network) CoAPGiveUps() uint64 {
 	var total uint64
 	for _, n := range nw.Nodes {
+		if n == nil {
+			continue
+		}
 		total += n.Coap.Stats().GiveUps
 	}
 	return total
@@ -1040,6 +1306,9 @@ func newLLSampler(nw *Network, interval sim.Duration) *llSampler {
 	tick = func() {
 		var tx, retr uint64
 		for _, n := range nw.Nodes {
+			if n == nil {
+				continue
+			}
 			for _, c := range n.Ctrl.Conns() {
 				st := c.Stats()
 				tx += st.TXPDUs - st.TXEmpty

@@ -121,7 +121,7 @@ func TestStaticModeHasNoRoutingFootprint(t *testing.T) {
 	nw := BuildNetwork(NetworkConfig{Seed: 3, Topology: testbed.Tree(),
 		Policy: statconn.Static{Interval: 75 * sim.Millisecond}})
 	for id, n := range nw.Nodes {
-		if n.RPL != nil {
+		if n != nil && n.RPL != nil {
 			t.Fatalf("static node %d has an RPL instance", id)
 		}
 	}

@@ -123,10 +123,17 @@ type Stack struct {
 
 	Pktbuf Pool
 
-	udp    map[uint16]UDPHandler
-	onEcho EchoHandler
-	stats  StackStats
-	ifaces []NetIf
+	// UDP demux: the historical map, or — in compact (struct-of-arrays)
+	// builds — a tiny association list. A node binds one or two ports, so
+	// the list wins on both memory (no hmap header + bucket per node) and
+	// lookup cost; the map is kept while the LegacyAlloc switch exists.
+	udp      map[uint16]UDPHandler
+	udpPorts []uint16
+	udpHs    []UDPHandler
+	compact  bool
+	onEcho   EchoHandler
+	stats    StackStats
+	ifaces   []NetIf
 	// HopLimitDefault is used for locally originated packets.
 	HopLimitDefault byte
 
@@ -164,16 +171,40 @@ func (st *Stack) mintPID() uint64 {
 // address. The node gets fe80::IID and fd00::IID (DefaultPrefix) addresses.
 // The NIB is bounded to 32 entries, the value the paper raises GNRC to.
 func NewStack(s *sim.Sim, mac uint64) *Stack {
-	return &Stack{
+	st := new(Stack)
+	NewStackInto(st, s, mac, false)
+	return st
+}
+
+// NewStackInto initializes a stack in place (arena-backed construction).
+// compact selects the association-list UDP demux over the per-node map;
+// behaviour is identical either way.
+func NewStackInto(st *Stack, s *sim.Sim, mac uint64, compact bool) {
+	*st = Stack{
 		s:               s,
 		mac:             mac,
 		linkLocal:       LinkLocal(mac),
 		global:          ULA(DefaultPrefix, mac),
 		nibMax:          32,
 		Pktbuf:          Pool{Capacity: 6144},
-		udp:             make(map[uint16]UDPHandler),
+		compact:         compact,
 		HopLimitDefault: 64,
 	}
+	if !compact {
+		st.udp = make(map[uint16]UDPHandler)
+	}
+}
+
+// ReserveRoutes hands the stack a pre-carved backing array for its route
+// table (len 0, exact capacity): the normal AddRoute append path then fills
+// the slab without allocating. Appending past the reserved capacity falls
+// back to ordinary slice growth, so an under-counted reservation degrades
+// to the historical behaviour instead of failing.
+func (st *Stack) ReserveRoutes(buf []Route) {
+	if len(st.routes) > 0 {
+		panic("ip6: ReserveRoutes after routes were installed")
+	}
+	st.routes = buf[:0]
 }
 
 // LinkLocalAddr returns the node's fe80:: address.
@@ -335,7 +366,33 @@ func (st *Stack) resolve(nh Addr) (uint64, NetIf, bool) {
 }
 
 // ListenUDP registers a handler for a UDP port.
-func (st *Stack) ListenUDP(port uint16, h UDPHandler) { st.udp[port] = h }
+func (st *Stack) ListenUDP(port uint16, h UDPHandler) {
+	if st.compact {
+		for i, p := range st.udpPorts {
+			if p == port {
+				st.udpHs[i] = h
+				return
+			}
+		}
+		st.udpPorts = append(st.udpPorts, port)
+		st.udpHs = append(st.udpHs, h)
+		return
+	}
+	st.udp[port] = h
+}
+
+// lookupUDP returns the handler bound to a port, or nil.
+func (st *Stack) lookupUDP(port uint16) UDPHandler {
+	if st.compact {
+		for i, p := range st.udpPorts {
+			if p == port {
+				return st.udpHs[i]
+			}
+		}
+		return nil
+	}
+	return st.udp[port]
+}
 
 // OnEchoReply registers the echo-reply observer.
 func (st *Stack) OnEchoReply(h EchoHandler) { st.onEcho = h }
@@ -514,7 +571,7 @@ func (st *Stack) deliver(h Header, payload []byte, pid uint64) {
 			st.stats.HdrErrors++
 			return
 		}
-		if handler, ok := st.udp[uh.DstPort]; ok {
+		if handler := st.lookupUDP(uh.DstPort); handler != nil {
 			handler(h.Src, uh.SrcPort, data)
 		}
 	case ProtoICMPv6:

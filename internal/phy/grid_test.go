@@ -51,12 +51,12 @@ func TestGridBoundaryCandidates(t *testing.T) {
 		rd.SetPosition(x, y, z)
 		return rd
 	}
-	exactEast := place(r, 0, 0)                  // distance exactly r, one cell east
-	beyond := place(math.Nextafter(r, 11), 0, 0) // just out of range
-	exactDiag := place(6, 8, 0)                  // 6-8-10 triple: distance exactly r, diagonal cell
+	exactEast := place(r, 0, 0)                   // distance exactly r, one cell east
+	beyond := place(math.Nextafter(r, 11), 0, 0)  // just out of range
+	exactDiag := place(6, 8, 0)                   // 6-8-10 triple: distance exactly r, diagonal cell
 	cellEdge := place(math.Nextafter(r, 9), 0, 0) // in range, same ring, cell boundary straddler
 	corner := place(-6, -8, 0)                    // negative-coordinate corner cell, exactly r
-	vertical := place(0, 0, r)                       // exactly r straight up (3D)
+	vertical := place(0, 0, r)                    // exactly r straight up (3D)
 	tooHigh := place(0, 0, math.Nextafter(r, 11))
 	farCell := place(2.5*r, 2.5*r, 0) // outside the 3×3 neighborhood entirely
 

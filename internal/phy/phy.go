@@ -140,6 +140,7 @@ type Medium struct {
 	rangeSq float64
 	linear  bool
 	scratch [][]*Radio // recycled candidate buffers for indexed scans
+	reserve []Radio    // slab handed out by NewRadio (see ReserveRadios)
 }
 
 // rfDomain is one RF-closure partition: the radios that can hear each
@@ -234,13 +235,31 @@ func (m *Medium) Busy(ch Channel) bool {
 // NewRadio registers a radio in the medium's current RF domain.
 func (m *Medium) NewRadio() *Radio {
 	dom := m.domains[m.cur]
-	r := &Radio{medium: m, id: NodeID(m.nradios), dom: m.cur, listenCh: -1}
+	var r *Radio
+	if len(m.reserve) > 0 {
+		r = &m.reserve[0]
+		m.reserve = m.reserve[1:]
+	} else {
+		r = new(Radio)
+	}
+	*r = Radio{medium: m, id: NodeID(m.nradios), dom: m.cur, listenCh: -1}
 	m.nradios++
 	dom.radios = append(dom.radios, r)
 	if dom.grid != nil {
 		dom.gridInsert(gridKey(r.px, r.py, m.r), r)
 	}
 	return r
+}
+
+// ReserveRadios pre-allocates the next n radios as one contiguous slab.
+// Subsequent NewRadio calls hand out pointers into the slab (registration
+// order, NodeID assignment, and behaviour are unchanged) until it is
+// exhausted — the struct-of-arrays build path calls this with the site's
+// node count so position/state fields end up dense in memory.
+func (m *Medium) ReserveRadios(n int) {
+	if n > len(m.reserve) {
+		m.reserve = make([]Radio, n)
+	}
 }
 
 // RadioState describes what a radio is doing, for energy accounting.

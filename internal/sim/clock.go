@@ -25,7 +25,14 @@ type Clock struct {
 // NewClock creates a clock with the given frequency error in parts per
 // million. ppm 0 is a perfect clock; positive ppm runs fast.
 func NewClock(s *Sim, ppm float64) *Clock {
-	return &Clock{sim: s, rate: 1 + ppm*1e-6, ppm: ppm, epochSim: s.Now()}
+	c := new(Clock)
+	NewClockInto(c, s, ppm)
+	return c
+}
+
+// NewClockInto initializes a clock in place (arena-backed construction).
+func NewClockInto(c *Clock, s *Sim, ppm float64) {
+	*c = Clock{sim: s, rate: 1 + ppm*1e-6, ppm: ppm, epochSim: s.Now()}
 }
 
 // PPM returns the clock's frequency error in parts per million.

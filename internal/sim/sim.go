@@ -120,7 +120,10 @@ func New(seed int64) *Sim { return NewWithEngine(seed, EngineWheel) }
 
 // NewWithEngine creates a simulation backed by the given event-queue engine.
 func NewWithEngine(seed int64, engine Engine) *Sim {
-	s := &Sim{rng: rand.New(rand.NewSource(seed)), engine: engine}
+	// xoshiro256++ (rng.go), not rand.NewSource: the stdlib source carries
+	// ~4.9KB of state per Sim, which dominates the heap of city-scale
+	// builds that run one Sim per RF-isolated site.
+	s := &Sim{rng: rand.New(newXoshiro256(seed)), engine: engine}
 	switch engine {
 	case EngineHeap:
 		s.q = &heapQueue{}

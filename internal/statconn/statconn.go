@@ -151,6 +151,11 @@ type Config struct {
 	// at 3×AdvInterval and doubles per consecutive failed attempt up to
 	// this cap (default 16 × 3×AdvInterval).
 	BackoffCap sim.Duration
+	// Compact selects allocation-lean internal storage: the five per-peer
+	// maps collapse into one small slice of peer slots and the up-set
+	// becomes a slice. Behaviour is identical — a BLE node maintains a
+	// handful of links, so linear scans beat hashing.
+	Compact bool
 }
 
 func (c *Config) defaults() {
@@ -275,6 +280,21 @@ func (q *peerQual) pdr(liveTX, liveRe uint64) (float64, bool) {
 	return est, have
 }
 
+// peerSlot is the compact-mode per-peer record: everything the five legacy
+// maps track for one peer, in one slice element. Slots are created on first
+// touch and never removed (a node's peer set is its static topology); the
+// individual fields are cleared instead where the legacy path would delete
+// map entries.
+type peerSlot struct {
+	peer      ble.DevAddr
+	wanted    bool
+	attempts  int
+	downSince sim.Time
+	measuring bool
+	hasQual   bool
+	qual      peerQual
+}
+
 // Manager maintains a node's configured BLE connections.
 type Manager struct {
 	s    *sim.Sim
@@ -286,6 +306,11 @@ type Manager struct {
 	expectIn  int                  // subordinate links we accept
 	activeIn  int
 	up        map[*ble.Conn]bool // links reported via OnLinkUp
+
+	// Compact-mode backends for the maps above/below: slots replaces
+	// wantedOut/attempts/downSince/qual, upList replaces up.
+	slots  []peerSlot
+	upList []*ble.Conn
 
 	// lossTimes records when each loss happened (Fig. 14's counts and the
 	// reconnect-latency characterization).
@@ -324,22 +349,169 @@ type Manager struct {
 // New wires a manager onto a controller. The manager owns the controller's
 // OnConnect/OnDisconnect hooks.
 func New(s *sim.Sim, ctrl *ble.Controller, cfg Config) *Manager {
+	m := new(Manager)
+	NewInto(m, s, ctrl, cfg)
+	return m
+}
+
+// NewInto initializes a manager in place (arena-backed construction).
+func NewInto(m *Manager, s *sim.Sim, ctrl *ble.Controller, cfg Config) {
 	cfg.defaults()
-	m := &Manager{
-		s:         s,
-		ctrl:      ctrl,
-		cfg:       cfg,
-		rng:       s.Rand(),
-		wantedOut: make(map[ble.DevAddr]bool),
-		up:        make(map[*ble.Conn]bool),
-		attempts:  make(map[ble.DevAddr]int),
-		downSince: make(map[ble.DevAddr]sim.Time),
-		qual:      make(map[ble.DevAddr]*peerQual),
+	*m = Manager{
+		s:    s,
+		ctrl: ctrl,
+		cfg:  cfg,
+		rng:  s.Rand(),
+	}
+	if !cfg.Compact {
+		m.wantedOut = make(map[ble.DevAddr]bool)
+		m.up = make(map[*ble.Conn]bool)
+		m.attempts = make(map[ble.DevAddr]int)
+		m.downSince = make(map[ble.DevAddr]sim.Time)
+		m.qual = make(map[ble.DevAddr]*peerQual)
 	}
 	ctrl.SetScanParams(ble.ScanParams{Interval: cfg.ScanInterval, Window: cfg.ScanWindow})
 	ctrl.OnConnect = m.handleConnect
 	ctrl.OnDisconnect = m.handleDisconnect
-	return m
+}
+
+// ---- Compact-mode peer-slot backend --------------------------------------
+
+// slot returns peer's slot, or nil when the peer has never been touched.
+func (m *Manager) slot(peer ble.DevAddr) *peerSlot {
+	for i := range m.slots {
+		if m.slots[i].peer == peer {
+			return &m.slots[i]
+		}
+	}
+	return nil
+}
+
+// slotEnsure returns peer's slot, creating it on first touch. The returned
+// pointer is invalidated by the next slotEnsure that grows the slice, so
+// callers must not hold it across peer-creating calls (the handler audit:
+// none do).
+func (m *Manager) slotEnsure(peer ble.DevAddr) *peerSlot {
+	if s := m.slot(peer); s != nil {
+		return s
+	}
+	m.slots = append(m.slots, peerSlot{peer: peer})
+	return &m.slots[len(m.slots)-1]
+}
+
+func (m *Manager) wanted(peer ble.DevAddr) bool {
+	if m.cfg.Compact {
+		s := m.slot(peer)
+		return s != nil && s.wanted
+	}
+	return m.wantedOut[peer]
+}
+
+func (m *Manager) attemptCount(peer ble.DevAddr) int {
+	if m.cfg.Compact {
+		if s := m.slot(peer); s != nil {
+			return s.attempts
+		}
+		return 0
+	}
+	return m.attempts[peer]
+}
+
+func (m *Manager) bumpAttempts(peer ble.DevAddr) {
+	if m.cfg.Compact {
+		m.slotEnsure(peer).attempts++
+		return
+	}
+	m.attempts[peer]++
+}
+
+func (m *Manager) resetAttempts(peer ble.DevAddr) {
+	if m.cfg.Compact {
+		if s := m.slot(peer); s != nil {
+			s.attempts = 0
+		}
+		return
+	}
+	delete(m.attempts, peer)
+}
+
+func (m *Manager) downSinceGet(peer ble.DevAddr) (sim.Time, bool) {
+	if m.cfg.Compact {
+		if s := m.slot(peer); s != nil && s.measuring {
+			return s.downSince, true
+		}
+		return 0, false
+	}
+	t, ok := m.downSince[peer]
+	return t, ok
+}
+
+func (m *Manager) downSinceSet(peer ble.DevAddr, t sim.Time) {
+	if m.cfg.Compact {
+		s := m.slotEnsure(peer)
+		s.downSince, s.measuring = t, true
+		return
+	}
+	m.downSince[peer] = t
+}
+
+func (m *Manager) downSinceDel(peer ble.DevAddr) {
+	if m.cfg.Compact {
+		if s := m.slot(peer); s != nil {
+			s.measuring = false
+		}
+		return
+	}
+	delete(m.downSince, peer)
+}
+
+func (m *Manager) isUp(c *ble.Conn) bool {
+	if m.cfg.Compact {
+		for _, x := range m.upList {
+			if x == c {
+				return true
+			}
+		}
+		return false
+	}
+	return m.up[c]
+}
+
+func (m *Manager) setUp(c *ble.Conn) {
+	if m.cfg.Compact {
+		if !m.isUp(c) {
+			m.upList = append(m.upList, c)
+		}
+		return
+	}
+	m.up[c] = true
+}
+
+func (m *Manager) clearUp(c *ble.Conn) {
+	if m.cfg.Compact {
+		for i, x := range m.upList {
+			if x == c {
+				m.upList = append(m.upList[:i], m.upList[i+1:]...)
+				return
+			}
+		}
+		return
+	}
+	delete(m.up, c)
+}
+
+// upConns returns the current usable connections for iteration. In compact
+// mode it is the backing slice itself (callers must not mutate link state
+// mid-iteration); legacy mode materialises the map's values.
+func (m *Manager) upConns() []*ble.Conn {
+	if m.cfg.Compact {
+		return m.upList
+	}
+	out := make([]*ble.Conn, 0, len(m.up))
+	for c := range m.up {
+		out = append(out, c)
+	}
+	return out
 }
 
 // Stats returns a copy of the manager counters, with the recovery-latency
@@ -379,10 +551,14 @@ func (m *Manager) ExpectInbound(n int) {
 
 // Connect declares a coordinator-role connection this node must maintain.
 func (m *Manager) Connect(peer ble.DevAddr) {
-	if m.wantedOut[peer] {
+	if m.wanted(peer) {
 		return
 	}
-	m.wantedOut[peer] = true
+	if m.cfg.Compact {
+		m.slotEnsure(peer).wanted = true
+	} else {
+		m.wantedOut[peer] = true
+	}
 	m.initiateAfterBackoff(peer)
 }
 
@@ -395,7 +571,7 @@ func (m *Manager) Connect(peer ble.DevAddr) {
 // instead of hammering the air. Success resets the window.
 func (m *Manager) initiateAfterBackoff(peer ble.DevAddr) {
 	span := int64(3 * m.cfg.AdvInterval)
-	for i := m.attempts[peer]; i > 0 && span < int64(m.cfg.BackoffCap); i-- {
+	for i := m.attemptCount(peer); i > 0 && span < int64(m.cfg.BackoffCap); i-- {
 		span <<= 1
 	}
 	if span > int64(m.cfg.BackoffCap) {
@@ -407,7 +583,7 @@ func (m *Manager) initiateAfterBackoff(peer ble.DevAddr) {
 		if m.gen != gen || m.stopped {
 			return
 		}
-		if !m.wantedOut[peer] || m.ctrl.FindConn(peer) != nil {
+		if !m.wanted(peer) || m.ctrl.FindConn(peer) != nil {
 			return
 		}
 		m.initiate(peer)
@@ -455,10 +631,20 @@ func (m *Manager) ensureAdvertising() {
 func (m *Manager) Shutdown() {
 	m.stopped = true
 	m.gen++
-	m.wantedOut = make(map[ble.DevAddr]bool)
 	m.expectIn = 0
 	m.activeIn = 0
 	m.pendingReopens = 0
+	if m.cfg.Compact {
+		// Clear the fields the legacy path remakes maps for; quality
+		// state survives, matching the legacy path keeping qual.
+		for i := range m.slots {
+			m.slots[i].wanted = false
+			m.slots[i].attempts = 0
+			m.slots[i].measuring = false
+		}
+		return
+	}
+	m.wantedOut = make(map[ble.DevAddr]bool)
 	m.attempts = make(map[ble.DevAddr]int)
 	m.downSince = make(map[ble.DevAddr]sim.Time)
 }
@@ -517,15 +703,15 @@ func (m *Manager) handleConnect(c *ble.Conn) {
 	if c.Role() == ble.Coordinator {
 		// Success resets the exponential backoff and completes any
 		// recovery measurement that started when the link went down.
-		delete(m.attempts, c.Peer())
-		if t0, ok := m.downSince[c.Peer()]; ok {
-			delete(m.downSince, c.Peer())
+		m.resetAttempts(c.Peer())
+		if t0, ok := m.downSinceGet(c.Peer()); ok {
+			m.downSinceDel(c.Peer())
 			m.recovery.AddDuration(m.s.Now() - t0)
 		}
 	}
 	q := m.quality(c.Peer())
 	q.baseTX, q.baseRetrans = 0, 0 // fresh connection: counters start at zero
-	m.up[c] = true
+	m.setUp(c)
 	m.stats.LinksOpened++
 	if m.pendingReopens > 0 {
 		m.pendingReopens--
@@ -554,21 +740,21 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 	if m.stopped {
 		// The host is down (Shutdown in progress): report the loss so the
 		// network layer detaches, but restore nothing.
-		if m.up[c] {
-			delete(m.up, c)
+		if m.isUp(c) {
+			m.clearUp(c)
 			if m.OnLinkDown != nil {
 				m.OnLinkDown(c, reason)
 			}
 		}
 		return
 	}
-	if !m.up[c] {
+	if !m.isUp(c) {
 		// A connection we rejected (interval collision) finished its
 		// teardown: nothing to restore beyond advertising.
 		m.ensureAdvertising()
 		return
 	}
-	delete(m.up, c)
+	m.clearUp(c)
 	m.quality(c.Peer()).fold(c.Stats()) // bank the dying connection's counters
 	switch {
 	case reason == ble.LossSupervision && c.Stats().EventsOK == 0:
@@ -576,8 +762,8 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 		// lost (e.g. two initiators answered the same advertisement).
 		// Not a link loss — the link never existed.
 		m.stats.EstablishFails++
-		if c.Role() == ble.Coordinator && m.wantedOut[c.Peer()] {
-			m.attempts[c.Peer()]++
+		if c.Role() == ble.Coordinator && m.wanted(c.Peer()) {
+			m.bumpAttempts(c.Peer())
 		}
 	case reason == ble.LossSupervision:
 		m.stats.SupervisionLoss++
@@ -592,15 +778,15 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 
 	switch c.Role() {
 	case ble.Coordinator:
-		if m.wantedOut[c.Peer()] {
+		if m.wanted(c.Peer()) {
 			// A proven link starting a repair: stamp the loss time for
 			// the recovery-latency measurement and reset the backoff (a
 			// fresh loss episode starts from the short window).
 			if c.Stats().EventsOK > 0 {
-				if _, measuring := m.downSince[c.Peer()]; !measuring {
-					m.downSince[c.Peer()] = m.s.Now()
+				if _, measuring := m.downSinceGet(c.Peer()); !measuring {
+					m.downSinceSet(c.Peer(), m.s.Now())
 				}
-				delete(m.attempts, c.Peer())
+				m.resetAttempts(c.Peer())
 			}
 			m.pendingReopens++
 			m.initiateAfterBackoff(c.Peer())
@@ -617,8 +803,15 @@ func (m *Manager) handleDisconnect(c *ble.Conn, reason ble.LossReason) {
 	}
 }
 
-// quality returns (creating if needed) the peer's link-quality state.
+// quality returns (creating if needed) the peer's link-quality state. The
+// compact-mode pointer aims into the slots slice and is invalidated by the
+// next slot creation; every caller uses it before any peer-creating call.
 func (m *Manager) quality(peer ble.DevAddr) *peerQual {
+	if m.cfg.Compact {
+		s := m.slotEnsure(peer)
+		s.hasQual = true
+		return &s.qual
+	}
 	q := m.qual[peer]
 	if q == nil {
 		q = &peerQual{}
@@ -631,7 +824,7 @@ func (m *Manager) quality(peer ble.DevAddr) *peerQual {
 // connection into the per-peer PDR EWMAs. The periodic sampler calls this;
 // it is also safe to call directly (e.g. from tests).
 func (m *Manager) SampleLinkQuality() {
-	for c := range m.up {
+	for _, c := range m.upConns() {
 		m.quality(c.Peer()).fold(c.Stats())
 	}
 }
@@ -662,12 +855,19 @@ func (m *Manager) EnableQualitySampling(interval sim.Duration) {
 // connection's live counters are mixed in transiently without advancing the
 // sampling baselines.
 func (m *Manager) PeerETX(peer ble.DevAddr) float64 {
-	q := m.qual[peer]
+	var q *peerQual
+	if m.cfg.Compact {
+		if s := m.slot(peer); s != nil && s.hasQual {
+			q = &s.qual
+		}
+	} else {
+		q = m.qual[peer]
+	}
 	if q == nil {
 		return 1
 	}
 	var liveTX, liveRe uint64
-	for c := range m.up {
+	for _, c := range m.upConns() {
 		if c.Peer() == peer {
 			st := c.Stats()
 			liveTX, liveRe = st.TXPDUs, st.Retrans
@@ -689,19 +889,27 @@ func (m *Manager) PeerETX(peer ble.DevAddr) float64 {
 
 // peerLinks builds the sorted per-peer snapshot for Stats.
 func (m *Manager) peerLinks() []PeerLink {
-	if len(m.qual) == 0 {
-		return nil
+	var peers []ble.DevAddr
+	if m.cfg.Compact {
+		for i := range m.slots {
+			if m.slots[i].hasQual {
+				peers = append(peers, m.slots[i].peer)
+			}
+		}
+	} else {
+		for p := range m.qual {
+			peers = append(peers, p)
+		}
 	}
-	peers := make([]ble.DevAddr, 0, len(m.qual))
-	for p := range m.qual {
-		peers = append(peers, p)
+	if len(peers) == 0 {
+		return nil
 	}
 	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
 	out := make([]PeerLink, 0, len(peers))
 	for _, p := range peers {
-		q := m.qual[p]
+		q := m.quality(p)
 		up := false
-		for c := range m.up {
+		for _, c := range m.upConns() {
 			if c.Peer() == p {
 				up = true
 				break

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# bench-diff.sh OLD.json NEW.json — compare two BENCH_sim.json baselines.
+#
+# BENCH_sim.json is a flat {"key": number} object; this prints every key with
+# its old and new values and the new/old ratio, flagging keys that moved more
+# than 5% and keys present on only one side. For keys where smaller is better
+# (ns, allocs, bytes, relerr, overhead) a ratio < 1 is an improvement; for the
+# speedup_*/ *_reduction_* floors a ratio > 1 is. The script only reports — it
+# never fails on a regression; the enforcement lives in blemesh-bench -check.
+#
+# Usage: scripts/bench-diff.sh BENCH_old.json BENCH_new.json
+set -euo pipefail
+
+if [ $# -ne 2 ] || [ ! -f "$1" ] || [ ! -f "$2" ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+
+# Flatten {"key": 1.23, ...} into "key 1.23" lines. The baseline writer emits
+# one "key": value pair per line, so a line-oriented scrape is exact.
+flat() {
+    sed -n 's/^[[:space:]]*"\([^"]*\)":[[:space:]]*\(-\{0,1\}[0-9.e+-]*\),\{0,1\}[[:space:]]*$/\1 \2/p' "$1"
+}
+
+awk -v old_name="$1" -v new_name="$2" '
+NR == FNR { old[$1] = $2; next }
+{
+    new[$1] = $2
+    order[++n] = $1
+}
+END {
+    printf "%-32s %14s %14s %9s\n", "key", "old", "new", "ratio"
+    for (i = 1; i <= n; i++) {
+        k = order[i]
+        if (!(k in old)) {
+            printf "%-32s %14s %14.6g %9s  (new key)\n", k, "-", new[k], "-"
+            continue
+        }
+        flag = ""
+        if (old[k] == 0) {
+            ratio = (new[k] == 0) ? 1 : 0
+            r = (new[k] == 0) ? "1.000" : "inf"
+        } else {
+            ratio = new[k] / old[k]
+            r = sprintf("%.3f", ratio)
+        }
+        if (ratio > 1.05 || ratio < 0.95) flag = "  *"
+        printf "%-32s %14.6g %14.6g %9s%s\n", k, old[k], new[k], r, flag
+        seen[k] = 1
+    }
+    for (k in old) {
+        if (!(k in seen) && !(k in new)) {
+            printf "%-32s %14.6g %14s %9s  (removed)\n", k, old[k], "-", "-"
+        }
+    }
+    printf "\n(* = moved more than 5%%; old=%s new=%s)\n", old_name, new_name
+}
+' <(flat "$1") <(flat "$2")
